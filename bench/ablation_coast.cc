@@ -1,0 +1,26 @@
+// Ablation A5: the coast cutoff (line 6 of Algorithm 2). The filter stops
+// `max_coast_seconds` after the last reading; run much longer and the
+// particles diffuse into noise, stop too early and fresh silence is
+// under-propagated. The paper fixes 60 s; this sweep shows the trade-off.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ipqs;
+  using namespace ipqs::bench;
+
+  PrintHeader("Ablation A5", "Coast cutoff after last reading", "coast_s",
+              {"KL(PF)", "hit(PF)", "top1", "top2", "flt_secs"});
+  for (int coast : {5, 15, 30, 60, 120, 300}) {
+    ExperimentConfig config = PaperProtocol();
+    config.sim.filter.max_coast_seconds = coast;
+    config.sim.seed = 900;
+    const ExperimentResult r = MustRun(config);
+    PrintRow(coast, {r.kl_pf, r.hit_pf, r.top1, r.top2,
+                     static_cast<double>(r.pf_stats.filter_seconds)});
+  }
+  PrintShapeNote(
+      "accuracy peaks at a moderate cutoff (the paper picks 60 s); very "
+      "long coasting costs more filtering work for equal or worse accuracy");
+  return 0;
+}

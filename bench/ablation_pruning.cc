@@ -1,0 +1,36 @@
+// Ablation A1 (Section 4.3, query aware optimization module): how much
+// inference work does uncertain-region candidate pruning save, and does it
+// cost accuracy? Pruning is sound (uncertain regions contain the object),
+// so accuracy should be statistically unchanged while the number of
+// filtered objects drops.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ipqs;
+  using namespace ipqs::bench;
+
+  PrintHeader("Ablation A1", "Query-aware pruning on/off", "pruning",
+              {"KL(PF)", "hit(PF)", "considered", "inferred", "flt_secs"});
+  for (int pruning : {1, 0}) {
+    ExperimentConfig config = PaperProtocol();
+    config.eval_topk = false;  // Top-k scoring infers everyone anyway.
+    // Pruning pays off when each timestamp carries a handful of queries;
+    // with the paper's 100 windows per timestamp the candidate union is
+    // everyone and memoization hides the savings.
+    config.range_queries_per_timestamp = 3;
+    config.knn_query_points = 2;
+    config.sim.use_pruning = pruning == 1;
+    config.sim.seed = 500;
+    const ExperimentResult r = MustRun(config);
+    PrintRow(pruning,
+             {r.kl_pf, r.hit_pf,
+              static_cast<double>(r.pf_stats.objects_considered),
+              static_cast<double>(r.pf_stats.candidates_inferred),
+              static_cast<double>(r.pf_stats.filter_seconds)});
+  }
+  PrintShapeNote(
+      "same accuracy, fewer candidates inferred with pruning on "
+      "(2% windows cover a small floor fraction)");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Ablation A4: resampling scheme and adaptive (ESS-triggered) resampling.
+// The paper's Algorithm 1 is systematic resampling at every observation;
+// this bench compares the classic alternatives and an ESS-0.5 adaptive
+// trigger on the full accuracy protocol.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ipqs;
+  using namespace ipqs::bench;
+
+  PrintHeader("Ablation A4", "Resampling scheme", "scheme",
+              {"KL(PF)", "hit(PF)", "top1", "top2"});
+  const ResamplingScheme schemes[] = {
+      ResamplingScheme::kSystematic, ResamplingScheme::kStratified,
+      ResamplingScheme::kMultinomial, ResamplingScheme::kResidual};
+  int idx = 0;
+  for (ResamplingScheme scheme : schemes) {
+    ExperimentConfig config = PaperProtocol();
+    config.sim.filter.resampling = scheme;
+    config.sim.seed = 800;
+    const ExperimentResult r = MustRun(config);
+    std::printf("%-16s", ToString(scheme).c_str());
+    std::printf("%12.4f%12.4f%12.4f%12.4f\n", r.kl_pf, r.hit_pf, r.top1,
+                r.top2);
+    ++idx;
+  }
+  {
+    ExperimentConfig config = PaperProtocol();
+    config.sim.filter.resample_ess_fraction = 0.5;
+    config.sim.seed = 800;
+    const ExperimentResult r = MustRun(config);
+    std::printf("%-16s", "adaptive(0.5)");
+    std::printf("%12.4f%12.4f%12.4f%12.4f\n", r.kl_pf, r.hit_pf, r.top1,
+                r.top2);
+  }
+  PrintShapeNote(
+      "low-variance schemes (systematic/stratified/residual) should tie; "
+      "multinomial may lag slightly; adaptive resampling should match "
+      "systematic (observations are informative here)");
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ipqs {
+namespace bench {
+
+bool FastMode() {
+  const char* fast = std::getenv("IPQS_FAST");
+  return fast != nullptr && fast[0] == '1';
+}
+
+ExperimentConfig PaperProtocol() {
+  ExperimentConfig config;  // Table 2 defaults are the struct defaults.
+  if (FastMode()) {
+    config.sim.trace.num_objects = 80;
+    config.warmup_seconds = 180;
+    config.num_timestamps = 10;
+    config.range_queries_per_timestamp = 30;
+    config.knn_query_points = 10;
+  }
+  return config;
+}
+
+void PrintHeader(const std::string& figure, const std::string& title,
+                 const std::string& xlabel,
+                 const std::vector<std::string>& columns) {
+  std::printf("=== %s: %s ===\n", figure.c_str(), title.c_str());
+  if (FastMode()) {
+    std::printf("(IPQS_FAST=1: reduced protocol)\n");
+  }
+  std::printf("%-16s", xlabel.c_str());
+  for (const std::string& c : columns) {
+    std::printf("%12s", c.c_str());
+  }
+  std::printf("\n");
+}
+
+void PrintRow(double x, const std::vector<double>& values) {
+  std::printf("%-16g", x);
+  for (double v : values) {
+    std::printf("%12.4f", v);
+  }
+  std::printf("\n");
+}
+
+void PrintShapeNote(const std::string& note) {
+  std::printf("paper shape: %s\n\n", note.c_str());
+}
+
+ExperimentResult MustRun(const ExperimentConfig& config) {
+  const auto result = Experiment(config).Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *result;
+}
+
+}  // namespace bench
+}  // namespace ipqs

@@ -1,0 +1,27 @@
+// Figure 12 of the paper: impact of the number of moving objects
+// (200 .. 1000) on (a) range KL divergence, (b) kNN hit rate,
+// (c) top-1/top-2 success rate — the scalability experiment.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ipqs;
+  using namespace ipqs::bench;
+
+  PrintHeader("Figure 12", "Impact of the number of moving objects",
+              "objects",
+              {"KL(PF)", "KL(SM)", "hit(PF)", "hit(SM)", "top1", "top2"});
+  for (int objects : {200, 400, 600, 800, 1000}) {
+    ExperimentConfig config = PaperProtocol();
+    config.sim.trace.num_objects =
+        FastMode() ? objects / 4 : objects;
+    config.sim.seed = 300 + static_cast<uint64_t>(objects);
+    const ExperimentResult r = MustRun(config);
+    PrintRow(objects,
+             {r.kl_pf, r.kl_sm, r.hit_pf, r.hit_sm, r.top1, r.top2});
+  }
+  PrintShapeNote(
+      "KL and top-k roughly flat in object count; kNN hit rate decays for "
+      "both methods as the space gets denser");
+  return 0;
+}

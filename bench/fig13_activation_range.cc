@@ -1,0 +1,26 @@
+// Figure 13 of the paper: impact of the readers' activation range
+// (0.5 m .. 2.5 m) on (a) range KL divergence, (b) kNN hit rate,
+// (c) top-1/top-2 success rate.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ipqs;
+  using namespace ipqs::bench;
+
+  PrintHeader("Figure 13", "Impact of the activation range",
+              "range_m",
+              {"KL(PF)", "KL(SM)", "hit(PF)", "hit(SM)", "top1", "top2"});
+  for (double range : {0.5, 1.0, 1.5, 2.0, 2.5}) {
+    ExperimentConfig config = PaperProtocol();
+    config.sim.activation_range = range;
+    config.sim.seed = 400 + static_cast<uint64_t>(range * 10);
+    const ExperimentResult r = MustRun(config);
+    PrintRow(range,
+             {r.kl_pf, r.kl_sm, r.hit_pf, r.hit_sm, r.top1, r.top2});
+  }
+  PrintShapeNote(
+      "both methods improve as ranges grow (uncovered regions shrink); PF "
+      "reaches good accuracy already at ~1 m");
+  return 0;
+}

@@ -1,0 +1,166 @@
+// Microbenchmarks (google-benchmark) for the system's hot paths: filter
+// runs, query evaluation, shortest paths, resampling, and world
+// construction. These back the paper's efficiency claims (Section 5 runs
+// everything on a single server) with concrete per-operation costs.
+
+#include <benchmark/benchmark.h>
+
+#include "filter/resampler.h"
+#include "sim/experiment.h"
+#include "sim/simulation.h"
+
+namespace ipqs {
+namespace {
+
+// One shared world, built once: benchmarks measure steady-state costs.
+Simulation& World() {
+  static Simulation* world = [] {
+    SimulationConfig config;
+    config.trace.num_objects = 200;
+    config.seed = 7;
+    auto sim = Simulation::Create(config);
+    IPQS_CHECK(sim.ok());
+    Simulation* raw = sim->release();
+    raw->Run(300);
+    return raw;
+  }();
+  return *world;
+}
+
+void BM_GraphBuild(benchmark::State& state) {
+  const auto plan = GenerateOffice(OfficeConfig{}).value();
+  for (auto _ : state) {
+    auto graph = BuildWalkingGraph(plan);
+    benchmark::DoNotOptimize(graph);
+  }
+}
+BENCHMARK(BM_GraphBuild);
+
+void BM_AnchorIndexBuild(benchmark::State& state) {
+  const auto plan = GenerateOffice(OfficeConfig{}).value();
+  const auto graph = BuildWalkingGraph(plan).value();
+  for (auto _ : state) {
+    auto index = AnchorPointIndex::Build(graph, plan, 1.0);
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_AnchorIndexBuild);
+
+void BM_ShortestPath(benchmark::State& state) {
+  Simulation& sim = World();
+  const GraphLocation from{0, 0.5};
+  const GraphLocation to{sim.graph().num_edges() - 1, 0.5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NetworkDistance(sim.graph(), from, to));
+  }
+}
+BENCHMARK(BM_ShortestPath);
+
+void BM_Resample(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<Particle> base(state.range(0));
+  for (size_t i = 0; i < base.size(); ++i) {
+    base[i].loc = GraphLocation{0, 0.1};
+    base[i].weight = rng.Uniform(0.01, 1.0);
+  }
+  for (auto _ : state) {
+    std::vector<Particle> particles = base;
+    SystematicResample(&particles, rng);
+    benchmark::DoNotOptimize(particles);
+  }
+}
+BENCHMARK(BM_Resample)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_FilterRun(benchmark::State& state) {
+  Simulation& sim = World();
+  // A representative history: two devices, ~30 seconds.
+  DataCollector::ObjectHistory history;
+  for (int t = 0; t < 4; ++t) history.entries.push_back({100 + t, 4});
+  for (int t = 0; t < 4; ++t) history.entries.push_back({112 + t, 5});
+  history.current_device = 5;
+  history.previous_device = 4;
+
+  FilterConfig config;
+  config.num_particles = static_cast<int>(state.range(0));
+  const ParticleFilter filter(&sim.graph(), &sim.deployment(), config);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.Run(history, 140, rng));
+  }
+}
+BENCHMARK(BM_FilterRun)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SymbolicInfer(benchmark::State& state) {
+  Simulation& sim = World();
+  const SymbolicInference inference(&sim.anchors(), &sim.anchor_graph(),
+                                    &sim.deployment(), &sim.deployment_graph(),
+                                    SymbolicConfig{});
+  DataCollector::ObjectHistory history;
+  history.entries = {{100, 4}};
+  history.current_device = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        inference.Infer(history, 100 + state.range(0)));
+  }
+}
+BENCHMARK(BM_SymbolicInfer)->Arg(5)->Arg(30)->Arg(120);
+
+void BM_RangeQueryEvaluate(benchmark::State& state) {
+  Simulation& sim = World();
+  // Prime the table with every object's distribution at `now`.
+  const int64_t now = sim.now();
+  for (ObjectId id : sim.collector().KnownObjects()) {
+    sim.pf_engine().InferObject(id, now);
+  }
+  const RangeQueryEvaluator eval(&sim.plan(), &sim.anchors());
+  Rng rng(5);
+  for (auto _ : state) {
+    const Rect window = Experiment::RandomWindow(
+        sim.plan(), state.range(0) / 100.0, rng);
+    benchmark::DoNotOptimize(eval.Evaluate(sim.pf_engine().table(), window));
+  }
+}
+BENCHMARK(BM_RangeQueryEvaluate)->Arg(1)->Arg(2)->Arg(5);
+
+void BM_KnnQueryEvaluate(benchmark::State& state) {
+  Simulation& sim = World();
+  const int64_t now = sim.now();
+  for (ObjectId id : sim.collector().KnownObjects()) {
+    sim.pf_engine().InferObject(id, now);
+  }
+  const KnnQueryEvaluator eval(&sim.graph(), &sim.anchors(),
+                               &sim.anchor_graph());
+  Rng rng(6);
+  for (auto _ : state) {
+    const Point q = Experiment::RandomIndoorPoint(sim.anchors(), rng);
+    benchmark::DoNotOptimize(eval.Evaluate(sim.pf_engine().table(), q,
+                                           static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_KnnQueryEvaluate)->Arg(1)->Arg(3)->Arg(9);
+
+void BM_EndToEndRangeQuery(benchmark::State& state) {
+  // Full pipeline cost: pruning + inference (cache warm after the first
+  // iterations) + evaluation, at a fresh timestamp each iteration.
+  Simulation& sim = World();
+  Rng rng(8);
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim.Run(1);
+    const Rect window = Experiment::RandomWindow(sim.plan(), 0.02, rng);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(sim.pf_engine().EvaluateRange(window, sim.now()));
+  }
+}
+BENCHMARK(BM_EndToEndRangeQuery)->Unit(benchmark::kMicrosecond);
+
+void BM_SimulationStep(benchmark::State& state) {
+  Simulation& sim = World();
+  for (auto _ : state) {
+    sim.Step();
+  }
+}
+BENCHMARK(BM_SimulationStep)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace ipqs

@@ -1,0 +1,95 @@
+// Contact tracing: a retrospective workload combining three of the repo's
+// extensions — the full reading history, the historical query engine, and
+// probabilistic event predicates. One tracked person is flagged
+// "infected"; we replay the past hour of RFID data and rank everyone else
+// by their accumulated probability-weighted exposure (seconds spent
+// within 2 m of the flagged person).
+//
+// Build & run:   ./build/examples/contact_tracing
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "query/events.h"
+#include "query/historical.h"
+#include "sim/simulation.h"
+
+int main() {
+  using namespace ipqs;
+
+  SimulationConfig config;
+  config.trace.num_objects = 30;
+  config.seed = 1234;
+
+  auto sim_or = Simulation::Create(config);
+  if (!sim_or.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 sim_or.status().ToString().c_str());
+    return 1;
+  }
+  Simulation& sim = **sim_or;
+
+  // Live phase: an hour of building activity gets recorded.
+  const int kRecordedSeconds = 1200;
+  sim.Run(kRecordedSeconds);
+  std::printf("Recorded %d s of RFID data (%zu aggregated readings, "
+              "%zu tracked people)\n",
+              kRecordedSeconds, sim.history().TotalEntries(),
+              sim.history().KnownObjects().size());
+
+  // Retrospective phase: replay with the historical engine.
+  EngineConfig engine_config;
+  engine_config.seed = 77;
+  HistoricalEngine engine(&sim.graph(), &sim.plan(), &sim.anchors(),
+                          &sim.anchor_graph(), &sim.deployment(),
+                          &sim.deployment_graph(), &sim.history(),
+                          engine_config);
+
+  const ObjectId infected = sim.history().KnownObjects().front();
+  constexpr double kContactRadius = 2.0;  // Meters, network distance.
+  constexpr int kStepSeconds = 30;
+
+  std::printf("\nTracing contacts of person %d (radius %.1f m, sampling "
+              "every %d s)...\n",
+              infected, kContactRadius, kStepSeconds);
+
+  std::vector<double> exposure(config.trace.num_objects, 0.0);
+  for (int64_t t = kStepSeconds; t <= kRecordedSeconds; t += kStepSeconds) {
+    if (engine.InferObjectAt(infected, t) == nullptr) {
+      continue;  // Not yet seen by any reader at time t.
+    }
+    for (ObjectId other : sim.history().KnownObjects()) {
+      if (other == infected) continue;
+      if (engine.InferObjectAt(other, t) == nullptr) continue;
+      const double p =
+          ProbabilityTogether(sim.anchors(), sim.anchor_graph(),
+                              engine.table(), infected, other,
+                              kContactRadius);
+      exposure[other] += p * kStepSeconds;
+    }
+  }
+
+  std::vector<std::pair<double, ObjectId>> ranked;
+  for (ObjectId id = 0; id < config.trace.num_objects; ++id) {
+    if (exposure[id] > 0.0) {
+      ranked.emplace_back(exposure[id], id);
+    }
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+
+  std::printf("\n%6s %20s\n", "person", "expected contact (s)");
+  int shown = 0;
+  for (const auto& [seconds, id] : ranked) {
+    std::printf("%6d %20.1f\n", id, seconds);
+    if (++shown == 8) break;
+  }
+  if (ranked.empty()) {
+    std::printf("(no probable contacts found)\n");
+  }
+  std::printf("\nfilter work for the replay: %lld runs, %lld filtered "
+              "seconds\n",
+              static_cast<long long>(engine.stats().filter_runs),
+              static_cast<long long>(engine.stats().filter_seconds));
+  return 0;
+}

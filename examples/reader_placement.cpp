@@ -1,0 +1,62 @@
+// Reader placement study: a what-if analysis a deployment engineer would
+// run before buying hardware. Sweeps the number of RFID readers installed
+// on the hallways and reports how tracking accuracy (top-1/top-2 success)
+// and kNN quality respond — the cost/accuracy trade-off behind the paper's
+// choice of 19 readers for this floor.
+//
+// Build & run:   ./build/examples/reader_placement
+
+#include <cstdio>
+
+#include "graph/graph_builder.h"
+#include "rfid/placement_optimizer.h"
+#include "sim/experiment.h"
+
+int main() {
+  using namespace ipqs;
+
+  std::printf("How many readers does this floor need?\n\n");
+  std::printf("%8s %10s %10s %10s %10s\n", "readers", "top1", "top2",
+              "hit(kNN)", "KL(range)");
+
+  for (int readers : {6, 10, 14, 19, 25, 32}) {
+    ExperimentConfig config;
+    config.sim.num_readers = readers;
+    config.sim.trace.num_objects = 60;
+    config.sim.seed = 4000 + static_cast<uint64_t>(readers);
+    config.warmup_seconds = 180;
+    config.num_timestamps = 10;
+    config.range_queries_per_timestamp = 30;
+    config.knn_query_points = 10;
+
+    const auto result = Experiment(config).Run();
+    if (!result.ok()) {
+      std::fprintf(stderr, "experiment failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%8d %10.2f %10.2f %10.2f %10.2f\n", readers, result->top1,
+                result->top2, result->hit_pf, result->kl_pf);
+  }
+  std::printf(
+      "\nreading the table: accuracy climbs steeply until readers are "
+      "roughly one per hallway segment,\nthen flattens — more hardware "
+      "mostly shrinks the uncovered gaps between activation ranges.\n");
+
+  // Bonus: compare uniform spacing with the greedy coverage optimizer.
+  const FloorPlan plan = GenerateOffice(OfficeConfig{}).value();
+  const WalkingGraph graph = BuildWalkingGraph(plan).value();
+  std::printf("\n%8s %18s %18s\n", "readers", "uniform coverage",
+              "greedy coverage");
+  for (int readers : {6, 10, 14, 19}) {
+    const auto uniform =
+        Deployment::UniformOnHallways(plan, graph, readers, 2.0).value();
+    PlacementConfig pc;
+    pc.num_readers = readers;
+    const auto greedy = OptimizePlacement(plan, graph, pc).value();
+    std::printf("%8d %17.1f%% %17.1f%%\n", readers,
+                100 * EvaluateCoverage(plan, uniform).covered_fraction,
+                100 * EvaluateCoverage(plan, greedy).covered_fraction);
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+#ifndef IPQS_COMMON_CHECK_H_
+#define IPQS_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace ipqs {
+namespace internal {
+
+// Accumulates a failure message and aborts the process when destroyed.
+// CHECK failures are programming errors (broken invariants), not runtime
+// errors; runtime errors use Status.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr) {
+    stream_ << file << ":" << line << " IPQS_CHECK failed: " << expr << " ";
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Lets the ternary in IPQS_CHECK have type void on both branches; `&` binds
+// looser than `<<`, so all streamed context is collected first.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace ipqs
+
+// Aborts with a diagnostic when `cond` is false. Additional context may be
+// streamed: IPQS_CHECK(x > 0) << "x=" << x;
+#define IPQS_CHECK(cond)                 \
+  (cond) ? static_cast<void>(0)          \
+         : ::ipqs::internal::Voidify() & \
+               ::ipqs::internal::CheckFailure(__FILE__, __LINE__, #cond).stream()
+
+#define IPQS_CHECK_EQ(a, b) IPQS_CHECK((a) == (b))
+#define IPQS_CHECK_NE(a, b) IPQS_CHECK((a) != (b))
+#define IPQS_CHECK_LT(a, b) IPQS_CHECK((a) < (b))
+#define IPQS_CHECK_LE(a, b) IPQS_CHECK((a) <= (b))
+#define IPQS_CHECK_GT(a, b) IPQS_CHECK((a) > (b))
+#define IPQS_CHECK_GE(a, b) IPQS_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define IPQS_DCHECK(cond) \
+  while (false) IPQS_CHECK(cond)
+#else
+#define IPQS_DCHECK(cond) IPQS_CHECK(cond)
+#endif
+
+#endif  // IPQS_COMMON_CHECK_H_

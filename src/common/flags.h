@@ -1,0 +1,89 @@
+#ifndef IPQS_COMMON_FLAGS_H_
+#define IPQS_COMMON_FLAGS_H_
+
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ipqs {
+
+// Minimal --key=value command-line parsing for the repo's tools. Bare
+// "--key" parses as boolean true. Anything not starting with "--" is a
+// positional argument.
+class FlagParser {
+ public:
+  FlagParser(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(arg);
+        continue;
+      }
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        flags_[arg.substr(2)] = "true";
+      } else {
+        flags_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  bool Has(const std::string& key) const { return flags_.count(key) > 0; }
+
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) {
+    used_.insert(key);
+    const auto it = flags_.find(key);
+    return it == flags_.end() ? default_value : it->second;
+  }
+
+  int GetInt(const std::string& key, int default_value) {
+    used_.insert(key);
+    const auto it = flags_.find(key);
+    return it == flags_.end() ? default_value : std::atoi(it->second.c_str());
+  }
+
+  double GetDouble(const std::string& key, double default_value) {
+    used_.insert(key);
+    const auto it = flags_.find(key);
+    return it == flags_.end() ? default_value : std::atof(it->second.c_str());
+  }
+
+  bool GetBool(const std::string& key, bool default_value) {
+    used_.insert(key);
+    const auto it = flags_.find(key);
+    if (it == flags_.end()) {
+      return default_value;
+    }
+    return it->second != "false" && it->second != "0";
+  }
+
+  // Call after reading every supported flag: errors on typos.
+  Status CheckUnused() const {
+    std::string unknown;
+    for (const auto& [key, _] : flags_) {
+      if (!used_.count(key)) {
+        unknown += (unknown.empty() ? "" : ", ") + key;
+      }
+    }
+    if (!unknown.empty()) {
+      return Status::InvalidArgument("unknown flag(s): " + unknown);
+    }
+    return Status::Ok();
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::set<std::string> used_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ipqs
+
+#endif  // IPQS_COMMON_FLAGS_H_

@@ -1,0 +1,55 @@
+#ifndef IPQS_COMMON_LOGGING_H_
+#define IPQS_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ipqs {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+// Process-wide minimum level; messages below it are discarded.
+// Defaults to kInfo. Not thread-safe by design: set once at startup.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+// One log statement; flushes to stderr with a level prefix on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace ipqs
+
+#define IPQS_LOG(level)                                                  \
+  (::ipqs::LogLevel::level < ::ipqs::GetLogLevel())                      \
+      ? static_cast<void>(0)                                             \
+      : ::ipqs::internal::LogVoidify() &                                 \
+            ::ipqs::internal::LogMessage(::ipqs::LogLevel::level,        \
+                                         __FILE__, __LINE__)             \
+                .stream()
+
+#endif  // IPQS_COMMON_LOGGING_H_

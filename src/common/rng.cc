@@ -1,0 +1,69 @@
+#include "common/rng.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ipqs {
+
+double Rng::Uniform(double lo, double hi) {
+  IPQS_CHECK_LE(lo, hi);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Uniform01() { return Uniform(0.0, 1.0); }
+
+int Rng::UniformInt(int lo, int hi) {
+  IPQS_CHECK_LE(lo, hi);
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(engine_);
+}
+
+size_t Rng::UniformIndex(size_t n) {
+  IPQS_CHECK_GT(n, 0u);
+  std::uniform_int_distribution<size_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+double Rng::Gaussian(double mu, double sigma) {
+  std::normal_distribution<double> dist(mu, sigma);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  std::bernoulli_distribution dist(clamped);
+  return dist(engine_);
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  IPQS_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    IPQS_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  IPQS_CHECK_GT(total, 0.0);
+  double u = Uniform(0.0, total);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) {
+      return i;
+    }
+  }
+  // Floating point slack: fall back to the last positive-weight entry.
+  for (size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) {
+      return i;
+    }
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork() {
+  // Derive the child seed from this stream, advancing it once.
+  return Rng(engine_());
+}
+
+}  // namespace ipqs

@@ -1,0 +1,65 @@
+#ifndef IPQS_COMMON_RNG_H_
+#define IPQS_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace ipqs {
+
+// Deterministic random number generator shared by every stochastic component
+// in the library (particle motion, sensing noise, trace generation, ...).
+//
+// All randomness flows through explicitly passed Rng& so that simulations
+// and experiments are exactly reproducible from a single seed. Components
+// never construct their own generators from wall-clock entropy.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  Rng(const Rng&) = delete;
+  Rng& operator=(const Rng&) = delete;
+  Rng(Rng&&) = default;
+  Rng& operator=(Rng&&) = default;
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform double in [0, 1).
+  double Uniform01();
+
+  // Uniform integer in [lo, hi] (inclusive).
+  int UniformInt(int lo, int hi);
+
+  // Uniform index in [0, n). Precondition: n > 0.
+  size_t UniformIndex(size_t n);
+
+  // Normal with mean `mu` and standard deviation `sigma`.
+  double Gaussian(double mu, double sigma);
+
+  // True with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Samples an index in [0, weights.size()) proportionally to weights.
+  // Precondition: weights non-empty with non-negative entries and a
+  // positive sum.
+  size_t Categorical(const std::vector<double>& weights);
+
+  // Forks an independent deterministic child stream. Used to give each
+  // experiment trial its own stream without coupling consumption order.
+  Rng Fork();
+
+  // UniformRandomBitGenerator interface so <random> distributions and
+  // std::shuffle can consume this directly.
+  using result_type = std::mt19937_64::result_type;
+  static constexpr result_type min() { return std::mt19937_64::min(); }
+  static constexpr result_type max() { return std::mt19937_64::max(); }
+  result_type operator()() { return engine_(); }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ipqs
+
+#endif  // IPQS_COMMON_RNG_H_

@@ -1,0 +1,90 @@
+#ifndef IPQS_COMMON_STATUS_H_
+#define IPQS_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ipqs {
+
+// Error taxonomy for fallible library operations. Kept deliberately small;
+// callers that need finer detail should inspect Status::message().
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kAlreadyExists,
+  kInternal,
+};
+
+// Returns a stable human-readable name, e.g. "INVALID_ARGUMENT".
+std::string_view StatusCodeToString(StatusCode code);
+
+// Value-semantic error carrier, in the style of absl::Status / rocksdb::Status.
+// The library does not throw exceptions across public API boundaries;
+// operations that can fail return Status or StatusOr<T>.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+// Propagates a non-OK status to the caller.
+#define IPQS_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::ipqs::Status ipqs_status_tmp_ = (expr);   \
+    if (!ipqs_status_tmp_.ok()) {               \
+      return ipqs_status_tmp_;                  \
+    }                                           \
+  } while (false)
+
+}  // namespace ipqs
+
+#endif  // IPQS_COMMON_STATUS_H_

@@ -1,0 +1,76 @@
+#ifndef IPQS_COMMON_STATUSOR_H_
+#define IPQS_COMMON_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace ipqs {
+
+// Holds either a value of type T or a non-OK Status explaining why the value
+// is absent. Mirrors absl::StatusOr<T> closely enough to be unsurprising.
+template <typename T>
+class StatusOr {
+ public:
+  // Implicit conversions from both sides keep call sites terse:
+  //   StatusOr<Foo> f() { if (bad) return Status::NotFound(...); return foo; }
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    IPQS_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  // Precondition: ok().
+  const T& value() const& {
+    IPQS_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    IPQS_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    IPQS_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Evaluates `rexpr` (a StatusOr<T>), propagating errors; otherwise assigns
+// the contained value to `lhs`, which must be a declaration or lvalue.
+#define IPQS_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  IPQS_ASSIGN_OR_RETURN_IMPL_(                                     \
+      IPQS_STATUS_MACRO_CONCAT_(statusor_, __LINE__), lhs, rexpr)
+
+#define IPQS_ASSIGN_OR_RETURN_IMPL_(var, lhs, rexpr) \
+  auto var = (rexpr);                                \
+  if (!var.ok()) {                                   \
+    return var.status();                             \
+  }                                                  \
+  lhs = std::move(var).value()
+
+#define IPQS_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define IPQS_STATUS_MACRO_CONCAT_(x, y) IPQS_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+}  // namespace ipqs
+
+#endif  // IPQS_COMMON_STATUSOR_H_

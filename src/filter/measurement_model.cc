@@ -1,0 +1,31 @@
+#include "filter/measurement_model.h"
+
+#include "common/check.h"
+
+namespace ipqs {
+
+MeasurementModel::MeasurementModel(const MeasurementConfig& config)
+    : config_(config) {
+  IPQS_CHECK_GT(config.hit_weight, 0.0);
+  IPQS_CHECK_GT(config.miss_weight, 0.0);
+  IPQS_CHECK_GT(config.silent_zone_weight, 0.0);
+}
+
+double MeasurementModel::WeightOnDetection(const Deployment& deployment,
+                                           const Point& pos,
+                                           ReaderId detected_by) const {
+  return deployment.reader(detected_by).InRange(pos) ? config_.hit_weight
+                                                     : config_.miss_weight;
+}
+
+double MeasurementModel::WeightOnSilence(const Deployment& deployment,
+                                         const Point& pos) const {
+  if (!config_.use_negative_information) {
+    return 1.0;
+  }
+  return deployment.FirstCovering(pos).has_value()
+             ? config_.silent_zone_weight
+             : 1.0;
+}
+
+}  // namespace ipqs

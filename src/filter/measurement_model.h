@@ -1,0 +1,49 @@
+#ifndef IPQS_FILTER_MEASUREMENT_MODEL_H_
+#define IPQS_FILTER_MEASUREMENT_MODEL_H_
+
+#include "filter/particle.h"
+#include "geom/point.h"
+#include "rfid/deployment.h"
+
+namespace ipqs {
+
+// Device sensing model used to reweight particles at each observation
+// (Algorithm 2, lines 21-27): particles consistent with the detecting
+// reader get `hit_weight`, others `miss_weight`.
+//
+// `use_negative_information` is an extension the paper lists as future
+// refinement territory: when the object was NOT detected during a second,
+// particles sitting inside some reader's activation range are discounted by
+// `silent_zone_weight` (they should have been seen). Disabled by default to
+// match the paper (its Algorithm 2 skips seconds without readings).
+struct MeasurementConfig {
+  double hit_weight = 1.0;
+  double miss_weight = 1e-6;
+  bool use_negative_information = false;
+  double silent_zone_weight = 0.2;
+};
+
+class MeasurementModel {
+ public:
+  MeasurementModel() : MeasurementModel(MeasurementConfig{}) {}
+  explicit MeasurementModel(const MeasurementConfig& config);
+
+  const MeasurementConfig& config() const { return config_; }
+
+  // Likelihood multiplier for a particle at `pos` given that `detected_by`
+  // produced a reading this second.
+  double WeightOnDetection(const Deployment& deployment, const Point& pos,
+                           ReaderId detected_by) const;
+
+  // Likelihood multiplier for a particle at `pos` given that NO reader
+  // produced a reading this second. Returns 1.0 unless negative
+  // information is enabled.
+  double WeightOnSilence(const Deployment& deployment, const Point& pos) const;
+
+ private:
+  MeasurementConfig config_;
+};
+
+}  // namespace ipqs
+
+#endif  // IPQS_FILTER_MEASUREMENT_MODEL_H_

@@ -1,0 +1,115 @@
+#include "filter/motion_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ipqs {
+
+MotionModel::MotionModel(const MotionConfig& config) : config_(config) {
+  IPQS_CHECK_GT(config.speed_mean, 0.0);
+  IPQS_CHECK_GE(config.speed_stddev, 0.0);
+  IPQS_CHECK_GT(config.min_speed, 0.0);
+  IPQS_CHECK(config.room_exit_probability >= 0.0 &&
+             config.room_exit_probability <= 1.0);
+  IPQS_CHECK(config.room_enter_probability >= 0.0 &&
+             config.room_enter_probability <= 1.0);
+}
+
+double MotionModel::SampleSpeed(Rng& rng) const {
+  const double s = rng.Gaussian(config_.speed_mean, config_.speed_stddev);
+  return std::max(s, config_.min_speed);
+}
+
+void MotionModel::Roughen(const WalkingGraph& graph, Particle* p,
+                          Rng& rng) const {
+  if (config_.position_jitter > 0.0 && !p->in_room) {
+    const Edge& e = graph.edge(p->loc.edge);
+    p->loc.offset =
+        std::clamp(p->loc.offset + rng.Gaussian(0.0, config_.position_jitter),
+                   0.0, e.length);
+  }
+  if (config_.speed_jitter > 0.0) {
+    p->speed = std::max(p->speed + rng.Gaussian(0.0, config_.speed_jitter),
+                        config_.min_speed);
+  }
+}
+
+EdgeId MotionModel::ChooseNextEdge(const WalkingGraph& graph, NodeId node,
+                                   EdgeId incoming, Rng& rng) const {
+  std::vector<EdgeId> stubs;
+  std::vector<EdgeId> hallways;
+  for (EdgeId eid : graph.node(node).edges) {
+    if (eid == incoming) {
+      continue;
+    }
+    if (graph.edge(eid).kind == EdgeKind::kRoomStub) {
+      stubs.push_back(eid);
+    } else {
+      hallways.push_back(eid);
+    }
+  }
+  if (stubs.empty() && hallways.empty()) {
+    IPQS_CHECK_NE(incoming, kInvalidId) << "isolated node";
+    return incoming;  // Dead end: U-turn.
+  }
+  if (hallways.empty()) {
+    return stubs[rng.UniformIndex(stubs.size())];
+  }
+  if (!stubs.empty() && rng.Bernoulli(config_.room_enter_probability)) {
+    return stubs[rng.UniformIndex(stubs.size())];
+  }
+  return hallways[rng.UniformIndex(hallways.size())];
+}
+
+void MotionModel::Step(const WalkingGraph& graph, Particle* p, double dt,
+                       Rng& rng) const {
+  IPQS_DCHECK(p->loc.edge != kInvalidId);
+
+  if (p->in_room) {
+    if (!rng.Bernoulli(config_.room_exit_probability)) {
+      return;  // Keeps dwelling this second.
+    }
+    // Walk back out: the particle sits at the room-center end of a stub.
+    p->in_room = false;
+    const Edge& e = graph.edge(p->loc.edge);
+    const NodeId room_node =
+        graph.node(e.a).kind == NodeKind::kRoomCenter ? e.a : e.b;
+    IPQS_DCHECK(graph.node(room_node).kind == NodeKind::kRoomCenter);
+    p->heading = graph.OtherEnd(e.id, room_node);
+  }
+
+  double remaining = p->speed * dt;
+  // Termination guard: each loop iteration either consumes distance or
+  // parks the particle; graphs with very short edges still converge fast.
+  for (int guard = 0; remaining > 1e-12 && guard < 10000; ++guard) {
+    const Edge& e = graph.edge(p->loc.edge);
+    IPQS_DCHECK(p->heading == e.a || p->heading == e.b);
+    const double target = graph.OffsetOfNode(e.id, p->heading);
+    const double dist_to_node = std::fabs(target - p->loc.offset);
+
+    if (remaining < dist_to_node) {
+      p->loc.offset += target > p->loc.offset ? remaining : -remaining;
+      return;
+    }
+
+    remaining -= dist_to_node;
+    const NodeId node = p->heading;
+    if (graph.node(node).kind == NodeKind::kRoomCenter) {
+      // Entered the room: park and start the dwell process. The leftover
+      // movement budget is absorbed by the room (its interior is not
+      // spatially resolved beyond the stub).
+      p->loc.offset = target;
+      p->in_room = true;
+      return;
+    }
+    const EdgeId next = ChooseNextEdge(graph, node, e.id, rng);
+    p->loc.edge = next;
+    p->loc.offset = graph.OffsetOfNode(next, node);
+    p->heading = graph.OtherEnd(next, node);
+  }
+}
+
+}  // namespace ipqs

@@ -1,0 +1,70 @@
+#ifndef IPQS_FILTER_MOTION_MODEL_H_
+#define IPQS_FILTER_MOTION_MODEL_H_
+
+#include "common/rng.h"
+#include "filter/particle.h"
+#include "graph/walking_graph.h"
+
+namespace ipqs {
+
+// Parameters of the object motion model (Section 3.1 / Algorithm 2 of the
+// paper): objects move forward with constant speed drawn from
+// N(speed_mean, speed_stddev), pick random directions at intersections, may
+// enter rooms when passing doors, and leave a room with probability
+// `room_exit_probability` per second once inside.
+struct MotionConfig {
+  double speed_mean = 1.0;
+  double speed_stddev = 0.1;
+  double min_speed = 0.3;  // Guards against non-positive Gaussian draws.
+  double room_exit_probability = 0.1;
+  // Probability of turning into a room stub when passing its door node.
+  // The paper's particles "randomly choose a direction" at intersections
+  // (a door node offers forward + door, i.e. ~0.5); 0.3 keeps coasting
+  // particles settling into rooms near the last reading — where silent
+  // objects actually are — without emptying the hallways too fast.
+  double room_enter_probability = 0.3;
+
+  // Roughening applied after every resampling step (Gordon et al.'s
+  // remedy for sample impoverishment): resampling replicates high-weight
+  // particles verbatim, and because motion between intersections is
+  // deterministic, clones would otherwise never diverge again.
+  double position_jitter = 0.3;  // Meters along the current edge.
+  double speed_jitter = 0.05;    // Meters/second.
+};
+
+// Advances particles along the walking graph. The model never teleports:
+// a particle covers exactly `speed * dt` meters of graph distance per step,
+// spilling across nodes and re-deciding direction at each one.
+class MotionModel {
+ public:
+  MotionModel() : MotionModel(MotionConfig{}) {}
+  explicit MotionModel(const MotionConfig& config);
+
+  const MotionConfig& config() const { return config_; }
+
+  // Draws a walking speed (truncated Gaussian).
+  double SampleSpeed(Rng& rng) const;
+
+  // Advances `p` by `dt` seconds on `graph`. Room dwell semantics: a
+  // particle parked in a room consumes the whole step either staying put
+  // (probability 1 - room_exit_probability) or walking back out.
+  void Step(const WalkingGraph& graph, Particle* p, double dt, Rng& rng) const;
+
+  // Post-resampling roughening: perturbs the particle's position along its
+  // current edge (clamped to the edge) and its speed, so replicated
+  // particles explore slightly different futures.
+  void Roughen(const WalkingGraph& graph, Particle* p, Rng& rng) const;
+
+  // Picks the edge a particle leaves `node` on, having arrived via
+  // `incoming` (kInvalidId when the particle has no history, e.g. right
+  // after initialization at a node). U-turns happen only at dead ends.
+  EdgeId ChooseNextEdge(const WalkingGraph& graph, NodeId node,
+                        EdgeId incoming, Rng& rng) const;
+
+ private:
+  MotionConfig config_;
+};
+
+}  // namespace ipqs
+
+#endif  // IPQS_FILTER_MOTION_MODEL_H_

@@ -1,0 +1,45 @@
+#include "filter/particle.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace ipqs {
+
+std::string Particle::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "particle{edge=%d off=%.2f ->n%d v=%.2f w=%.4g%s}", loc.edge,
+                loc.offset, heading, speed, weight, in_room ? " room" : "");
+  return buf;
+}
+
+double TotalWeight(const std::vector<Particle>& particles) {
+  double total = 0.0;
+  for (const Particle& p : particles) {
+    total += p.weight;
+  }
+  return total;
+}
+
+void NormalizeWeights(std::vector<Particle>* particles) {
+  const double total = TotalWeight(*particles);
+  IPQS_CHECK_GT(total, 0.0) << "cannot normalize all-zero weights";
+  for (Particle& p : *particles) {
+    p.weight /= total;
+  }
+}
+
+double EffectiveSampleSize(const std::vector<Particle>& particles) {
+  double sum_sq = 0.0;
+  for (const Particle& p : particles) {
+    sum_sq += p.weight * p.weight;
+  }
+  if (sum_sq <= 0.0) {
+    return 0.0;
+  }
+  return 1.0 / sum_sq;
+}
+
+}  // namespace ipqs

@@ -1,0 +1,38 @@
+#ifndef IPQS_FILTER_PARTICLE_H_
+#define IPQS_FILTER_PARTICLE_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/walking_graph.h"
+
+namespace ipqs {
+
+// One hypothesis of an object's state: a position on the walking graph, a
+// heading (the edge endpoint the particle is walking toward), a walking
+// speed, and an importance weight.
+struct Particle {
+  GraphLocation loc;
+  NodeId heading = kInvalidId;  // One of loc.edge's endpoints.
+  double speed = 1.0;           // Meters per second.
+  double weight = 1.0;
+  // True while dwelling inside a room (parked at the room-center end of a
+  // stub edge, waiting for the exit coin flip).
+  bool in_room = false;
+
+  std::string ToString() const;
+};
+
+// Sum of weights; 0 for an empty set.
+double TotalWeight(const std::vector<Particle>& particles);
+
+// Scales weights so they sum to 1. Precondition: total weight > 0.
+void NormalizeWeights(std::vector<Particle>* particles);
+
+// Effective sample size 1 / sum(w_i^2) of a normalized particle set; a
+// standard degeneracy diagnostic (Ns when uniform, 1 when degenerate).
+double EffectiveSampleSize(const std::vector<Particle>& particles);
+
+}  // namespace ipqs
+
+#endif  // IPQS_FILTER_PARTICLE_H_

@@ -1,0 +1,36 @@
+#include "filter/particle_cache.h"
+
+namespace ipqs {
+
+std::optional<FilterResult> ParticleCache::Lookup(ObjectId object,
+                                                  ReaderId current_device) {
+  const auto it = entries_.find(object);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (it->second.device != current_device) {
+    // New device since the cached run: stale by the paper's rule.
+    entries_.erase(it);
+    ++stats_.misses;
+    ++stats_.invalidations;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second.state;
+}
+
+void ParticleCache::Insert(ObjectId object, ReaderId current_device,
+                           FilterResult state) {
+  entries_[object] = Entry{current_device, std::move(state)};
+}
+
+void ParticleCache::EvictOlderThan(int64_t min_time) {
+  std::erase_if(entries_, [min_time](const auto& kv) {
+    return kv.second.state.time < min_time;
+  });
+}
+
+void ParticleCache::Clear() { entries_.clear(); }
+
+}  // namespace ipqs

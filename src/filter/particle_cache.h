@@ -1,0 +1,65 @@
+#ifndef IPQS_FILTER_PARTICLE_CACHE_H_
+#define IPQS_FILTER_PARTICLE_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "filter/particle_filter.h"
+#include "rfid/reader.h"
+
+namespace ipqs {
+
+// Cache management module (Section 4.5): stores the particle state an
+// object's filter run ended in, so a follow-up query resumes filtering from
+// that timestamp instead of replaying the whole history.
+//
+// Invalidation rule from the paper: the moment an object is detected by a
+// NEW device, cached particles become useless (filtering is always based on
+// the readings of the two most recent devices), so a lookup whose
+// `current_device` differs from the cached one misses and evicts.
+class ParticleCache {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t invalidations = 0;
+
+    double HitRate() const {
+      const int64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+
+  ParticleCache() = default;
+
+  // Cached state for `object` if present and still keyed to
+  // `current_device`; otherwise evicts any stale entry and returns nullopt.
+  std::optional<FilterResult> Lookup(ObjectId object,
+                                     ReaderId current_device);
+
+  // Stores `state` for `object`, keyed to the device of its latest reading.
+  void Insert(ObjectId object, ReaderId current_device, FilterResult state);
+
+  // Drops entries older than `min_time` (aging, driven by the data
+  // collector clock).
+  void EvictOlderThan(int64_t min_time);
+
+  void Clear();
+
+  size_t size() const { return entries_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    ReaderId device = kInvalidId;
+    FilterResult state;
+  };
+
+  std::unordered_map<ObjectId, Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace ipqs
+
+#endif  // IPQS_FILTER_PARTICLE_CACHE_H_

@@ -1,0 +1,179 @@
+#include "filter/particle_filter.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "filter/resampler.h"
+
+namespace ipqs {
+
+ParticleFilter::ParticleFilter(const WalkingGraph* graph,
+                               const Deployment* deployment,
+                               const FilterConfig& config)
+    : graph_(graph),
+      deployment_(deployment),
+      config_(config),
+      motion_(config.motion),
+      measurement_(config.measurement) {
+  IPQS_CHECK(graph != nullptr);
+  IPQS_CHECK(deployment != nullptr);
+  IPQS_CHECK_GT(config.num_particles, 0);
+  IPQS_CHECK_GE(config.max_coast_seconds, 0);
+}
+
+std::vector<Particle> ParticleFilter::InitializeAtReader(ReaderId reader,
+                                                         Rng& rng) const {
+  const Reader& r = deployment_->reader(reader);
+  const std::vector<EdgeInterval> intervals =
+      EdgeIntervalsInRange(*graph_, r);
+
+  std::vector<Particle> particles;
+  particles.reserve(config_.num_particles);
+  const double w = 1.0 / config_.num_particles;
+
+  if (intervals.empty()) {
+    // Pathological range (smaller than the snap error): park everything at
+    // the reader's own graph location.
+    for (int i = 0; i < config_.num_particles; ++i) {
+      Particle p;
+      p.loc = r.loc;
+      const Edge& e = graph_->edge(r.loc.edge);
+      p.heading = rng.Bernoulli(0.5) ? e.a : e.b;
+      p.speed = motion_.SampleSpeed(rng);
+      p.weight = w;
+      particles.push_back(p);
+    }
+    return particles;
+  }
+
+  std::vector<double> lengths;
+  lengths.reserve(intervals.size());
+  for (const EdgeInterval& iv : intervals) {
+    lengths.push_back(iv.Length());
+  }
+
+  for (int i = 0; i < config_.num_particles; ++i) {
+    const EdgeInterval& iv = intervals[rng.Categorical(lengths)];
+    const Edge& e = graph_->edge(iv.edge);
+    Particle p;
+    p.loc = GraphLocation{iv.edge, rng.Uniform(iv.lo, iv.hi)};
+    p.heading = rng.Bernoulli(0.5) ? e.a : e.b;
+    p.speed = motion_.SampleSpeed(rng);
+    p.weight = w;
+    particles.push_back(p);
+  }
+  return particles;
+}
+
+void ParticleFilter::Advance(std::vector<Particle>* particles,
+                             const DataCollector::ObjectHistory& history,
+                             int64_t from_time, int64_t to_time, int* seconds,
+                             Rng& rng) const {
+  std::unordered_map<int64_t, ReaderId> reading_at;
+  reading_at.reserve(history.entries.size());
+  for (const AggregatedEntry& e : history.entries) {
+    reading_at[e.time] = e.reader;
+  }
+
+  for (int64_t tj = from_time + 1; tj <= to_time; ++tj) {
+    // Predict: every particle walks for one second.
+    for (Particle& p : *particles) {
+      motion_.Step(*graph_, &p, 1.0, rng);
+    }
+    ++*seconds;
+
+    // Update: reweight against the observation of second tj, if any.
+    const auto it = reading_at.find(tj);
+    bool reweighted = false;
+    if (it != reading_at.end()) {
+      const Reader& detector = deployment_->reader(it->second);
+      bool any_consistent = false;
+      for (const Particle& p : *particles) {
+        if (detector.InRange(graph_->PositionOf(p.loc))) {
+          any_consistent = true;
+          break;
+        }
+      }
+      if (!any_consistent) {
+        // The whole cloud contradicts a trustworthy observation (sample
+        // impoverishment, or the object did something the motion model
+        // finds very unlikely). Re-seed at the detecting reader — exactly
+        // the Algorithm 2 initialization, applied mid-stream.
+        *particles = InitializeAtReader(it->second, rng);
+        continue;
+      }
+      for (Particle& p : *particles) {
+        p.weight *= measurement_.WeightOnDetection(
+            *deployment_, graph_->PositionOf(p.loc), it->second);
+      }
+      reweighted = true;
+    } else if (measurement_.config().use_negative_information) {
+      for (Particle& p : *particles) {
+        const double mult =
+            measurement_.WeightOnSilence(*deployment_,
+                                         graph_->PositionOf(p.loc));
+        if (mult != 1.0) {
+          p.weight *= mult;
+          reweighted = true;
+        }
+      }
+    }
+
+    if (reweighted) {
+      // SIR: resample at the observation (weights come out uniform), then
+      // roughen so replicated particles diverge again. With adaptive
+      // resampling enabled, skip while the ESS is still healthy.
+      NormalizeWeights(particles);
+      const double ess_threshold =
+          config_.resample_ess_fraction * static_cast<double>(particles->size());
+      if (EffectiveSampleSize(*particles) <= ess_threshold) {
+        Resample(config_.resampling, particles, rng);
+        for (Particle& p : *particles) {
+          motion_.Roughen(*graph_, &p, rng);
+        }
+      }
+    }
+  }
+}
+
+FilterResult ParticleFilter::Run(const DataCollector::ObjectHistory& history,
+                                 int64_t now, Rng& rng) const {
+  IPQS_CHECK(!history.entries.empty());
+  const int64_t t0 = history.FirstTime();
+  const int64_t td = history.LastTime();
+  const int64_t tmin = std::min(td + config_.max_coast_seconds, now);
+
+  FilterResult result;
+  result.particles = InitializeAtReader(history.entries.front().reader, rng);
+  result.time = t0;
+  Advance(&result.particles, history, t0, tmin, &result.seconds_processed,
+          rng);
+  result.time = tmin;
+  return result;
+}
+
+FilterResult ParticleFilter::Resume(FilterResult state,
+                                    const DataCollector::ObjectHistory& history,
+                                    int64_t now, Rng& rng) const {
+  IPQS_CHECK(!history.entries.empty());
+  const int64_t td = history.LastTime();
+  const int64_t tmin = std::min(td + config_.max_coast_seconds, now);
+  if (tmin <= state.time) {
+    return state;  // Nothing new to process.
+  }
+  Advance(&state.particles, history, state.time, tmin,
+          &state.seconds_processed, rng);
+  state.time = tmin;
+  return state;
+}
+
+AnchorDistribution ParticleFilter::Infer(
+    const AnchorPointIndex& anchors,
+    const DataCollector::ObjectHistory& history, int64_t now,
+    Rng& rng) const {
+  const FilterResult result = Run(history, now, rng);
+  return AnchorDistribution::FromParticles(anchors, result.particles);
+}
+
+}  // namespace ipqs

@@ -1,0 +1,95 @@
+#ifndef IPQS_FILTER_PARTICLE_FILTER_H_
+#define IPQS_FILTER_PARTICLE_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "filter/anchor_distribution.h"
+#include "filter/measurement_model.h"
+#include "filter/motion_model.h"
+#include "filter/particle.h"
+#include "filter/resampler.h"
+#include "graph/anchor_points.h"
+#include "rfid/data_collector.h"
+#include "rfid/deployment.h"
+
+namespace ipqs {
+
+// Tuning knobs for Algorithm 2 of the paper.
+struct FilterConfig {
+  // Ns: particle set size per object. The paper's sweet spot is ~64.
+  int num_particles = 64;
+  // Line 6 of Algorithm 2: stop filtering this many seconds after the last
+  // reading — beyond that, an undetected object is almost surely parked in
+  // a room and further diffusion only destroys information.
+  int max_coast_seconds = 60;
+  MotionConfig motion;
+  MeasurementConfig measurement;
+  // The paper's SIR filter resamples systematically at every observation.
+  // Other schemes and ESS-triggered (adaptive) resampling are provided for
+  // ablation: with ess_fraction < 1, resampling runs only when the
+  // effective sample size drops below ess_fraction * Ns.
+  ResamplingScheme resampling = ResamplingScheme::kSystematic;
+  double resample_ess_fraction = 1.0;
+};
+
+// The state a filter run ends in; cacheable and resumable.
+struct FilterResult {
+  std::vector<Particle> particles;
+  int64_t time = 0;          // Simulation second the particles represent.
+  int seconds_processed = 0; // Motion steps executed (work metric).
+};
+
+// SIR particle filter over the indoor walking graph (Section 4.4,
+// Algorithm 2): initializes particles in the activation range of the
+// older of the two retained detecting devices, replays the aggregated
+// reading history second by second (predict -> reweight -> resample), and
+// coasts up to `max_coast_seconds` past the last reading.
+class ParticleFilter {
+ public:
+  ParticleFilter(const WalkingGraph* graph, const Deployment* deployment,
+                 const FilterConfig& config);
+
+  const FilterConfig& config() const { return config_; }
+  const MotionModel& motion_model() const { return motion_; }
+  const MeasurementModel& measurement_model() const { return measurement_; }
+
+  // Particles uniformly distributed over the graph stretches inside
+  // `reader`'s activation range, each with its own random direction and
+  // Gaussian speed.
+  std::vector<Particle> InitializeAtReader(ReaderId reader, Rng& rng) const;
+
+  // Full Algorithm 2 run for one object: from its first retained reading to
+  // min(last reading + max_coast_seconds, now).
+  FilterResult Run(const DataCollector::ObjectHistory& history, int64_t now,
+                   Rng& rng) const;
+
+  // Resumes a previous run (cache hit): advances `state` through any
+  // readings in (state.time, ...] and coasts to the same horizon as Run.
+  FilterResult Resume(FilterResult state,
+                      const DataCollector::ObjectHistory& history, int64_t now,
+                      Rng& rng) const;
+
+  // Convenience: Run + snap to anchor points.
+  AnchorDistribution Infer(const AnchorPointIndex& anchors,
+                           const DataCollector::ObjectHistory& history,
+                           int64_t now, Rng& rng) const;
+
+ private:
+  // Advances particles from `from_time` (exclusive) to `to_time`
+  // (inclusive), applying reweight/resample at seconds with readings.
+  void Advance(std::vector<Particle>* particles,
+               const DataCollector::ObjectHistory& history, int64_t from_time,
+               int64_t to_time, int* seconds, Rng& rng) const;
+
+  const WalkingGraph* graph_;
+  const Deployment* deployment_;
+  FilterConfig config_;
+  MotionModel motion_;
+  MeasurementModel measurement_;
+};
+
+}  // namespace ipqs
+
+#endif  // IPQS_FILTER_PARTICLE_FILTER_H_

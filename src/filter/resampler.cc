@@ -1,0 +1,158 @@
+#include "filter/resampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ipqs {
+namespace {
+
+// Normalizes weights and returns the inclusive CDF (back pinned to 1).
+std::vector<double> WeightCdf(std::vector<Particle>* particles) {
+  NormalizeWeights(particles);
+  std::vector<double> cdf(particles->size());
+  double acc = 0.0;
+  for (size_t i = 0; i < particles->size(); ++i) {
+    acc += (*particles)[i].weight;
+    cdf[i] = acc;
+  }
+  cdf.back() = 1.0;  // Guard against rounding.
+  return cdf;
+}
+
+// Selects particles at the given sorted quantiles and replaces the set.
+void SelectAtQuantiles(std::vector<Particle>* particles,
+                       const std::vector<double>& cdf,
+                       const std::vector<double>& quantiles) {
+  const size_t ns = particles->size();
+  std::vector<Particle> out;
+  out.reserve(ns);
+  size_t i = 0;
+  for (double u : quantiles) {
+    while (u > cdf[i]) {
+      ++i;
+      IPQS_DCHECK(i < ns);
+    }
+    Particle p = (*particles)[i];
+    p.weight = 1.0 / static_cast<double>(ns);
+    out.push_back(p);
+  }
+  particles->swap(out);
+}
+
+}  // namespace
+
+std::string ToString(ResamplingScheme scheme) {
+  switch (scheme) {
+    case ResamplingScheme::kSystematic:
+      return "systematic";
+    case ResamplingScheme::kStratified:
+      return "stratified";
+    case ResamplingScheme::kMultinomial:
+      return "multinomial";
+    case ResamplingScheme::kResidual:
+      return "residual";
+  }
+  return "?";
+}
+
+void SystematicResample(std::vector<Particle>* particles, Rng& rng) {
+  IPQS_CHECK(!particles->empty());
+  const size_t ns = particles->size();
+  const std::vector<double> cdf = WeightCdf(particles);
+
+  const double u1 = rng.Uniform(0.0, 1.0 / static_cast<double>(ns));
+  std::vector<double> quantiles(ns);
+  for (size_t j = 0; j < ns; ++j) {
+    quantiles[j] = u1 + static_cast<double>(j) / static_cast<double>(ns);
+  }
+  SelectAtQuantiles(particles, cdf, quantiles);
+}
+
+namespace {
+
+void StratifiedResample(std::vector<Particle>* particles, Rng& rng) {
+  const size_t ns = particles->size();
+  const std::vector<double> cdf = WeightCdf(particles);
+  std::vector<double> quantiles(ns);
+  for (size_t j = 0; j < ns; ++j) {
+    quantiles[j] =
+        (static_cast<double>(j) + rng.Uniform01()) / static_cast<double>(ns);
+  }
+  SelectAtQuantiles(particles, cdf, quantiles);
+}
+
+void MultinomialResample(std::vector<Particle>* particles, Rng& rng) {
+  const size_t ns = particles->size();
+  const std::vector<double> cdf = WeightCdf(particles);
+  std::vector<double> quantiles(ns);
+  for (size_t j = 0; j < ns; ++j) {
+    quantiles[j] = rng.Uniform01();
+  }
+  std::sort(quantiles.begin(), quantiles.end());
+  SelectAtQuantiles(particles, cdf, quantiles);
+}
+
+void ResidualResample(std::vector<Particle>* particles, Rng& rng) {
+  const size_t ns = particles->size();
+  NormalizeWeights(particles);
+
+  std::vector<Particle> out;
+  out.reserve(ns);
+  // Deterministic part: floor(N * w_i) guaranteed copies.
+  std::vector<double> residuals(ns);
+  double residual_total = 0.0;
+  for (size_t i = 0; i < ns; ++i) {
+    const double expected = (*particles)[i].weight * static_cast<double>(ns);
+    const int copies = static_cast<int>(std::floor(expected));
+    for (int c = 0; c < copies; ++c) {
+      out.push_back((*particles)[i]);
+    }
+    residuals[i] = expected - copies;
+    residual_total += residuals[i];
+  }
+  // Stochastic remainder: multinomial over the residual weights.
+  while (out.size() < ns) {
+    if (residual_total <= 0.0) {
+      // All residual mass rounded away: pad with the heaviest particle.
+      const auto heaviest = std::max_element(
+          particles->begin(), particles->end(),
+          [](const Particle& a, const Particle& b) {
+            return a.weight < b.weight;
+          });
+      out.push_back(*heaviest);
+      continue;
+    }
+    out.push_back((*particles)[rng.Categorical(residuals)]);
+  }
+  const double w = 1.0 / static_cast<double>(ns);
+  for (Particle& p : out) {
+    p.weight = w;
+  }
+  particles->swap(out);
+}
+
+}  // namespace
+
+void Resample(ResamplingScheme scheme, std::vector<Particle>* particles,
+              Rng& rng) {
+  IPQS_CHECK(!particles->empty());
+  switch (scheme) {
+    case ResamplingScheme::kSystematic:
+      SystematicResample(particles, rng);
+      return;
+    case ResamplingScheme::kStratified:
+      StratifiedResample(particles, rng);
+      return;
+    case ResamplingScheme::kMultinomial:
+      MultinomialResample(particles, rng);
+      return;
+    case ResamplingScheme::kResidual:
+      ResidualResample(particles, rng);
+      return;
+  }
+  IPQS_CHECK(false) << "unknown resampling scheme";
+}
+
+}  // namespace ipqs

@@ -1,0 +1,41 @@
+#ifndef IPQS_FILTER_RESAMPLER_H_
+#define IPQS_FILTER_RESAMPLER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "filter/particle.h"
+
+namespace ipqs {
+
+// Resampling schemes for the SIR update. The paper uses the systematic
+// scheme (its Algorithm 1); the classic alternatives are provided for
+// ablation (`bench/ablation_resampling`) and for library users tuning the
+// variance/cost trade-off.
+enum class ResamplingScheme {
+  kSystematic,   // Algorithm 1: one uniform draw, lowest variance, O(N).
+  kStratified,   // One uniform draw per stratum, O(N).
+  kMultinomial,  // N independent draws, highest variance, O(N log N).
+  kResidual,     // Deterministic floor(N*w) copies + multinomial remainder.
+};
+
+std::string ToString(ResamplingScheme scheme);
+
+// Systematic resampling, Algorithm 1 of the paper (the SIR resampling
+// step): builds the weight CDF, draws one uniform starting point
+// u1 ~ U[0, 1/Ns], and selects particles at u1 + (j-1)/Ns. Low-weight
+// particles die, high-weight particles replicate, and the output has
+// exactly the input size with uniform weights 1/Ns.
+//
+// Precondition: at least one particle with positive weight.
+void SystematicResample(std::vector<Particle>* particles, Rng& rng);
+
+// Dispatches to the chosen scheme. All schemes share the contract of
+// SystematicResample (size preserved, uniform output weights).
+void Resample(ResamplingScheme scheme, std::vector<Particle>* particles,
+              Rng& rng);
+
+}  // namespace ipqs
+
+#endif  // IPQS_FILTER_RESAMPLER_H_

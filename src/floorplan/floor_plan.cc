@@ -1,0 +1,192 @@
+#include "floorplan/floor_plan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ipqs {
+
+namespace {
+constexpr double kGeomEps = 1e-6;
+}  // namespace
+
+Rect Hallway::Bounds() const {
+  Rect line = Rect::FromCorners(centerline.a, centerline.b);
+  if (IsHorizontal()) {
+    return Rect(line.min_x, line.min_y - width / 2, line.max_x,
+                line.max_y + width / 2);
+  }
+  return Rect(line.min_x - width / 2, line.min_y, line.max_x + width / 2,
+              line.max_y);
+}
+
+bool Hallway::IsHorizontal() const {
+  return std::fabs(centerline.a.y - centerline.b.y) <= kGeomEps;
+}
+
+StatusOr<HallwayId> FloorPlan::AddHallway(Segment centerline, double width,
+                                          std::string name) {
+  if (width <= 0.0) {
+    return Status::InvalidArgument("hallway width must be positive");
+  }
+  if (centerline.Length() <= 0.0) {
+    return Status::InvalidArgument("hallway centerline must have length");
+  }
+  const bool axis_aligned =
+      std::fabs(centerline.a.x - centerline.b.x) <= kGeomEps ||
+      std::fabs(centerline.a.y - centerline.b.y) <= kGeomEps;
+  if (!axis_aligned) {
+    return Status::InvalidArgument("hallway centerline must be axis-aligned");
+  }
+  Hallway h;
+  h.id = static_cast<HallwayId>(hallways_.size());
+  h.centerline = centerline;
+  h.width = width;
+  h.name = name.empty() ? "H" + std::to_string(h.id) : std::move(name);
+  hallways_.push_back(std::move(h));
+  return hallways_.back().id;
+}
+
+StatusOr<RoomId> FloorPlan::AddRoom(Rect bounds, std::string name) {
+  if (bounds.Width() <= 0.0 || bounds.Height() <= 0.0) {
+    return Status::InvalidArgument("room must have positive area");
+  }
+  Room r;
+  r.id = static_cast<RoomId>(rooms_.size());
+  r.bounds = bounds;
+  r.name = name.empty() ? "R" + std::to_string(r.id) : std::move(name);
+  rooms_.push_back(std::move(r));
+  return rooms_.back().id;
+}
+
+StatusOr<DoorId> FloorPlan::AddDoor(RoomId room, HallwayId hallway,
+                                    Point position) {
+  if (room < 0 || room >= static_cast<RoomId>(rooms_.size())) {
+    return Status::NotFound("door references unknown room");
+  }
+  if (hallway < 0 || hallway >= static_cast<HallwayId>(hallways_.size())) {
+    return Status::NotFound("door references unknown hallway");
+  }
+  const Hallway& h = hallways_[hallway];
+  if (h.centerline.DistanceTo(position) > kGeomEps) {
+    return Status::InvalidArgument(
+        "door position must lie on the hallway centerline");
+  }
+  Door d;
+  d.id = static_cast<DoorId>(doors_.size());
+  d.room = room;
+  d.hallway = hallway;
+  d.position = position;
+  doors_.push_back(d);
+  rooms_[room].doors.push_back(d.id);
+  return d.id;
+}
+
+Status FloorPlan::Validate() const {
+  if (hallways_.empty()) {
+    return Status::FailedPrecondition("floor plan has no hallways");
+  }
+  for (const Room& r : rooms_) {
+    if (r.doors.empty()) {
+      return Status::FailedPrecondition("room " + r.name + " has no door");
+    }
+  }
+  for (size_t i = 0; i < rooms_.size(); ++i) {
+    for (size_t j = i + 1; j < rooms_.size(); ++j) {
+      const Rect overlap = rooms_[i].bounds.Intersection(rooms_[j].bounds);
+      if (overlap.Area() > kGeomEps) {
+        return Status::FailedPrecondition("rooms " + rooms_[i].name + " and " +
+                                          rooms_[j].name + " overlap");
+      }
+    }
+    for (const Hallway& h : hallways_) {
+      const Rect overlap = rooms_[i].bounds.Intersection(h.Bounds());
+      if (overlap.Area() > kGeomEps) {
+        return Status::FailedPrecondition("room " + rooms_[i].name +
+                                          " overlaps hallway " + h.name);
+      }
+    }
+  }
+  for (const Door& d : doors_) {
+    const Room& r = rooms_[d.room];
+    // The door must sit next to its room: the distance from the door
+    // position to the room boundary should be at most half a hallway width.
+    const double dist = r.bounds.DistanceTo(d.position);
+    if (dist > hallways_[d.hallway].width / 2 + kGeomEps) {
+      return Status::FailedPrecondition("door of room " + r.name +
+                                        " is not adjacent to the room");
+    }
+  }
+  return Status::Ok();
+}
+
+const Room& FloorPlan::room(RoomId id) const {
+  IPQS_CHECK(id >= 0 && id < static_cast<RoomId>(rooms_.size()));
+  return rooms_[id];
+}
+
+const Hallway& FloorPlan::hallway(HallwayId id) const {
+  IPQS_CHECK(id >= 0 && id < static_cast<HallwayId>(hallways_.size()));
+  return hallways_[id];
+}
+
+const Door& FloorPlan::door(DoorId id) const {
+  IPQS_CHECK(id >= 0 && id < static_cast<DoorId>(doors_.size()));
+  return doors_[id];
+}
+
+Rect FloorPlan::BoundingBox() const {
+  bool first = true;
+  Rect box;
+  auto extend = [&box, &first](const Rect& r) {
+    if (first) {
+      box = r;
+      first = false;
+      return;
+    }
+    box.min_x = std::min(box.min_x, r.min_x);
+    box.min_y = std::min(box.min_y, r.min_y);
+    box.max_x = std::max(box.max_x, r.max_x);
+    box.max_y = std::max(box.max_y, r.max_y);
+  };
+  for (const Room& r : rooms_) extend(r.bounds);
+  for (const Hallway& h : hallways_) extend(h.Bounds());
+  return box;
+}
+
+double FloorPlan::TotalArea() const {
+  double area = 0.0;
+  for (const Room& r : rooms_) area += r.Area();
+  for (const Hallway& h : hallways_) area += h.Bounds().Area();
+  // Subtract pairwise hallway crossing overlaps so junctions count once.
+  for (size_t i = 0; i < hallways_.size(); ++i) {
+    for (size_t j = i + 1; j < hallways_.size(); ++j) {
+      area -= hallways_[i].Bounds().Intersection(hallways_[j].Bounds()).Area();
+    }
+  }
+  return area;
+}
+
+std::optional<RoomId> FloorPlan::LocateRoom(const Point& p) const {
+  for (const Room& r : rooms_) {
+    if (r.bounds.Contains(p)) {
+      return r.id;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<HallwayId> FloorPlan::LocateHallway(const Point& p) const {
+  if (LocateRoom(p).has_value()) {
+    return std::nullopt;
+  }
+  for (const Hallway& h : hallways_) {
+    if (h.Bounds().Contains(p)) {
+      return h.id;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ipqs

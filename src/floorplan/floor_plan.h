@@ -1,0 +1,111 @@
+#ifndef IPQS_FLOORPLAN_FLOOR_PLAN_H_
+#define IPQS_FLOORPLAN_FLOOR_PLAN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "geom/rect.h"
+#include "geom/segment.h"
+
+namespace ipqs {
+
+using RoomId = int32_t;
+using HallwayId = int32_t;
+using DoorId = int32_t;
+
+inline constexpr int32_t kInvalidId = -1;
+
+// A door connects one room to one hallway. `position` lies on the hallway
+// centerline; the walking graph places the door node there, with a stub edge
+// leading into the room.
+struct Door {
+  DoorId id = kInvalidId;
+  RoomId room = kInvalidId;
+  HallwayId hallway = kInvalidId;
+  Point position;
+};
+
+// An axis-aligned room. Rooms are reachable only through their doors.
+struct Room {
+  RoomId id = kInvalidId;
+  std::string name;
+  Rect bounds;
+  std::vector<DoorId> doors;
+
+  double Area() const { return bounds.Area(); }
+};
+
+// A straight hallway, modelled as a centerline segment plus a width. The
+// paper assumes reader activation ranges cover the full hallway width, so
+// object locations across the width are never observable; the walking graph
+// therefore collapses hallways onto their centerlines.
+struct Hallway {
+  HallwayId id = kInvalidId;
+  std::string name;
+  Segment centerline;
+  double width = 2.0;
+
+  // Full 2-D footprint (centerline extruded by width/2 on both sides).
+  // Only axis-aligned centerlines are supported.
+  Rect Bounds() const;
+
+  double Length() const { return centerline.Length(); }
+  bool IsHorizontal() const;
+};
+
+// An indoor floor plan: a set of hallways and rooms stitched together by
+// doors. This is the static world model every other module consumes.
+class FloorPlan {
+ public:
+  FloorPlan() = default;
+
+  // Mutators used by generators / custom construction. Centerlines must be
+  // axis-aligned (the indoor walking graph model in the paper assumes
+  // rectilinear office layouts).
+  StatusOr<HallwayId> AddHallway(Segment centerline, double width,
+                                 std::string name = "");
+  StatusOr<RoomId> AddRoom(Rect bounds, std::string name = "");
+
+  // Registers a door between `room` and `hallway` at `position`, which must
+  // lie on the hallway centerline (within 1e-6) and on/next to the room
+  // boundary.
+  StatusOr<DoorId> AddDoor(RoomId room, HallwayId hallway, Point position);
+
+  // Structural validation: ids consistent, every room has at least one door,
+  // rooms do not overlap hallway footprints or one another.
+  Status Validate() const;
+
+  const std::vector<Room>& rooms() const { return rooms_; }
+  const std::vector<Hallway>& hallways() const { return hallways_; }
+  const std::vector<Door>& doors() const { return doors_; }
+
+  const Room& room(RoomId id) const;
+  const Hallway& hallway(HallwayId id) const;
+  const Door& door(DoorId id) const;
+
+  // Smallest rect covering all rooms and hallways.
+  Rect BoundingBox() const;
+
+  // Total walkable area: sum of room areas plus hallway footprints
+  // (hallway overlap at crossings is not double counted exactly; crossings
+  // are rare and small, so footprints are summed minus pairwise overlaps).
+  double TotalArea() const;
+
+  // Which room/hallway contains `p`, if any. When `p` lies in both (e.g.
+  // exactly on a shared wall), the room wins.
+  std::optional<RoomId> LocateRoom(const Point& p) const;
+  std::optional<HallwayId> LocateHallway(const Point& p) const;
+
+ private:
+  std::vector<Room> rooms_;
+  std::vector<Hallway> hallways_;
+  std::vector<Door> doors_;
+};
+
+}  // namespace ipqs
+
+#endif  // IPQS_FLOORPLAN_FLOOR_PLAN_H_

@@ -1,0 +1,162 @@
+#include "floorplan/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace ipqs {
+namespace {
+
+Status LineError(int line, const std::string& message) {
+  return Status::InvalidArgument("line " + std::to_string(line) + ": " +
+                                 message);
+}
+
+// Parses `count` doubles from the stream; false on failure.
+bool ReadDoubles(std::istringstream& in, int count, double* out) {
+  for (int i = 0; i < count; ++i) {
+    if (!(in >> out[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<BuildingSpec> ParseBuilding(std::string_view text) {
+  BuildingSpec spec;
+  std::map<std::string, HallwayId> hallway_by_name;
+  std::map<std::string, RoomId> room_by_name;
+
+  std::istringstream lines{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    // Strip comments.
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream in(line);
+    std::string directive;
+    if (!(in >> directive)) {
+      continue;  // Blank line.
+    }
+
+    if (directive == "hallway") {
+      std::string name;
+      double v[5];
+      if (!(in >> name) || !ReadDoubles(in, 5, v)) {
+        return LineError(line_no,
+                         "expected: hallway <name> <ax> <ay> <bx> <by> <w>");
+      }
+      if (hallway_by_name.count(name)) {
+        return LineError(line_no, "duplicate hallway name '" + name + "'");
+      }
+      auto id = spec.plan.AddHallway(Segment({v[0], v[1]}, {v[2], v[3]}),
+                                     v[4], name);
+      if (!id.ok()) {
+        return LineError(line_no, id.status().message());
+      }
+      hallway_by_name[name] = *id;
+    } else if (directive == "room") {
+      std::string name;
+      double v[4];
+      if (!(in >> name) || !ReadDoubles(in, 4, v)) {
+        return LineError(
+            line_no, "expected: room <name> <min_x> <min_y> <max_x> <max_y>");
+      }
+      if (room_by_name.count(name)) {
+        return LineError(line_no, "duplicate room name '" + name + "'");
+      }
+      auto id =
+          spec.plan.AddRoom(Rect::FromCorners({v[0], v[1]}, {v[2], v[3]}),
+                            name);
+      if (!id.ok()) {
+        return LineError(line_no, id.status().message());
+      }
+      room_by_name[name] = *id;
+    } else if (directive == "door") {
+      std::string room;
+      std::string hallway;
+      double v[2];
+      if (!(in >> room >> hallway) || !ReadDoubles(in, 2, v)) {
+        return LineError(line_no,
+                         "expected: door <room> <hallway> <x> <y>");
+      }
+      const auto rit = room_by_name.find(room);
+      if (rit == room_by_name.end()) {
+        return LineError(line_no, "unknown room '" + room + "'");
+      }
+      const auto hit = hallway_by_name.find(hallway);
+      if (hit == hallway_by_name.end()) {
+        return LineError(line_no, "unknown hallway '" + hallway + "'");
+      }
+      auto id = spec.plan.AddDoor(rit->second, hit->second, {v[0], v[1]});
+      if (!id.ok()) {
+        return LineError(line_no, id.status().message());
+      }
+    } else if (directive == "reader") {
+      double v[3];
+      if (!ReadDoubles(in, 3, v)) {
+        return LineError(line_no, "expected: reader <x> <y> <range>");
+      }
+      if (v[2] <= 0.0) {
+        return LineError(line_no, "reader range must be positive");
+      }
+      spec.readers.push_back(ReaderSpec{{v[0], v[1]}, v[2]});
+    } else {
+      return LineError(line_no, "unknown directive '" + directive + "'");
+    }
+  }
+
+  IPQS_RETURN_IF_ERROR(spec.plan.Validate());
+  return spec;
+}
+
+std::string SerializeBuilding(const FloorPlan& plan,
+                              const std::vector<ReaderSpec>& readers) {
+  std::string out;
+  char buf[160];
+  out += "# ipqs building description\n";
+  for (const Hallway& h : plan.hallways()) {
+    std::snprintf(buf, sizeof(buf), "hallway %s %g %g %g %g %g\n",
+                  h.name.c_str(), h.centerline.a.x, h.centerline.a.y,
+                  h.centerline.b.x, h.centerline.b.y, h.width);
+    out += buf;
+  }
+  for (const Room& r : plan.rooms()) {
+    std::snprintf(buf, sizeof(buf), "room %s %g %g %g %g\n", r.name.c_str(),
+                  r.bounds.min_x, r.bounds.min_y, r.bounds.max_x,
+                  r.bounds.max_y);
+    out += buf;
+  }
+  for (const Door& d : plan.doors()) {
+    std::snprintf(buf, sizeof(buf), "door %s %s %g %g\n",
+                  plan.room(d.room).name.c_str(),
+                  plan.hallway(d.hallway).name.c_str(), d.position.x,
+                  d.position.y);
+    out += buf;
+  }
+  for (const ReaderSpec& r : readers) {
+    std::snprintf(buf, sizeof(buf), "reader %g %g %g\n", r.pos.x, r.pos.y,
+                  r.range);
+    out += buf;
+  }
+  return out;
+}
+
+StatusOr<BuildingSpec> LoadBuildingFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open building file: " + path);
+  }
+  std::ostringstream content;
+  content << file.rdbuf();
+  return ParseBuilding(content.str());
+}
+
+}  // namespace ipqs

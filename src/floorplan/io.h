@@ -1,0 +1,48 @@
+#ifndef IPQS_FLOORPLAN_IO_H_
+#define IPQS_FLOORPLAN_IO_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+#include "floorplan/floor_plan.h"
+
+namespace ipqs {
+
+// Plain-text building description, so floor plans and reader deployments
+// can live in version-controlled files instead of C++:
+//
+//   # comment (blank lines ignored)
+//   hallway <name> <ax> <ay> <bx> <by> <width>
+//   room    <name> <min_x> <min_y> <max_x> <max_y>
+//   door    <room_name> <hallway_name> <x> <y>
+//   reader  <x> <y> <range>
+//
+// Directives may appear in any order except that doors must follow the
+// rooms and hallways they reference. Names must be unique per kind.
+struct ReaderSpec {
+  Point pos;
+  double range = 2.0;
+};
+
+struct BuildingSpec {
+  FloorPlan plan;
+  std::vector<ReaderSpec> readers;
+};
+
+// Parses a building description. The returned plan passes
+// FloorPlan::Validate(); errors carry the offending line number.
+StatusOr<BuildingSpec> ParseBuilding(std::string_view text);
+
+// Renders a plan (and optionally a deployment) back into the text format;
+// ParseBuilding(SerializeBuilding(p)) reproduces the same geometry.
+std::string SerializeBuilding(const FloorPlan& plan,
+                              const std::vector<ReaderSpec>& readers = {});
+
+// Reads and parses a building file from disk.
+StatusOr<BuildingSpec> LoadBuildingFile(const std::string& path);
+
+}  // namespace ipqs
+
+#endif  // IPQS_FLOORPLAN_IO_H_

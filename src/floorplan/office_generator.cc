@@ -1,0 +1,75 @@
+#include "floorplan/office_generator.h"
+
+#include <string>
+
+namespace ipqs {
+
+StatusOr<FloorPlan> GenerateOffice(const OfficeConfig& config) {
+  if (config.num_wings < 1 || config.rooms_per_side < 1) {
+    return Status::InvalidArgument("office needs at least one wing and room");
+  }
+  if (config.room_width <= 0 || config.room_depth <= 0 ||
+      config.hallway_width <= 0) {
+    return Status::InvalidArgument("office dimensions must be positive");
+  }
+
+  FloorPlan plan;
+
+  const double w = config.hallway_width;
+  const double wing_length = config.rooms_per_side * config.room_width;
+  // Wings are spaced so that the rooms of adjacent wings touch back to back.
+  const double wing_spacing = 2 * config.room_depth + w;
+  const double spine_x = -w / 2;
+
+  // Vertical spine connecting all wings at their left end.
+  const double spine_top = (config.num_wings - 1) * wing_spacing;
+  if (config.num_wings > 1) {
+    IPQS_RETURN_IF_ERROR(
+        plan.AddHallway(Segment({spine_x, 0.0}, {spine_x, spine_top}), w,
+                        "spine")
+            .status());
+  }
+
+  for (int i = 0; i < config.num_wings; ++i) {
+    const double y = i * wing_spacing;
+    IPQS_RETURN_IF_ERROR(
+        plan.AddHallway(Segment({spine_x, y}, {wing_length, y}), w,
+                        "wing" + std::to_string(i))
+            .status());
+  }
+  // Hallway ids: spine (if present) comes first, then wings in order.
+  const HallwayId first_wing = config.num_wings > 1 ? 1 : 0;
+
+  for (int i = 0; i < config.num_wings; ++i) {
+    const double y = i * wing_spacing;
+    const HallwayId wing = first_wing + i;
+    for (int side = 0; side < 2; ++side) {
+      // side 0: rooms above the wing; side 1: rooms below.
+      const double y_near = side == 0 ? y + w / 2 : y - w / 2;
+      const double y_far = side == 0 ? y_near + config.room_depth
+                                     : y_near - config.room_depth;
+      for (int k = 0; k < config.rooms_per_side; ++k) {
+        const double x0 = k * config.room_width;
+        const double x1 = x0 + config.room_width;
+        const Rect bounds = Rect::FromCorners({x0, y_near}, {x1, y_far});
+        const std::string name = "R" + std::to_string(i) + "_" +
+                                 (side == 0 ? std::string("n") : "s") +
+                                 std::to_string(k);
+        RoomId room;
+        IPQS_ASSIGN_OR_RETURN(room, plan.AddRoom(bounds, name));
+        // Doors are staggered (north rooms at 30% of the wall, south rooms
+        // at 70%) so that facing rooms do not share a door point on the
+        // centerline.
+        const double door_x = side == 0 ? x0 + 0.3 * config.room_width
+                                        : x0 + 0.7 * config.room_width;
+        IPQS_RETURN_IF_ERROR(
+            plan.AddDoor(room, wing, Point{door_x, y}).status());
+      }
+    }
+  }
+
+  IPQS_RETURN_IF_ERROR(plan.Validate());
+  return plan;
+}
+
+}  // namespace ipqs

@@ -1,0 +1,35 @@
+#ifndef IPQS_FLOORPLAN_OFFICE_GENERATOR_H_
+#define IPQS_FLOORPLAN_OFFICE_GENERATOR_H_
+
+#include "common/statusor.h"
+#include "floorplan/floor_plan.h"
+
+namespace ipqs {
+
+// Parameters of the synthetic single-floor office building used throughout
+// the paper's evaluation (Section 5): 30 rooms and 4 hallways, all rooms
+// connected to a hallway by a door.
+//
+// Layout: `num_wings` horizontal hallways ("wings") stacked vertically,
+// joined at their left end by one vertical spine hallway. Each wing has
+// `rooms_per_side` rooms above and below it. Defaults produce exactly the
+// paper's setting: 3 wings x 2 sides x 5 rooms = 30 rooms, 3 + 1 = 4
+// hallways.
+struct OfficeConfig {
+  int num_wings = 3;
+  int rooms_per_side = 5;
+  double room_width = 10.0;   // Extent along the hallway, meters.
+  double room_depth = 8.0;    // Extent away from the hallway, meters.
+  double hallway_width = 2.0;
+
+  int TotalRooms() const { return num_wings * rooms_per_side * 2; }
+  int TotalHallways() const { return num_wings + 1; }
+};
+
+// Builds the office floor plan described by `config`. The result passes
+// FloorPlan::Validate().
+StatusOr<FloorPlan> GenerateOffice(const OfficeConfig& config);
+
+}  // namespace ipqs
+
+#endif  // IPQS_FLOORPLAN_OFFICE_GENERATOR_H_

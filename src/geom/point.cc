@@ -1,0 +1,31 @@
+#include "geom/point.h"
+
+#include <cstdio>
+
+namespace ipqs {
+
+std::string Point::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(%.3f, %.3f)", x, y);
+  return buf;
+}
+
+double Distance(const Point& a, const Point& b) { return (a - b).Norm(); }
+
+double SquaredDistance(const Point& a, const Point& b) {
+  return (a - b).SquaredNorm();
+}
+
+bool AlmostEqual(const Point& a, const Point& b, double eps) {
+  return std::fabs(a.x - b.x) <= eps && std::fabs(a.y - b.y) <= eps;
+}
+
+Point Lerp(const Point& a, const Point& b, double t) {
+  return a + (b - a) * t;
+}
+
+std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << p.ToString();
+}
+
+}  // namespace ipqs

@@ -1,0 +1,52 @@
+#ifndef IPQS_GEOM_POINT_H_
+#define IPQS_GEOM_POINT_H_
+
+#include <cmath>
+#include <ostream>
+#include <string>
+
+namespace ipqs {
+
+// A 2-D point (or vector) in floor-plan coordinates, in meters.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Point() = default;
+  constexpr Point(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  constexpr Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  constexpr Point operator*(double s) const { return {x * s, y * s}; }
+  constexpr Point operator/(double s) const { return {x / s, y / s}; }
+
+  constexpr double Dot(const Point& o) const { return x * o.x + y * o.y; }
+  // 2-D cross product magnitude (z component).
+  constexpr double Cross(const Point& o) const { return x * o.y - y * o.x; }
+
+  double Norm() const { return std::sqrt(x * x + y * y); }
+  constexpr double SquaredNorm() const { return x * x + y * y; }
+
+  std::string ToString() const;
+};
+
+constexpr bool operator==(const Point& a, const Point& b) {
+  return a.x == b.x && a.y == b.y;
+}
+constexpr bool operator!=(const Point& a, const Point& b) { return !(a == b); }
+
+// Euclidean distance between two points.
+double Distance(const Point& a, const Point& b);
+double SquaredDistance(const Point& a, const Point& b);
+
+// True when |a-b| <= eps in both coordinates.
+bool AlmostEqual(const Point& a, const Point& b, double eps = 1e-9);
+
+// Linear interpolation: a when t=0, b when t=1.
+Point Lerp(const Point& a, const Point& b, double t);
+
+std::ostream& operator<<(std::ostream& os, const Point& p);
+
+}  // namespace ipqs
+
+#endif  // IPQS_GEOM_POINT_H_

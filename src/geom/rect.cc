@@ -1,0 +1,85 @@
+#include "geom/rect.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ipqs {
+
+Rect Rect::FromCorners(const Point& a, const Point& b) {
+  return Rect(std::min(a.x, b.x), std::min(a.y, b.y), std::max(a.x, b.x),
+              std::max(a.y, b.y));
+}
+
+Rect Rect::FromCenter(const Point& c, double width, double height) {
+  return Rect(c.x - width / 2, c.y - height / 2, c.x + width / 2,
+              c.y + height / 2);
+}
+
+Rect Rect::Intersection(const Rect& o) const {
+  if (!Intersects(o)) {
+    return Rect();
+  }
+  return Rect(std::max(min_x, o.min_x), std::max(min_y, o.min_y),
+              std::min(max_x, o.max_x), std::min(max_y, o.max_y));
+}
+
+double Rect::DistanceTo(const Point& p) const {
+  const double dx = std::max({min_x - p.x, 0.0, p.x - max_x});
+  const double dy = std::max({min_y - p.y, 0.0, p.y - max_y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+bool Rect::IntersectsSegment(const Segment& s) const {
+  double t0;
+  double t1;
+  return ClipSegment(s, &t0, &t1);
+}
+
+bool Rect::ClipSegment(const Segment& s, double* t0, double* t1) const {
+  // Liang-Barsky clipping: each boundary contributes a constraint
+  // p * t <= q on the segment parameter t.
+  double lo = 0.0;
+  double hi = 1.0;
+  const double dx = s.b.x - s.a.x;
+  const double dy = s.b.y - s.a.y;
+
+  auto clip = [&lo, &hi](double p, double q) {
+    if (p == 0.0) {
+      return q >= 0.0;  // Parallel: inside iff the constraint holds.
+    }
+    const double t = q / p;
+    if (p < 0.0) {
+      lo = std::max(lo, t);  // Entering constraint.
+    } else {
+      hi = std::min(hi, t);  // Leaving constraint.
+    }
+    return true;
+  };
+
+  if (clip(-dx, s.a.x - min_x) && clip(dx, max_x - s.a.x) &&
+      clip(-dy, s.a.y - min_y) && clip(dy, max_y - s.a.y) && lo <= hi) {
+    *t0 = lo;
+    *t1 = hi;
+    return true;
+  }
+  return false;
+}
+
+std::string Rect::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "[%.3f,%.3f x %.3f,%.3f]", min_x, min_y,
+                max_x, max_y);
+  return buf;
+}
+
+bool operator==(const Rect& a, const Rect& b) {
+  return a.min_x == b.min_x && a.min_y == b.min_y && a.max_x == b.max_x &&
+         a.max_y == b.max_y;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << r.ToString();
+}
+
+}  // namespace ipqs

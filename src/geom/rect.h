@@ -1,0 +1,65 @@
+#ifndef IPQS_GEOM_RECT_H_
+#define IPQS_GEOM_RECT_H_
+
+#include <ostream>
+
+#include "geom/point.h"
+#include "geom/segment.h"
+
+namespace ipqs {
+
+// Axis-aligned rectangle. Invariant (enforced by FromCorners / checked
+// lazily): min_x <= max_x, min_y <= max_y.
+struct Rect {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  Rect() = default;
+  Rect(double min_x_in, double min_y_in, double max_x_in, double max_y_in)
+      : min_x(min_x_in), min_y(min_y_in), max_x(max_x_in), max_y(max_y_in) {}
+
+  // Builds a rect from any two opposite corners.
+  static Rect FromCorners(const Point& a, const Point& b);
+  // Builds a rect centered at `c` with the given width and height.
+  static Rect FromCenter(const Point& c, double width, double height);
+
+  double Width() const { return max_x - min_x; }
+  double Height() const { return max_y - min_y; }
+  double Area() const { return Width() * Height(); }
+  Point Center() const { return {(min_x + max_x) / 2, (min_y + max_y) / 2}; }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  bool Intersects(const Rect& o) const {
+    return min_x <= o.max_x && o.min_x <= max_x && min_y <= o.max_y &&
+           o.min_y <= max_y;
+  }
+
+  // Intersection rectangle; empty (zero-area at origin) when disjoint.
+  Rect Intersection(const Rect& o) const;
+
+  // Minimum Euclidean distance from `p` to this rect (0 when inside).
+  double DistanceTo(const Point& p) const;
+
+  // True when any point of `s` lies inside the rect.
+  bool IntersectsSegment(const Segment& s) const;
+
+  // The sub-interval [t0, t1] of segment parameters inside the rect; returns
+  // false when the segment misses the rect. Used to clip walking-graph edges
+  // against query windows.
+  bool ClipSegment(const Segment& s, double* t0, double* t1) const;
+
+  std::string ToString() const;
+};
+
+bool operator==(const Rect& a, const Rect& b);
+
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+}  // namespace ipqs
+
+#endif  // IPQS_GEOM_RECT_H_

@@ -1,0 +1,78 @@
+#include "geom/segment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ipqs {
+namespace {
+
+// Orientation of ordered triplet (p, q, r): >0 counter-clockwise,
+// <0 clockwise, 0 collinear (with a small tolerance).
+int Orientation(const Point& p, const Point& q, const Point& r) {
+  const double cross = (q - p).Cross(r - p);
+  constexpr double kEps = 1e-12;
+  if (cross > kEps) return 1;
+  if (cross < -kEps) return -1;
+  return 0;
+}
+
+// For collinear p, q, r: true when q lies on segment pr.
+bool OnSegment(const Point& p, const Point& q, const Point& r) {
+  return q.x <= std::max(p.x, r.x) && q.x >= std::min(p.x, r.x) &&
+         q.y <= std::max(p.y, r.y) && q.y >= std::min(p.y, r.y);
+}
+
+}  // namespace
+
+Point Segment::AtOffset(double offset) const {
+  const double len = Length();
+  if (len <= 0.0) {
+    return a;
+  }
+  const double t = std::clamp(offset / len, 0.0, 1.0);
+  return At(t);
+}
+
+double Segment::ClosestParameter(const Point& p) const {
+  const Point d = b - a;
+  const double len2 = d.SquaredNorm();
+  if (len2 <= 0.0) {
+    return 0.0;
+  }
+  return std::clamp((p - a).Dot(d) / len2, 0.0, 1.0);
+}
+
+Point Segment::ClosestPoint(const Point& p) const {
+  return At(ClosestParameter(p));
+}
+
+double Segment::DistanceTo(const Point& p) const {
+  return Distance(p, ClosestPoint(p));
+}
+
+bool SegmentsIntersect(const Segment& s1, const Segment& s2) {
+  const Point& p1 = s1.a;
+  const Point& q1 = s1.b;
+  const Point& p2 = s2.a;
+  const Point& q2 = s2.b;
+
+  const int o1 = Orientation(p1, q1, p2);
+  const int o2 = Orientation(p1, q1, q2);
+  const int o3 = Orientation(p2, q2, p1);
+  const int o4 = Orientation(p2, q2, q1);
+
+  if (o1 != o2 && o3 != o4) {
+    return true;
+  }
+  if (o1 == 0 && OnSegment(p1, p2, q1)) return true;
+  if (o2 == 0 && OnSegment(p1, q2, q1)) return true;
+  if (o3 == 0 && OnSegment(p2, p1, q2)) return true;
+  if (o4 == 0 && OnSegment(p2, q1, q2)) return true;
+  return false;
+}
+
+std::ostream& operator<<(std::ostream& os, const Segment& s) {
+  return os << s.a << "->" << s.b;
+}
+
+}  // namespace ipqs

@@ -1,0 +1,43 @@
+#ifndef IPQS_GEOM_SEGMENT_H_
+#define IPQS_GEOM_SEGMENT_H_
+
+#include <ostream>
+
+#include "geom/point.h"
+
+namespace ipqs {
+
+// A directed line segment from `a` to `b`.
+struct Segment {
+  Point a;
+  Point b;
+
+  Segment() = default;
+  Segment(Point a_in, Point b_in) : a(a_in), b(b_in) {}
+
+  double Length() const { return Distance(a, b); }
+
+  // Point at parameter t in [0, 1] along the segment.
+  Point At(double t) const { return Lerp(a, b, t); }
+
+  // Point at arc-length `offset` (clamped to [0, Length()]) from `a`.
+  Point AtOffset(double offset) const;
+
+  // Parameter t in [0, 1] of the point on the segment closest to `p`.
+  double ClosestParameter(const Point& p) const;
+
+  // The point on the segment closest to `p`.
+  Point ClosestPoint(const Point& p) const;
+
+  // Minimum Euclidean distance from `p` to the segment.
+  double DistanceTo(const Point& p) const;
+};
+
+// True when segments `s1` and `s2` intersect (including touching).
+bool SegmentsIntersect(const Segment& s1, const Segment& s2);
+
+std::ostream& operator<<(std::ostream& os, const Segment& s);
+
+}  // namespace ipqs
+
+#endif  // IPQS_GEOM_SEGMENT_H_

@@ -1,0 +1,125 @@
+#include "graph/anchor_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+
+namespace ipqs {
+
+AnchorGraph AnchorGraph::Build(const WalkingGraph& graph,
+                               const AnchorPointIndex& index) {
+  AnchorGraph ag;
+  ag.adjacency_.resize(index.num_anchors());
+
+  auto link = [&ag](AnchorId a, AnchorId b, double dist) {
+    ag.adjacency_[a].push_back({b, dist});
+    ag.adjacency_[b].push_back({a, dist});
+  };
+
+  // Along-edge links between consecutive anchors.
+  for (const Edge& e : graph.edges()) {
+    const std::vector<AnchorId>& on_edge = index.OnEdge(e.id);
+    for (size_t i = 0; i + 1 < on_edge.size(); ++i) {
+      const double d = index.anchor(on_edge[i + 1]).offset -
+                       index.anchor(on_edge[i]).offset;
+      link(on_edge[i], on_edge[i + 1], d);
+    }
+  }
+
+  // Cross-node links: for each node, the nearest anchor of every incident
+  // edge, joined pairwise through the node.
+  for (const Node& n : graph.nodes()) {
+    std::vector<std::pair<AnchorId, double>> boundary;  // (anchor, to node)
+    for (EdgeId eid : n.edges) {
+      const std::vector<AnchorId>& on_edge = index.OnEdge(eid);
+      if (on_edge.empty()) {
+        continue;
+      }
+      const double node_offset = graph.OffsetOfNode(eid, n.id);
+      const AnchorId nearest =
+          node_offset == 0.0 ? on_edge.front() : on_edge.back();
+      boundary.emplace_back(
+          nearest, std::fabs(index.anchor(nearest).offset - node_offset));
+    }
+    for (size_t i = 0; i < boundary.size(); ++i) {
+      for (size_t j = i + 1; j < boundary.size(); ++j) {
+        link(boundary[i].first, boundary[j].first,
+             boundary[i].second + boundary[j].second);
+      }
+    }
+  }
+  return ag;
+}
+
+const std::vector<AnchorGraph::Neighbor>& AnchorGraph::NeighborsOf(
+    AnchorId id) const {
+  IPQS_CHECK(id >= 0 && id < num_anchors());
+  return adjacency_[id];
+}
+
+std::vector<std::pair<AnchorId, double>> AnchorGraph::SeedsFrom(
+    const AnchorPointIndex& index, const GraphLocation& source) const {
+  const std::vector<AnchorId>& on_edge = index.OnEdge(source.edge);
+  IPQS_CHECK(!on_edge.empty());
+  // Anchors on an edge are offset-ordered; find the straddling pair.
+  const auto it = std::lower_bound(
+      on_edge.begin(), on_edge.end(), source.offset,
+      [&index](AnchorId a, double off) { return index.anchor(a).offset < off; });
+  std::vector<std::pair<AnchorId, double>> seeds;
+  if (it != on_edge.end()) {
+    seeds.emplace_back(*it,
+                       std::fabs(index.anchor(*it).offset - source.offset));
+  }
+  if (it != on_edge.begin()) {
+    const AnchorId left = *(it - 1);
+    seeds.emplace_back(left,
+                       std::fabs(index.anchor(left).offset - source.offset));
+  }
+  return seeds;
+}
+
+std::vector<std::pair<AnchorId, double>> AnchorGraph::WithinDistance(
+    const AnchorPointIndex& index, const GraphLocation& source, double budget,
+    const std::function<bool(AnchorId)>& passable) const {
+  struct Entry {
+    double dist;
+    AnchorId anchor;
+    bool operator>(const Entry& o) const { return dist > o.dist; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  std::vector<double> dist(adjacency_.size(),
+                           std::numeric_limits<double>::infinity());
+
+  for (const auto& [anchor, d] : SeedsFrom(index, source)) {
+    if (d <= budget && d < dist[anchor]) {
+      dist[anchor] = d;
+      queue.push({d, anchor});
+    }
+  }
+
+  std::vector<std::pair<AnchorId, double>> out;
+  while (!queue.empty()) {
+    const Entry top = queue.top();
+    queue.pop();
+    if (top.dist > dist[top.anchor]) {
+      continue;
+    }
+    out.emplace_back(top.anchor, top.dist);
+    if (passable && !passable(top.anchor)) {
+      continue;  // Reached but impassable: a wall (e.g. a reader zone).
+    }
+    for (const Neighbor& nb : adjacency_[top.anchor]) {
+      const double cand = top.dist + nb.dist;
+      if (cand <= budget && cand < dist[nb.anchor]) {
+        dist[nb.anchor] = cand;
+        queue.push({cand, nb.anchor});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ipqs

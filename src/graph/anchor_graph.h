@@ -1,0 +1,60 @@
+#ifndef IPQS_GRAPH_ANCHOR_GRAPH_H_
+#define IPQS_GRAPH_ANCHOR_GRAPH_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "graph/anchor_points.h"
+#include "graph/walking_graph.h"
+
+namespace ipqs {
+
+// Adjacency structure over anchor points: consecutive anchors on the same
+// edge are neighbors, and the anchors closest to a shared node (one per
+// incident edge) are neighbors across that node. Network distances between
+// anchor points decompose along these links, so Dijkstra over this graph
+// enumerates anchor points in exact ascending network distance from a
+// source location.
+//
+// Two consumers:
+//  * kNN evaluation (Algorithm 4) expands anchors outward from the query
+//    point until enough probability mass has been accumulated;
+//  * the symbolic baseline computes max-speed-constrained reachability,
+//    treating reader-covered anchors as impassable walls.
+class AnchorGraph {
+ public:
+  struct Neighbor {
+    AnchorId anchor = kInvalidId;
+    double dist = 0.0;
+  };
+
+  static AnchorGraph Build(const WalkingGraph& graph,
+                           const AnchorPointIndex& index);
+
+  const std::vector<Neighbor>& NeighborsOf(AnchorId id) const;
+  int num_anchors() const { return static_cast<int>(adjacency_.size()); }
+
+  // Dijkstra seeds for a source location: the nearest anchor on each side
+  // along the source edge, with their along-edge distances.
+  std::vector<std::pair<AnchorId, double>> SeedsFrom(
+      const AnchorPointIndex& index, const GraphLocation& source) const;
+
+  // All anchors reachable from `source` within `budget` network meters,
+  // traversing only anchors for which `passable` returns true (the seeds
+  // themselves are exempt). Returns (anchor, distance) pairs in ascending
+  // distance order.
+  std::vector<std::pair<AnchorId, double>> WithinDistance(
+      const AnchorPointIndex& index, const GraphLocation& source,
+      double budget,
+      const std::function<bool(AnchorId)>& passable = nullptr) const;
+
+ private:
+  AnchorGraph() = default;
+
+  std::vector<std::vector<Neighbor>> adjacency_;
+};
+
+}  // namespace ipqs
+
+#endif  // IPQS_GRAPH_ANCHOR_GRAPH_H_

@@ -1,0 +1,87 @@
+#include "graph/anchor_points.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/check.h"
+
+namespace ipqs {
+
+AnchorPointIndex AnchorPointIndex::Build(const WalkingGraph& graph,
+                                         const FloorPlan& plan,
+                                         double spacing) {
+  IPQS_CHECK_GT(spacing, 0.0);
+  AnchorPointIndex index;
+  index.spacing_ = spacing;
+  index.by_edge_.resize(graph.num_edges());
+  index.by_room_.resize(plan.rooms().size());
+
+  for (const Edge& e : graph.edges()) {
+    // n anchor points at offsets (i + 0.5) * length / n keeps spacing as
+    // close to the request as possible while avoiding duplicates at shared
+    // nodes.
+    const int n = std::max(1, static_cast<int>(std::round(e.length / spacing)));
+    for (int i = 0; i < n; ++i) {
+      AnchorPoint ap;
+      ap.id = static_cast<AnchorId>(index.anchors_.size());
+      ap.edge = e.id;
+      ap.offset = (i + 0.5) * e.length / n;
+      ap.pos = e.geometry.AtOffset(ap.offset);
+      if (e.kind == EdgeKind::kRoomStub) {
+        ap.room = e.room;
+      } else {
+        ap.hallway = e.hallway;
+      }
+      index.by_edge_[e.id].push_back(ap.id);
+      if (ap.room != kInvalidId) {
+        index.by_room_[ap.room].push_back(ap.id);
+      }
+      index.anchors_.push_back(ap);
+    }
+  }
+
+  Rect bounds = plan.BoundingBox();
+  index.grid_ = std::make_unique<GridIndex>(bounds, std::max(spacing * 4, 1.0));
+  for (const AnchorPoint& ap : index.anchors_) {
+    index.grid_->Insert(ap.id, ap.pos);
+  }
+  return index;
+}
+
+const AnchorPoint& AnchorPointIndex::anchor(AnchorId id) const {
+  IPQS_CHECK(id >= 0 && id < num_anchors());
+  return anchors_[id];
+}
+
+const std::vector<AnchorId>& AnchorPointIndex::OnEdge(EdgeId edge) const {
+  IPQS_CHECK(edge >= 0 && edge < static_cast<EdgeId>(by_edge_.size()));
+  return by_edge_[edge];
+}
+
+AnchorId AnchorPointIndex::NearestOnEdge(const GraphLocation& loc) const {
+  const std::vector<AnchorId>& on_edge = OnEdge(loc.edge);
+  IPQS_CHECK(!on_edge.empty());
+  // Anchors are evenly spaced at (i + 0.5) * step: invert analytically.
+  const int n = static_cast<int>(on_edge.size());
+  const AnchorPoint& first = anchors_[on_edge.front()];
+  const double step = 2.0 * first.offset;  // step = length / n.
+  int i = step > 0.0 ? static_cast<int>(std::floor(loc.offset / step)) : 0;
+  i = std::clamp(i, 0, n - 1);
+  return on_edge[i];
+}
+
+std::vector<AnchorId> AnchorPointIndex::InRect(const Rect& r) const {
+  return grid_->QueryRect(r);
+}
+
+const std::vector<AnchorId>& AnchorPointIndex::InRoom(RoomId room) const {
+  IPQS_CHECK(room >= 0 && room < static_cast<RoomId>(by_room_.size()));
+  return by_room_[room];
+}
+
+AnchorId AnchorPointIndex::NearestToPoint(const Point& p) const {
+  return grid_->Nearest(p);
+}
+
+}  // namespace ipqs

@@ -1,0 +1,78 @@
+#ifndef IPQS_GRAPH_ANCHOR_POINTS_H_
+#define IPQS_GRAPH_ANCHOR_POINTS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "floorplan/floor_plan.h"
+#include "graph/grid_index.h"
+#include "graph/walking_graph.h"
+
+namespace ipqs {
+
+using AnchorId = int32_t;
+
+// A predefined discretization point on a walking-graph edge (Section 4.2 of
+// the paper). Anchor points are spaced uniformly (default 1 m) on every
+// edge; after particle filtering, each particle snaps to its nearest anchor
+// point, so inferred object locations live on this discrete set.
+struct AnchorPoint {
+  AnchorId id = kInvalidId;
+  EdgeId edge = kInvalidId;
+  double offset = 0.0;  // Meters from Edge::a.
+  Point pos;
+  // Container attribution: anchor points on room stubs belong to the room
+  // (they stand in for the whole 2-D room area in range queries); anchor
+  // points on hallway edges belong to the hallway.
+  RoomId room = kInvalidId;
+  HallwayId hallway = kInvalidId;
+
+  bool InRoom() const { return room != kInvalidId; }
+};
+
+// Immutable index over all anchor points of a graph: per-edge ordered lists
+// for O(log n) nearest-on-edge snapping and a uniform grid for 2-D window
+// lookups.
+class AnchorPointIndex {
+ public:
+  // `spacing` is the requested inter-anchor distance; every edge gets at
+  // least one anchor point (its midpoint) so no part of the graph is
+  // unrepresentable.
+  static AnchorPointIndex Build(const WalkingGraph& graph,
+                                const FloorPlan& plan, double spacing = 1.0);
+
+  const std::vector<AnchorPoint>& anchors() const { return anchors_; }
+  const AnchorPoint& anchor(AnchorId id) const;
+  int num_anchors() const { return static_cast<int>(anchors_.size()); }
+  double spacing() const { return spacing_; }
+
+  // Anchor ids on `edge`, ascending by offset.
+  const std::vector<AnchorId>& OnEdge(EdgeId edge) const;
+
+  // Nearest anchor point on the same edge as `loc` (by offset). This is the
+  // snap operation of the anchor point indexing model.
+  AnchorId NearestOnEdge(const GraphLocation& loc) const;
+
+  // All anchor points inside the rectangle.
+  std::vector<AnchorId> InRect(const Rect& r) const;
+
+  // All anchor points inside room `room`.
+  const std::vector<AnchorId>& InRoom(RoomId room) const;
+
+  // Anchor point nearest to an arbitrary 2-D point.
+  AnchorId NearestToPoint(const Point& p) const;
+
+ private:
+  AnchorPointIndex() = default;
+
+  std::vector<AnchorPoint> anchors_;
+  std::vector<std::vector<AnchorId>> by_edge_;
+  std::vector<std::vector<AnchorId>> by_room_;
+  double spacing_ = 1.0;
+  std::unique_ptr<GridIndex> grid_;
+};
+
+}  // namespace ipqs
+
+#endif  // IPQS_GRAPH_ANCHOR_POINTS_H_

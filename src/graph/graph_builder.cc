@@ -1,0 +1,169 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ipqs {
+namespace {
+
+constexpr double kEps = 1e-7;
+
+// Quantized point key for merging coincident cut points into one node.
+using PointKey = std::pair<int64_t, int64_t>;
+
+PointKey KeyOf(const Point& p) {
+  return {static_cast<int64_t>(std::llround(p.x * 1e6)),
+          static_cast<int64_t>(std::llround(p.y * 1e6))};
+}
+
+bool IsHorizontalSeg(const Segment& s) {
+  return std::fabs(s.a.y - s.b.y) <= kEps;
+}
+
+// Crossing point of two axis-aligned centerlines, if any. Collinear
+// overlaps of positive length are a floor-plan error.
+StatusOr<std::optional<Point>> CenterlineCrossing(const Segment& s1,
+                                                  const Segment& s2) {
+  const bool h1 = IsHorizontalSeg(s1);
+  const bool h2 = IsHorizontalSeg(s2);
+  if (h1 == h2) {
+    // Parallel. They may touch end to end, which is fine; a longer overlap
+    // means the plan double-covers a corridor.
+    if (!SegmentsIntersect(s1, s2)) {
+      return std::optional<Point>();
+    }
+    const double lo1 = h1 ? std::min(s1.a.x, s1.b.x) : std::min(s1.a.y, s1.b.y);
+    const double hi1 = h1 ? std::max(s1.a.x, s1.b.x) : std::max(s1.a.y, s1.b.y);
+    const double lo2 = h1 ? std::min(s2.a.x, s2.b.x) : std::min(s2.a.y, s2.b.y);
+    const double hi2 = h1 ? std::max(s2.a.x, s2.b.x) : std::max(s2.a.y, s2.b.y);
+    const double lo = std::max(lo1, lo2);
+    const double hi = std::min(hi1, hi2);
+    if (hi - lo > kEps) {
+      return Status::InvalidArgument("hallway centerlines overlap collinearly");
+    }
+    return std::optional<Point>(h1 ? Point{lo, s1.a.y} : Point{s1.a.x, lo});
+  }
+  const Segment& hs = h1 ? s1 : s2;
+  const Segment& vs = h1 ? s2 : s1;
+  const Point cross{vs.a.x, hs.a.y};
+  const bool on_h = cross.x >= std::min(hs.a.x, hs.b.x) - kEps &&
+                    cross.x <= std::max(hs.a.x, hs.b.x) + kEps;
+  const bool on_v = cross.y >= std::min(vs.a.y, vs.b.y) - kEps &&
+                    cross.y <= std::max(vs.a.y, vs.b.y) + kEps;
+  if (on_h && on_v) {
+    return std::optional<Point>(cross);
+  }
+  return std::optional<Point>();
+}
+
+// A cut point on a hallway centerline.
+struct Cut {
+  double offset;
+  NodeKind kind;
+  RoomId room;  // For door cuts.
+};
+
+}  // namespace
+
+StatusOr<WalkingGraph> BuildWalkingGraph(const FloorPlan& plan) {
+  IPQS_RETURN_IF_ERROR(plan.Validate());
+
+  WalkingGraph graph;
+  std::map<PointKey, NodeId> node_of_point;
+
+  // Creates (or reuses) the node at `pos`. Node kinds are upgraded so that
+  // crossings beat plain endpoints and doors beat everything (a door node
+  // must keep its room id for the stub edge).
+  auto intern_node = [&](const Point& pos, NodeKind kind, RoomId room,
+                         HallwayId hallway) {
+    auto [it, inserted] = node_of_point.try_emplace(KeyOf(pos), kInvalidId);
+    if (inserted) {
+      it->second = graph.AddNode(pos, kind, room, hallway);
+      return it->second;
+    }
+    // Merge semantics: prefer the more specific kind.
+    Node& existing = graph.mutable_node(it->second);
+    auto rank = [](NodeKind k) {
+      switch (k) {
+        case NodeKind::kDoor:
+          return 3;
+        case NodeKind::kIntersection:
+          return 2;
+        case NodeKind::kRoomCenter:
+          return 1;
+        case NodeKind::kHallwayEnd:
+          return 0;
+      }
+      return 0;
+    };
+    if (rank(kind) > rank(existing.kind)) {
+      existing.kind = kind;
+      if (room != kInvalidId) existing.room = room;
+    }
+    return it->second;
+  };
+
+  for (const Hallway& h : plan.hallways()) {
+    std::vector<Cut> cuts;
+    cuts.push_back({0.0, NodeKind::kHallwayEnd, kInvalidId});
+    cuts.push_back({h.Length(), NodeKind::kHallwayEnd, kInvalidId});
+
+    for (const Hallway& other : plan.hallways()) {
+      if (other.id == h.id) continue;
+      std::optional<Point> cross;
+      IPQS_ASSIGN_OR_RETURN(cross,
+                            CenterlineCrossing(h.centerline, other.centerline));
+      if (cross.has_value()) {
+        cuts.push_back({Distance(h.centerline.a, *cross),
+                        NodeKind::kIntersection, kInvalidId});
+      }
+    }
+    for (const Door& d : plan.doors()) {
+      if (d.hallway != h.id) continue;
+      cuts.push_back(
+          {Distance(h.centerline.a, d.position), NodeKind::kDoor, d.room});
+    }
+
+    std::sort(cuts.begin(), cuts.end(),
+              [](const Cut& a, const Cut& b) { return a.offset < b.offset; });
+
+    // Materialize nodes for every distinct cut and connect consecutive ones.
+    NodeId prev_node = kInvalidId;
+    double prev_offset = -1.0;
+    for (const Cut& c : cuts) {
+      const Point pos = h.centerline.AtOffset(c.offset);
+      const NodeId n = intern_node(pos, c.kind, c.room, h.id);
+      if (prev_node != kInvalidId && n != prev_node &&
+          c.offset - prev_offset > kEps) {
+        graph.AddEdge(prev_node, n, EdgeKind::kHallway, h.id);
+      }
+      if (n != prev_node) {
+        prev_node = n;
+        prev_offset = c.offset;
+      }
+    }
+  }
+
+  // Room stubs: door node -> room center.
+  for (const Door& d : plan.doors()) {
+    const auto it = node_of_point.find(KeyOf(d.position));
+    IPQS_CHECK(it != node_of_point.end());
+    const NodeId door_node = it->second;
+    const Point center = plan.room(d.room).bounds.Center();
+    const NodeId room_node =
+        intern_node(center, NodeKind::kRoomCenter, d.room, kInvalidId);
+    graph.AddEdge(door_node, room_node, EdgeKind::kRoomStub, kInvalidId,
+                  d.room);
+  }
+
+  IPQS_RETURN_IF_ERROR(graph.Validate());
+  return graph;
+}
+
+}  // namespace ipqs

@@ -1,0 +1,25 @@
+#ifndef IPQS_GRAPH_GRAPH_BUILDER_H_
+#define IPQS_GRAPH_GRAPH_BUILDER_H_
+
+#include "common/statusor.h"
+#include "floorplan/floor_plan.h"
+#include "graph/walking_graph.h"
+
+namespace ipqs {
+
+// Derives the indoor walking graph from a floor plan:
+//
+//  * every hallway centerline is cut at its endpoints, at crossings with
+//    other centerlines, and at door positions; consecutive cut points become
+//    hallway edges;
+//  * every door contributes a stub edge from its door node (on the
+//    centerline) to the center of its room, abstracting the room interior.
+//
+// Shared cut points (e.g. a crossing of two hallways) map to a single node.
+// The result passes WalkingGraph::Validate() for any valid, connected floor
+// plan.
+StatusOr<WalkingGraph> BuildWalkingGraph(const FloorPlan& plan);
+
+}  // namespace ipqs
+
+#endif  // IPQS_GRAPH_GRAPH_BUILDER_H_

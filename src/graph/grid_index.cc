@@ -1,0 +1,91 @@
+#include "graph/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "floorplan/floor_plan.h"  // kInvalidId
+
+namespace ipqs {
+
+GridIndex::GridIndex(Rect bounds, double cell_size)
+    : bounds_(bounds), cell_size_(cell_size) {
+  IPQS_CHECK_GT(cell_size, 0.0);
+  nx_ = std::max(1, static_cast<int>(std::ceil(bounds.Width() / cell_size)));
+  ny_ = std::max(1, static_cast<int>(std::ceil(bounds.Height() / cell_size)));
+  cells_.resize(static_cast<size_t>(nx_) * ny_);
+}
+
+int GridIndex::CellX(double x) const {
+  const int c = static_cast<int>(std::floor((x - bounds_.min_x) / cell_size_));
+  return std::clamp(c, 0, nx_ - 1);
+}
+
+int GridIndex::CellY(double y) const {
+  const int c = static_cast<int>(std::floor((y - bounds_.min_y) / cell_size_));
+  return std::clamp(c, 0, ny_ - 1);
+}
+
+void GridIndex::Insert(int32_t id, const Point& p) {
+  CellAt(CellX(p.x), CellY(p.y)).push_back({id, p});
+  ++size_;
+}
+
+std::vector<int32_t> GridIndex::QueryRect(const Rect& r) const {
+  std::vector<int32_t> out;
+  const int x0 = CellX(r.min_x);
+  const int x1 = CellX(r.max_x);
+  const int y0 = CellY(r.min_y);
+  const int y1 = CellY(r.max_y);
+  for (int cy = y0; cy <= y1; ++cy) {
+    for (int cx = x0; cx <= x1; ++cx) {
+      for (const Item& item : CellAt(cx, cy)) {
+        if (r.Contains(item.pos)) {
+          out.push_back(item.id);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+int32_t GridIndex::Nearest(const Point& p) const {
+  if (size_ == 0) {
+    return kInvalidId;
+  }
+  const int px = CellX(p.x);
+  const int py = CellY(p.y);
+  int32_t best = kInvalidId;
+  double best_dist = std::numeric_limits<double>::infinity();
+  // Expand in rings until a hit exists and the ring distance exceeds the
+  // best hit (points in farther rings cannot beat it).
+  const int max_ring = std::max(nx_, ny_);
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    if (best != kInvalidId &&
+        (ring - 1) * cell_size_ > best_dist) {
+      break;
+    }
+    for (int cy = py - ring; cy <= py + ring; ++cy) {
+      if (cy < 0 || cy >= ny_) continue;
+      for (int cx = px - ring; cx <= px + ring; ++cx) {
+        if (cx < 0 || cx >= nx_) continue;
+        // Only the ring border (inner cells were visited already).
+        if (ring > 0 && cx != px - ring && cx != px + ring &&
+            cy != py - ring && cy != py + ring) {
+          continue;
+        }
+        for (const Item& item : CellAt(cx, cy)) {
+          const double d = Distance(p, item.pos);
+          if (d < best_dist) {
+            best_dist = d;
+            best = item.id;
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace ipqs

@@ -1,0 +1,56 @@
+#ifndef IPQS_GRAPH_GRID_INDEX_H_
+#define IPQS_GRAPH_GRID_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace ipqs {
+
+// A uniform-grid spatial index over point items, used to answer
+// "anchor points inside this query window" and nearest-point lookups
+// without scanning every anchor point.
+class GridIndex {
+ public:
+  // `bounds` should cover all inserted points (outliers are clamped into
+  // border cells); `cell_size` trades memory for query selectivity.
+  GridIndex(Rect bounds, double cell_size);
+
+  void Insert(int32_t id, const Point& p);
+
+  // Ids of all points inside `r` (inclusive borders).
+  std::vector<int32_t> QueryRect(const Rect& r) const;
+
+  // Id of the point nearest to `p`; kInvalidId when the index is empty.
+  int32_t Nearest(const Point& p) const;
+
+  size_t size() const { return size_; }
+
+ private:
+  struct Item {
+    int32_t id;
+    Point pos;
+  };
+
+  int CellX(double x) const;
+  int CellY(double y) const;
+  const std::vector<Item>& CellAt(int cx, int cy) const {
+    return cells_[static_cast<size_t>(cy) * nx_ + cx];
+  }
+  std::vector<Item>& CellAt(int cx, int cy) {
+    return cells_[static_cast<size_t>(cy) * nx_ + cx];
+  }
+
+  Rect bounds_;
+  double cell_size_;
+  int nx_ = 1;
+  int ny_ = 1;
+  size_t size_ = 0;
+  std::vector<std::vector<Item>> cells_;
+};
+
+}  // namespace ipqs
+
+#endif  // IPQS_GRAPH_GRID_INDEX_H_

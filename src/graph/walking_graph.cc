@@ -1,0 +1,195 @@
+#include "graph/walking_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ipqs {
+
+NodeId WalkingGraph::AddNode(Point pos, NodeKind kind, RoomId room,
+                             HallwayId hallway) {
+  Node n;
+  n.id = static_cast<NodeId>(nodes_.size());
+  n.pos = pos;
+  n.kind = kind;
+  n.room = room;
+  n.hallway = hallway;
+  nodes_.push_back(std::move(n));
+  return nodes_.back().id;
+}
+
+EdgeId WalkingGraph::AddEdge(NodeId a, NodeId b, EdgeKind kind,
+                             HallwayId hallway, RoomId room) {
+  IPQS_CHECK(a >= 0 && a < num_nodes());
+  IPQS_CHECK(b >= 0 && b < num_nodes());
+  IPQS_CHECK_NE(a, b);
+  Edge e;
+  e.id = static_cast<EdgeId>(edges_.size());
+  e.a = a;
+  e.b = b;
+  e.kind = kind;
+  e.hallway = hallway;
+  e.room = room;
+  e.geometry = Segment(nodes_[a].pos, nodes_[b].pos);
+  e.length = e.geometry.Length();
+  IPQS_CHECK_GT(e.length, 0.0);
+  edges_.push_back(e);
+  nodes_[a].edges.push_back(e.id);
+  nodes_[b].edges.push_back(e.id);
+  return e.id;
+}
+
+const Node& WalkingGraph::node(NodeId id) const {
+  IPQS_CHECK(id >= 0 && id < num_nodes());
+  return nodes_[id];
+}
+
+Node& WalkingGraph::mutable_node(NodeId id) {
+  IPQS_CHECK(id >= 0 && id < num_nodes());
+  return nodes_[id];
+}
+
+const Edge& WalkingGraph::edge(EdgeId id) const {
+  IPQS_CHECK(id >= 0 && id < num_edges());
+  return edges_[id];
+}
+
+Point WalkingGraph::PositionOf(const GraphLocation& loc) const {
+  const Edge& e = edge(loc.edge);
+  IPQS_DCHECK(loc.offset >= -1e-9 && loc.offset <= e.length + 1e-9);
+  return e.geometry.AtOffset(loc.offset);
+}
+
+NodeId WalkingGraph::OtherEnd(EdgeId e, NodeId from) const {
+  const Edge& ed = edge(e);
+  IPQS_CHECK(ed.a == from || ed.b == from);
+  return ed.a == from ? ed.b : ed.a;
+}
+
+double WalkingGraph::OffsetOfNode(EdgeId e, NodeId n) const {
+  const Edge& ed = edge(e);
+  IPQS_CHECK(ed.a == n || ed.b == n);
+  return ed.a == n ? 0.0 : ed.length;
+}
+
+GraphLocation WalkingGraph::LocationAtNode(NodeId n) const {
+  const Node& nd = node(n);
+  IPQS_CHECK(!nd.edges.empty()) << "isolated node " << n;
+  const EdgeId e = nd.edges.front();
+  return GraphLocation{e, OffsetOfNode(e, n)};
+}
+
+GraphLocation WalkingGraph::NearestLocation(const Point& p,
+                                            bool prefer_hallways) const {
+  IPQS_CHECK(!edges_.empty());
+  GraphLocation best;
+  double best_dist = std::numeric_limits<double>::infinity();
+  // Two passes when hallways are preferred: only if no hallway edge exists
+  // at all do room stubs participate.
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool hallways_only = prefer_hallways && pass == 0;
+    for (const Edge& e : edges_) {
+      if (hallways_only && e.kind != EdgeKind::kHallway) {
+        continue;
+      }
+      const double t = e.geometry.ClosestParameter(p);
+      const double d = Distance(p, e.geometry.At(t));
+      if (d < best_dist) {
+        best_dist = d;
+        best = GraphLocation{e.id, t * e.length};
+      }
+    }
+    if (best.edge != kInvalidId) {
+      break;
+    }
+  }
+  return best;
+}
+
+Status WalkingGraph::Validate() const {
+  for (const Edge& e : edges_) {
+    if (e.a < 0 || e.a >= num_nodes() || e.b < 0 || e.b >= num_nodes()) {
+      return Status::Internal("edge endpoint out of range");
+    }
+    if (std::fabs(e.length - Distance(nodes_[e.a].pos, nodes_[e.b].pos)) >
+        1e-6) {
+      return Status::Internal("edge length does not match geometry");
+    }
+    if (e.kind == EdgeKind::kHallway && e.hallway == kInvalidId) {
+      return Status::Internal("hallway edge without hallway id");
+    }
+    if (e.kind == EdgeKind::kRoomStub && e.room == kInvalidId) {
+      return Status::Internal("room stub without room id");
+    }
+  }
+  for (const Node& n : nodes_) {
+    for (EdgeId eid : n.edges) {
+      if (eid < 0 || eid >= num_edges()) {
+        return Status::Internal("node references unknown edge");
+      }
+      const Edge& e = edges_[eid];
+      if (e.a != n.id && e.b != n.id) {
+        return Status::Internal("incidence list inconsistent");
+      }
+    }
+    if (n.edges.empty()) {
+      return Status::Internal("isolated node");
+    }
+  }
+  if (!IsConnected()) {
+    return Status::Internal("walking graph is not connected");
+  }
+  return Status::Ok();
+}
+
+bool WalkingGraph::IsConnected() const {
+  if (nodes_.empty()) {
+    return true;
+  }
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<NodeId> stack = {0};
+  seen[0] = true;
+  size_t count = 1;
+  while (!stack.empty()) {
+    const NodeId cur = stack.back();
+    stack.pop_back();
+    for (EdgeId eid : nodes_[cur].edges) {
+      const NodeId next = OtherEnd(eid, cur);
+      if (!seen[next]) {
+        seen[next] = true;
+        ++count;
+        stack.push_back(next);
+      }
+    }
+  }
+  return count == nodes_.size();
+}
+
+std::string ToString(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kHallwayEnd:
+      return "hallway_end";
+    case NodeKind::kIntersection:
+      return "intersection";
+    case NodeKind::kDoor:
+      return "door";
+    case NodeKind::kRoomCenter:
+      return "room_center";
+  }
+  return "?";
+}
+
+std::string ToString(EdgeKind kind) {
+  switch (kind) {
+    case EdgeKind::kHallway:
+      return "hallway";
+    case EdgeKind::kRoomStub:
+      return "room_stub";
+  }
+  return "?";
+}
+
+}  // namespace ipqs

@@ -1,0 +1,123 @@
+#ifndef IPQS_GRAPH_WALKING_GRAPH_H_
+#define IPQS_GRAPH_WALKING_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "floorplan/floor_plan.h"
+#include "geom/point.h"
+#include "geom/segment.h"
+
+namespace ipqs {
+
+using NodeId = int32_t;
+using EdgeId = int32_t;
+
+enum class NodeKind {
+  kHallwayEnd,    // Dead end of a hallway.
+  kIntersection,  // Two hallway centerlines crossing.
+  kDoor,          // Door position on a hallway centerline.
+  kRoomCenter,    // Interior endpoint of a room stub edge.
+};
+
+// A vertex of the indoor walking graph. Hallway nodes lie on hallway
+// centerlines; room-center nodes lie inside rooms.
+struct Node {
+  NodeId id = kInvalidId;
+  Point pos;
+  NodeKind kind = NodeKind::kHallwayEnd;
+  RoomId room = kInvalidId;        // Set for kDoor and kRoomCenter.
+  HallwayId hallway = kInvalidId;  // Set for nodes on a hallway centerline.
+  std::vector<EdgeId> edges;       // Incident edges.
+};
+
+enum class EdgeKind {
+  kHallway,   // A section of hallway centerline between two cut points.
+  kRoomStub,  // Door node -> room center; abstracts the room interior.
+};
+
+// An undirected edge. `geometry` runs from node `a` to node `b`; offsets on
+// the edge are measured from `a`.
+struct Edge {
+  EdgeId id = kInvalidId;
+  NodeId a = kInvalidId;
+  NodeId b = kInvalidId;
+  double length = 0.0;
+  EdgeKind kind = EdgeKind::kHallway;
+  HallwayId hallway = kInvalidId;  // Set when kind == kHallway.
+  RoomId room = kInvalidId;        // Set when kind == kRoomStub.
+  Segment geometry;
+};
+
+// A position on the graph: `offset` meters from Edge::a along `edge`.
+// Invariant: 0 <= offset <= edge.length.
+struct GraphLocation {
+  EdgeId edge = kInvalidId;
+  double offset = 0.0;
+
+  friend bool operator==(const GraphLocation&, const GraphLocation&) = default;
+};
+
+// The indoor walking graph G<N, E> of the paper: hallways collapsed to
+// centerline polylines, rooms attached as stub edges through their doors.
+// All object and particle movement is restricted to this graph, and the
+// query distance metric is the shortest network distance on it.
+class WalkingGraph {
+ public:
+  WalkingGraph() = default;
+
+  // Construction interface (used by GraphBuilder and tests).
+  NodeId AddNode(Point pos, NodeKind kind, RoomId room = kInvalidId,
+                 HallwayId hallway = kInvalidId);
+  EdgeId AddEdge(NodeId a, NodeId b, EdgeKind kind,
+                 HallwayId hallway = kInvalidId, RoomId room = kInvalidId);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+  const Node& node(NodeId id) const;
+  const Edge& edge(EdgeId id) const;
+  // Mutable access for builders that need to upgrade node metadata.
+  Node& mutable_node(NodeId id);
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  // The 2-D point of a graph location.
+  Point PositionOf(const GraphLocation& loc) const;
+
+  // The node at the far side of `e` as seen from `from`.
+  NodeId OtherEnd(EdgeId e, NodeId from) const;
+
+  // Offset of node `n` on edge `e` (0 when n == a, length when n == b).
+  double OffsetOfNode(EdgeId e, NodeId n) const;
+
+  // Graph location sitting exactly on node `n`, using its first incident
+  // edge. Precondition: `n` has at least one incident edge.
+  GraphLocation LocationAtNode(NodeId n) const;
+
+  // The location on the graph closest (in Euclidean distance) to `p`.
+  // Hallway edges are preferred over room stubs when `prefer_hallways` is
+  // set (used to snap query points, which the paper approximates "to the
+  // nearest edge of the indoor walking graph").
+  GraphLocation NearestLocation(const Point& p,
+                                bool prefer_hallways = false) const;
+
+  // Structural sanity: endpoint ids valid, lengths match geometry, node
+  // incidence lists consistent, graph connected.
+  Status Validate() const;
+
+  // True when every node can reach every other node.
+  bool IsConnected() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+};
+
+std::string ToString(NodeKind kind);
+std::string ToString(EdgeKind kind);
+
+}  // namespace ipqs
+
+#endif  // IPQS_GRAPH_WALKING_GRAPH_H_

@@ -1,0 +1,122 @@
+#include "query/events.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ipqs {
+
+double ProbabilityInRoom(const AnchorPointIndex& anchors,
+                         const AnchorObjectTable& table, ObjectId object,
+                         RoomId room) {
+  const AnchorDistribution* dist = table.Distribution(object);
+  if (dist == nullptr) {
+    return 0.0;
+  }
+  double p = 0.0;
+  for (const auto& [anchor, mass] : dist->entries()) {
+    if (anchors.anchor(anchor).room == room) {
+      p += mass;
+    }
+  }
+  return p;
+}
+
+double ProbabilityTogether(const AnchorPointIndex& anchors,
+                           const AnchorGraph& anchor_graph,
+                           const AnchorObjectTable& table, ObjectId a,
+                           ObjectId b, double within_meters) {
+  IPQS_CHECK_GE(within_meters, 0.0);
+  const AnchorDistribution* da = table.Distribution(a);
+  const AnchorDistribution* db = table.Distribution(b);
+  if (da == nullptr || db == nullptr) {
+    return 0.0;
+  }
+  // For every anchor in a's support, collect b's mass within the distance
+  // budget (bounded Dijkstra per support anchor; supports are small).
+  double total = 0.0;
+  for (const auto& [anchor_a, mass_a] : da->entries()) {
+    const AnchorPoint& ap = anchors.anchor(anchor_a);
+    const auto reachable = anchor_graph.WithinDistance(
+        anchors, GraphLocation{ap.edge, ap.offset}, within_meters);
+    double mass_b_nearby = 0.0;
+    for (const auto& [anchor_b, _] : reachable) {
+      mass_b_nearby += db->ProbabilityAt(anchor_b);
+    }
+    // The source anchor itself is at distance 0 but SeedsFrom may skip it
+    // only if budgets are tiny; ProbabilityAt covers the overlap already
+    // when anchor_a is in `reachable`. Guard for the degenerate budget:
+    if (reachable.empty()) {
+      mass_b_nearby = db->ProbabilityAt(anchor_a);
+    }
+    total += mass_a * mass_b_nearby;
+  }
+  return std::min(total, 1.0);
+}
+
+MeetingDetector::MeetingDetector(QueryEngine* engine,
+                                 const AnchorPointIndex* anchors, ObjectId a,
+                                 ObjectId b, RoomId room,
+                                 double probability_threshold,
+                                 int64_t min_duration_seconds)
+    : engine_(engine),
+      anchors_(anchors),
+      a_(a),
+      b_(b),
+      room_(room),
+      threshold_(probability_threshold),
+      min_duration_(min_duration_seconds) {
+  IPQS_CHECK(engine != nullptr);
+  IPQS_CHECK(anchors != nullptr);
+  IPQS_CHECK(probability_threshold > 0.0 && probability_threshold <= 1.0);
+  IPQS_CHECK_GE(min_duration_seconds, 0);
+}
+
+std::optional<MeetingEvent> MeetingDetector::CloseStreak() {
+  in_streak_ = false;
+  if (streak_last_ - streak_start_ + 1 < min_duration_) {
+    return std::nullopt;  // Too short to count as a meeting.
+  }
+  MeetingEvent event;
+  event.start = streak_start_;
+  event.end = streak_last_;
+  event.mean_probability =
+      streak_samples_ == 0 ? 0.0 : streak_prob_sum_ / streak_samples_;
+  return event;
+}
+
+std::optional<MeetingEvent> MeetingDetector::Poll(int64_t now) {
+  engine_->InferObject(a_, now);
+  engine_->InferObject(b_, now);
+  const double pa =
+      ProbabilityInRoom(*anchors_, engine_->table(), a_, room_);
+  const double pb =
+      ProbabilityInRoom(*anchors_, engine_->table(), b_, room_);
+  last_probability_ = pa * pb;
+
+  if (last_probability_ >= threshold_) {
+    if (!in_streak_) {
+      in_streak_ = true;
+      streak_start_ = now;
+      streak_prob_sum_ = 0.0;
+      streak_samples_ = 0;
+    }
+    streak_last_ = now;
+    streak_prob_sum_ += last_probability_;
+    ++streak_samples_;
+    return std::nullopt;
+  }
+  if (in_streak_) {
+    return CloseStreak();
+  }
+  return std::nullopt;
+}
+
+std::optional<MeetingEvent> MeetingDetector::Flush() {
+  if (!in_streak_) {
+    return std::nullopt;
+  }
+  return CloseStreak();
+}
+
+}  // namespace ipqs

@@ -1,0 +1,83 @@
+#ifndef IPQS_QUERY_EVENTS_H_
+#define IPQS_QUERY_EVENTS_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/anchor_graph.h"
+#include "query/query_engine.h"
+
+namespace ipqs {
+
+// Probabilistic event predicates over inferred location distributions —
+// the "complex event" query class of the RFID systems the paper surveys
+// in related work ("Is Joe meeting with Mary in Room 203?"), evaluated
+// directly on the anchor-point distributions our engines produce.
+//
+// Object location distributions are treated as independent (the filter
+// tracks objects independently), so joint probabilities multiply.
+
+// P(object is inside `room`), given the distributions in `table`.
+// 0 when the object is unknown.
+double ProbabilityInRoom(const AnchorPointIndex& anchors,
+                         const AnchorObjectTable& table, ObjectId object,
+                         RoomId room);
+
+// P(network distance between `a` and `b` is at most `within_meters`),
+// summing the joint mass over anchor pairs (independence assumption).
+double ProbabilityTogether(const AnchorPointIndex& anchors,
+                           const AnchorGraph& anchor_graph,
+                           const AnchorObjectTable& table, ObjectId a,
+                           ObjectId b, double within_meters);
+
+// A detected meeting: both objects were (probably) in the room for at
+// least the configured duration.
+struct MeetingEvent {
+  int64_t start = 0;
+  int64_t end = 0;
+  double mean_probability = 0.0;
+};
+
+// Stream-style meeting detector: poll once per second (or coarser); when
+// P(a in room) * P(b in room) stays above `probability_threshold` for at
+// least `min_duration_seconds`, a MeetingEvent is emitted (on the first
+// poll after the streak ends, or via Flush()).
+class MeetingDetector {
+ public:
+  MeetingDetector(QueryEngine* engine, const AnchorPointIndex* anchors,
+                  ObjectId a, ObjectId b, RoomId room,
+                  double probability_threshold = 0.5,
+                  int64_t min_duration_seconds = 10);
+
+  // Evaluates the predicate at `now`; returns a completed meeting if one
+  // just ended.
+  std::optional<MeetingEvent> Poll(int64_t now);
+
+  // Closes any open streak (end of stream).
+  std::optional<MeetingEvent> Flush();
+
+  // P(a in room) * P(b in room) at the last poll.
+  double last_probability() const { return last_probability_; }
+
+ private:
+  std::optional<MeetingEvent> CloseStreak();
+
+  QueryEngine* engine_;
+  const AnchorPointIndex* anchors_;
+  ObjectId a_;
+  ObjectId b_;
+  RoomId room_;
+  double threshold_;
+  int64_t min_duration_;
+
+  bool in_streak_ = false;
+  int64_t streak_start_ = 0;
+  int64_t streak_last_ = 0;
+  double streak_prob_sum_ = 0.0;
+  int64_t streak_samples_ = 0;
+  double last_probability_ = 0.0;
+};
+
+}  // namespace ipqs
+
+#endif  // IPQS_QUERY_EVENTS_H_

@@ -1,0 +1,74 @@
+#include "query/knn_query.h"
+
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ipqs {
+
+KnnQueryEvaluator::KnnQueryEvaluator(const WalkingGraph* graph,
+                                     const AnchorPointIndex* anchors,
+                                     const AnchorGraph* anchor_graph)
+    : graph_(graph), anchors_(anchors), anchor_graph_(anchor_graph) {
+  IPQS_CHECK(graph != nullptr);
+  IPQS_CHECK(anchors != nullptr);
+  IPQS_CHECK(anchor_graph != nullptr);
+}
+
+KnnResult KnnQueryEvaluator::Evaluate(const AnchorObjectTable& table,
+                                      const Point& query, int k) const {
+  return Evaluate(table, graph_->NearestLocation(query, /*prefer_hallways=*/true),
+                  k);
+}
+
+KnnResult KnnQueryEvaluator::Evaluate(const AnchorObjectTable& table,
+                                      const GraphLocation& query,
+                                      int k) const {
+  IPQS_CHECK_GT(k, 0);
+  KnnResult out;
+
+  struct Entry {
+    double dist;
+    AnchorId anchor;
+    bool operator>(const Entry& o) const { return dist > o.dist; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  std::vector<double> dist(anchor_graph_->num_anchors(),
+                           std::numeric_limits<double>::infinity());
+
+  for (const auto& [anchor, d] : anchor_graph_->SeedsFrom(*anchors_, query)) {
+    if (d < dist[anchor]) {
+      dist[anchor] = d;
+      queue.push({d, anchor});
+    }
+  }
+
+  while (!queue.empty()) {
+    const Entry top = queue.top();
+    queue.pop();
+    if (top.dist > dist[top.anchor]) {
+      continue;
+    }
+    ++out.anchors_searched;
+    for (const auto& [object, p] : table.AtAnchor(top.anchor)) {
+      out.result.Add(object, p);
+      out.total_probability += p;
+    }
+    if (out.total_probability >= static_cast<double>(k)) {
+      break;  // Algorithm 4's stopping criterion.
+    }
+    for (const AnchorGraph::Neighbor& nb :
+         anchor_graph_->NeighborsOf(top.anchor)) {
+      const double cand = top.dist + nb.dist;
+      if (cand < dist[nb.anchor]) {
+        dist[nb.anchor] = cand;
+        queue.push({cand, nb.anchor});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ipqs

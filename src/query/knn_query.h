@@ -1,0 +1,47 @@
+#ifndef IPQS_QUERY_KNN_QUERY_H_
+#define IPQS_QUERY_KNN_QUERY_H_
+
+#include "filter/anchor_distribution.h"
+#include "graph/anchor_graph.h"
+#include "graph/anchor_points.h"
+#include "graph/walking_graph.h"
+#include "query/range_query.h"
+
+namespace ipqs {
+
+// Result of a probabilistic indoor kNN query (Algorithm 4): the returned
+// objects' probabilities sum to at least k (unless fewer objects exist),
+// so every object carries its probability of belonging to the true kNN
+// set.
+struct KnnResult {
+  QueryResult result;
+  int anchors_searched = 0;
+  double total_probability = 0.0;
+};
+
+// Indoor kNN query evaluation (Algorithm 4): anchor points are visited in
+// ascending network distance from the query point (incremental expansion
+// over the anchor graph); their indexed (object, probability) entries
+// accumulate until the probability mass reaches k.
+class KnnQueryEvaluator {
+ public:
+  KnnQueryEvaluator(const WalkingGraph* graph,
+                    const AnchorPointIndex* anchors,
+                    const AnchorGraph* anchor_graph);
+
+  // `query` is an arbitrary indoor point; the paper approximates it "to the
+  // nearest edge of the indoor walking graph".
+  KnnResult Evaluate(const AnchorObjectTable& table, const Point& query,
+                     int k) const;
+  KnnResult Evaluate(const AnchorObjectTable& table,
+                     const GraphLocation& query, int k) const;
+
+ private:
+  const WalkingGraph* graph_;
+  const AnchorPointIndex* anchors_;
+  const AnchorGraph* anchor_graph_;
+};
+
+}  // namespace ipqs
+
+#endif  // IPQS_QUERY_KNN_QUERY_H_

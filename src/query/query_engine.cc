@@ -1,0 +1,141 @@
+#include "query/query_engine.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace ipqs {
+
+QueryEngine::QueryEngine(const WalkingGraph* graph, const FloorPlan* plan,
+                         const AnchorPointIndex* anchors,
+                         const AnchorGraph* anchor_graph,
+                         const Deployment* deployment,
+                         const DeploymentGraph* deployment_graph,
+                         const DataCollector* collector,
+                         const EngineConfig& config)
+    : graph_(graph),
+      anchors_(anchors),
+      deployment_(deployment),
+      collector_(collector),
+      config_(config),
+      filter_(graph, deployment, config.filter),
+      symbolic_(anchors, anchor_graph, deployment, deployment_graph,
+                config.symbolic),
+      range_eval_(plan, anchors),
+      knn_eval_(graph, anchors, anchor_graph),
+      rng_(config.seed) {
+  IPQS_CHECK(collector != nullptr);
+}
+
+void QueryEngine::SyncTableTo(int64_t now) {
+  if (table_time_ != now) {
+    table_.Clear();
+    table_time_ = now;
+  }
+}
+
+const AnchorDistribution* QueryEngine::InferObject(ObjectId object,
+                                                   int64_t now) {
+  SyncTableTo(now);
+  if (const AnchorDistribution* memo = table_.Distribution(object)) {
+    return memo;  // Already inferred for this timestamp.
+  }
+  const DataCollector::ObjectHistory* history = collector_->History(object);
+  if (history == nullptr || history->entries.empty()) {
+    return nullptr;
+  }
+  ++stats_.candidates_inferred;
+
+  AnchorDistribution dist;
+  if (config_.method == InferenceMethod::kSymbolicModel) {
+    dist = symbolic_.Infer(*history, now);
+  } else if (config_.method == InferenceMethod::kLastReading) {
+    // Uniform over the anchors covered by the last detecting reader.
+    const Reader& last = deployment_->reader(history->current_device);
+    std::vector<AnchorId> covered;
+    for (AnchorId a :
+         anchors_->InRect(Rect::FromCenter(last.pos, 2 * last.range,
+                                           2 * last.range))) {
+      if (last.InRange(anchors_->anchor(a).pos)) {
+        covered.push_back(a);
+      }
+    }
+    if (covered.empty()) {
+      covered.push_back(anchors_->NearestToPoint(last.pos));
+    }
+    dist = AnchorDistribution::Uniform(std::move(covered));
+  } else {
+    const ReaderId current_device = history->current_device;
+    FilterResult state;
+    bool resumed = false;
+    int seconds_before = 0;
+    if (config_.use_cache) {
+      if (auto cached = cache_.Lookup(object, current_device)) {
+        seconds_before = cached->seconds_processed;
+        state = filter_.Resume(std::move(*cached), *history, now, rng_);
+        resumed = true;
+      }
+    }
+    if (!resumed) {
+      state = filter_.Run(*history, now, rng_);
+      ++stats_.filter_runs;
+    } else {
+      ++stats_.filter_resumes;
+    }
+    // Only the seconds filtered by THIS call count as work (a resumed
+    // state carries its lifetime total in seconds_processed).
+    stats_.filter_seconds += state.seconds_processed - seconds_before;
+    dist = AnchorDistribution::FromParticles(*anchors_, state.particles);
+    if (config_.use_cache) {
+      cache_.Insert(object, current_device, std::move(state));
+    }
+  }
+  table_.Set(object, std::move(dist));
+  return table_.Distribution(object);
+}
+
+QueryResult QueryEngine::EvaluateRange(const Rect& window, int64_t now) {
+  SyncTableTo(now);
+  ++stats_.queries;
+
+  std::vector<ObjectId> candidates;
+  if (config_.use_pruning) {
+    candidates = FilterRangeCandidates(*collector_, *deployment_, {window},
+                                       now, config_.max_speed);
+  } else {
+    candidates = collector_->KnownObjects();
+  }
+  stats_.objects_considered +=
+      static_cast<int64_t>(collector_->KnownObjects().size());
+
+  for (ObjectId object : candidates) {
+    InferObject(object, now);
+  }
+  return range_eval_.Evaluate(table_, window);
+}
+
+KnnResult QueryEngine::EvaluateKnn(const Point& query, int k, int64_t now) {
+  SyncTableTo(now);
+  ++stats_.queries;
+
+  const GraphLocation q =
+      graph_->NearestLocation(query, /*prefer_hallways=*/true);
+  std::vector<ObjectId> candidates;
+  if (config_.use_pruning) {
+    candidates = FilterKnnCandidates(*graph_, *collector_, *deployment_, q, k,
+                                     now, config_.max_speed);
+  } else {
+    candidates = collector_->KnownObjects();
+  }
+  stats_.objects_considered +=
+      static_cast<int64_t>(collector_->KnownObjects().size());
+
+  for (ObjectId object : candidates) {
+    InferObject(object, now);
+  }
+  return knn_eval_.Evaluate(table_, q, k);
+}
+
+void QueryEngine::ResetStats() { stats_ = EngineStats{}; }
+
+}  // namespace ipqs

@@ -1,0 +1,115 @@
+#include "query/range_query.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ipqs {
+
+double QueryResult::TotalProbability() const {
+  double total = 0.0;
+  for (const auto& [_, p] : objects) {
+    total += p;
+  }
+  return total;
+}
+
+double QueryResult::ProbabilityOf(ObjectId object) const {
+  for (const auto& [id, p] : objects) {
+    if (id == object) {
+      return p;
+    }
+  }
+  return 0.0;
+}
+
+void QueryResult::Add(ObjectId object, double p) {
+  for (auto& [id, prob] : objects) {
+    if (id == object) {
+      prob += p;
+      return;
+    }
+  }
+  objects.emplace_back(object, p);
+}
+
+std::vector<ObjectId> QueryResult::TopObjects(int k) const {
+  std::vector<std::pair<ObjectId, double>> sorted = objects;
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (k >= 0 && static_cast<int>(sorted.size()) > k) {
+    sorted.resize(k);
+  }
+  std::vector<ObjectId> out;
+  out.reserve(sorted.size());
+  for (const auto& [id, _] : sorted) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+RangeQueryEvaluator::RangeQueryEvaluator(const FloorPlan* plan,
+                                         const AnchorPointIndex* anchors)
+    : plan_(plan), anchors_(anchors) {
+  IPQS_CHECK(plan != nullptr);
+  IPQS_CHECK(anchors != nullptr);
+}
+
+QueryResult RangeQueryEvaluator::Evaluate(const AnchorObjectTable& table,
+                                          const Rect& window) const {
+  QueryResult result;
+
+  // Hallway part: anchors inside the window's along-hallway extent,
+  // compensated by the covered fraction of the hallway width.
+  for (const Hallway& h : plan_->hallways()) {
+    const Rect bounds = h.Bounds();
+    if (!bounds.Intersects(window)) {
+      continue;
+    }
+    const Rect clip = bounds.Intersection(window);
+    const double ratio = h.IsHorizontal() ? clip.Height() / h.width
+                                          : clip.Width() / h.width;
+    if (ratio <= 0.0) {
+      continue;
+    }
+    // Select hallway anchors within the along-axis extent of the clip,
+    // across the full width (anchors sit on the centerline).
+    const Rect along = h.IsHorizontal()
+                           ? Rect(clip.min_x, bounds.min_y, clip.max_x,
+                                  bounds.max_y)
+                           : Rect(bounds.min_x, clip.min_y, bounds.max_x,
+                                  clip.max_y);
+    for (AnchorId a : anchors_->InRect(along)) {
+      const AnchorPoint& ap = anchors_->anchor(a);
+      if (ap.hallway != h.id) {
+        continue;
+      }
+      for (const auto& [object, p] : table.AtAnchor(a)) {
+        result.Add(object, p * ratio);
+      }
+    }
+  }
+
+  // Room part: all anchors of the room, compensated by the covered
+  // fraction of the room's area.
+  for (const Room& r : plan_->rooms()) {
+    if (!r.bounds.Intersects(window)) {
+      continue;
+    }
+    const double overlap = r.bounds.Intersection(window).Area();
+    const double ratio = overlap / r.Area();
+    if (ratio <= 0.0) {
+      continue;
+    }
+    for (AnchorId a : anchors_->InRoom(r.id)) {
+      for (const auto& [object, p] : table.AtAnchor(a)) {
+        result.Add(object, p * ratio);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ipqs

@@ -1,0 +1,51 @@
+#ifndef IPQS_QUERY_RANGE_QUERY_H_
+#define IPQS_QUERY_RANGE_QUERY_H_
+
+#include <utility>
+#include <vector>
+
+#include "filter/anchor_distribution.h"
+#include "floorplan/floor_plan.h"
+#include "graph/anchor_points.h"
+#include "rfid/reader.h"
+
+namespace ipqs {
+
+// Probabilistic result of a spatial query: each candidate object with its
+// probability of satisfying the query.
+struct QueryResult {
+  std::vector<std::pair<ObjectId, double>> objects;
+
+  double TotalProbability() const;
+  double ProbabilityOf(ObjectId object) const;
+  // Adds `p` to `object`'s probability (Algorithm 3's resultSet addition).
+  void Add(ObjectId object, double p);
+  // Objects sorted by descending probability (ties: ascending id), trimmed
+  // to at most `k` entries; k < 0 keeps everything.
+  std::vector<ObjectId> TopObjects(int k = -1) const;
+};
+
+// Indoor range query evaluation (Algorithm 3). Anchor points are the 1-D
+// projection of 2-D space, so the lost dimension is compensated per
+// container:
+//  * hallway: anchors within the window's along-hallway extent count with
+//    ratio (overlapped hallway width) / (full hallway width);
+//  * room: all anchors of the room count with ratio
+//    area(window ∩ room) / area(room).
+class RangeQueryEvaluator {
+ public:
+  RangeQueryEvaluator(const FloorPlan* plan, const AnchorPointIndex* anchors);
+
+  // Probability each object lies inside `window`, given the location
+  // distributions in `table`.
+  QueryResult Evaluate(const AnchorObjectTable& table,
+                       const Rect& window) const;
+
+ private:
+  const FloorPlan* plan_;
+  const AnchorPointIndex* anchors_;
+};
+
+}  // namespace ipqs
+
+#endif  // IPQS_QUERY_RANGE_QUERY_H_

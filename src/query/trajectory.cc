@@ -1,0 +1,57 @@
+#include "query/trajectory.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace ipqs {
+
+std::vector<TrajectoryPoint> ReconstructTrajectory(HistoricalEngine& engine,
+                                                   ObjectId object,
+                                                   int64_t from, int64_t to,
+                                                   int64_t step) {
+  IPQS_CHECK_GT(step, 0);
+  IPQS_CHECK_LE(from, to);
+  std::vector<TrajectoryPoint> out;
+  for (int64_t t = from; t <= to; t += step) {
+    const AnchorDistribution* dist = engine.InferObjectAt(object, t);
+    if (dist == nullptr || dist->empty()) {
+      continue;  // Not yet (or never) detected by time t.
+    }
+    const AnchorId map_anchor = dist->TopK(1).front();
+    out.push_back({t, map_anchor, dist->ProbabilityAt(map_anchor)});
+  }
+  return out;
+}
+
+double TrajectoryLength(const AnchorPointIndex& anchors,
+                        const AnchorGraph& anchor_graph,
+                        const std::vector<TrajectoryPoint>& trajectory) {
+  double total = 0.0;
+  for (size_t i = 0; i + 1 < trajectory.size(); ++i) {
+    if (trajectory[i].anchor == trajectory[i + 1].anchor) {
+      continue;
+    }
+    const AnchorPoint& from = anchors.anchor(trajectory[i].anchor);
+    // Bounded expansion from the current anchor until the next one is
+    // settled; trajectories move a few meters per step, so budgets stay
+    // small. Fall back to the Euclidean lower bound if unreachable within
+    // a generous budget (disconnected should not happen).
+    const double budget = 200.0;
+    double leg = -1.0;
+    for (const auto& [anchor, dist] : anchor_graph.WithinDistance(
+             anchors, GraphLocation{from.edge, from.offset}, budget)) {
+      if (anchor == trajectory[i + 1].anchor) {
+        leg = dist;
+        break;
+      }
+    }
+    if (leg < 0.0) {
+      leg = Distance(from.pos, anchors.anchor(trajectory[i + 1].anchor).pos);
+    }
+    total += leg;
+  }
+  return total;
+}
+
+}  // namespace ipqs

@@ -1,0 +1,37 @@
+#ifndef IPQS_QUERY_TRAJECTORY_H_
+#define IPQS_QUERY_TRAJECTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/historical.h"
+
+namespace ipqs {
+
+// Trajectory reconstruction over recorded RFID history — classic
+// "track and trace": where (most probably) was this object at each
+// sampled instant?
+struct TrajectoryPoint {
+  int64_t time = 0;
+  AnchorId anchor = kInvalidId;  // MAP anchor at `time`.
+  double probability = 0.0;      // Its mass in the inferred distribution.
+};
+
+// Samples the object's maximum a-posteriori location every `step` seconds
+// in [from, to]. Instants before the object's first detection are skipped,
+// so the result may start later than `from` (or be empty).
+std::vector<TrajectoryPoint> ReconstructTrajectory(HistoricalEngine& engine,
+                                                   ObjectId object,
+                                                   int64_t from, int64_t to,
+                                                   int64_t step);
+
+// Total network length of the reconstructed trajectory (sum of anchor-
+// graph distances between consecutive MAP anchors) — a rough mobility
+// measure.
+double TrajectoryLength(const AnchorPointIndex& anchors,
+                        const AnchorGraph& anchor_graph,
+                        const std::vector<TrajectoryPoint>& trajectory);
+
+}  // namespace ipqs
+
+#endif  // IPQS_QUERY_TRAJECTORY_H_

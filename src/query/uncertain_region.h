@@ -1,0 +1,68 @@
+#ifndef IPQS_QUERY_UNCERTAIN_REGION_H_
+#define IPQS_QUERY_UNCERTAIN_REGION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "graph/shortest_path.h"
+#include "rfid/data_collector.h"
+#include "rfid/deployment.h"
+
+namespace ipqs {
+
+// Uncertain region of an object (Section 4.3): a disc centered at its last
+// detecting reader with radius
+//   r = u_max * (t_now - t_last) + d.range,
+// guaranteed to contain the object's true position (under the max-speed
+// assumption). The query-aware optimization module prunes objects whose
+// uncertain region cannot intersect any registered query.
+struct UncertainRegion {
+  ObjectId object = kInvalidId;
+  ReaderId reader = kInvalidId;
+  Point center;
+  double radius = 0.0;
+
+  // Euclidean window test for range-query pruning.
+  bool Overlaps(const Rect& window) const {
+    return window.DistanceTo(center) <= radius;
+  }
+};
+
+UncertainRegion ComputeUncertainRegion(const Deployment& deployment,
+                                       ObjectId object,
+                                       const AggregatedEntry& last_reading,
+                                       int64_t now, double max_speed);
+
+// Min/max shortest-network-distance interval [s_i, l_i] from a query point
+// to an uncertain region (Equation 6), computed through one cached
+// Dijkstra from the query point:
+//   s_i = max(0, d_net(q, reader) - radius),  l_i = d_net(q, reader) + radius.
+struct DistanceInterval {
+  double min_dist = 0.0;  // s_i
+  double max_dist = 0.0;  // l_i
+};
+
+DistanceInterval NetworkDistanceInterval(const OneToAllDistances& from_query,
+                                         const Deployment& deployment,
+                                         const UncertainRegion& region);
+
+// Range-query candidate filter: objects whose uncertain region overlaps at
+// least one window. Objects without any reading are never candidates (they
+// have never been inside the instrumented space).
+std::vector<ObjectId> FilterRangeCandidates(
+    const DataCollector& collector, const Deployment& deployment,
+    const std::vector<Rect>& windows, int64_t now, double max_speed);
+
+// kNN candidate filter (distance-based pruning of [30]): drops every object
+// whose s_i exceeds f = the k-th smallest l_i.
+std::vector<ObjectId> FilterKnnCandidates(const WalkingGraph& graph,
+                                          const DataCollector& collector,
+                                          const Deployment& deployment,
+                                          const GraphLocation& query, int k,
+                                          int64_t now, double max_speed);
+
+}  // namespace ipqs
+
+#endif  // IPQS_QUERY_UNCERTAIN_REGION_H_

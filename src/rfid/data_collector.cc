@@ -1,0 +1,81 @@
+#include "rfid/data_collector.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ipqs {
+
+void DataCollector::Observe(const RawReading& reading) {
+  IPQS_CHECK_NE(reading.object, kInvalidId);
+  IPQS_CHECK_NE(reading.reader, kInvalidId);
+  ObjectHistory& h = histories_[reading.object];
+
+  if (!h.entries.empty()) {
+    IPQS_CHECK_GE(reading.time, h.entries.back().time)
+        << "raw readings must arrive in time order per object";
+  }
+
+  if (reading.reader != h.current_device) {
+    // Device hand-off: LEAVE the old device, ENTER the new one, and drop
+    // entries from the device that just aged out of the 2-device window.
+    if (record_events_ && h.current_device != kInvalidId) {
+      events_.push_back({reading.object, h.current_device,
+                         h.entries.back().time, /*enter=*/false});
+    }
+    if (record_events_) {
+      events_.push_back(
+          {reading.object, reading.reader, reading.time, /*enter=*/true});
+    }
+    if (h.previous_device != kInvalidId) {
+      const ReaderId drop = h.previous_device;
+      std::erase_if(h.entries, [drop](const AggregatedEntry& e) {
+        return e.reader == drop;
+      });
+    }
+    h.previous_device = h.current_device;
+    h.current_device = reading.reader;
+  }
+
+  // Aggregation: at most one entry per (second, reader).
+  if (!h.entries.empty() && h.entries.back().time == reading.time &&
+      h.entries.back().reader == reading.reader) {
+    return;
+  }
+  h.entries.push_back({reading.time, reading.reader});
+}
+
+const DataCollector::ObjectHistory* DataCollector::History(
+    ObjectId object) const {
+  const auto it = histories_.find(object);
+  return it == histories_.end() ? nullptr : &it->second;
+}
+
+std::optional<AggregatedEntry> DataCollector::LastReading(
+    ObjectId object) const {
+  const ObjectHistory* h = History(object);
+  if (h == nullptr || h->entries.empty()) {
+    return std::nullopt;
+  }
+  return h->entries.back();
+}
+
+std::vector<ObjectId> DataCollector::KnownObjects() const {
+  std::vector<ObjectId> out;
+  out.reserve(histories_.size());
+  for (const auto& [id, _] : histories_) {
+    out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t DataCollector::TotalEntriesRetained() const {
+  size_t total = 0;
+  for (const auto& [_, h] : histories_) {
+    total += h.entries.size();
+  }
+  return total;
+}
+
+}  // namespace ipqs

@@ -1,0 +1,77 @@
+#ifndef IPQS_RFID_DATA_COLLECTOR_H_
+#define IPQS_RFID_DATA_COLLECTOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "rfid/reader.h"
+
+namespace ipqs {
+
+// One aggregated detection: `reader` saw the object at least once during
+// second `time`.
+struct AggregatedEntry {
+  int64_t time = 0;
+  ReaderId reader = kInvalidId;
+};
+
+// An ENTER or LEAVE event: the object entered/left the activation range of
+// `reader` (LEAVE is emitted lazily, when the next device sees the object).
+struct ReaderEvent {
+  ObjectId object = kInvalidId;
+  ReaderId reader = kInvalidId;
+  int64_t time = 0;
+  bool enter = true;
+};
+
+// Event-driven raw data collector (Section 4.1 of the paper). Aggregates
+// raw readings to one entry per second and, per object, retains only the
+// readings of the two most recent detecting devices — exactly the window
+// the particle filter consumes (snapshot queries need no longer history).
+class DataCollector {
+ public:
+  struct ObjectHistory {
+    // Aggregated entries, ascending by time, covering at most the two most
+    // recent detecting devices.
+    std::vector<AggregatedEntry> entries;
+    ReaderId current_device = kInvalidId;
+    ReaderId previous_device = kInvalidId;
+
+    int64_t FirstTime() const { return entries.front().time; }
+    int64_t LastTime() const { return entries.back().time; }
+  };
+
+  DataCollector() = default;
+
+  // Ingests one raw reading. Readings must arrive in non-decreasing time
+  // order per object (the stream is naturally ordered).
+  void Observe(const RawReading& reading);
+
+  // History for `object`; nullptr when the object has never been detected.
+  const ObjectHistory* History(ObjectId object) const;
+
+  // Most recent detection of `object`, if any.
+  std::optional<AggregatedEntry> LastReading(ObjectId object) const;
+
+  // All objects with at least one detection.
+  std::vector<ObjectId> KnownObjects() const;
+
+  // ENTER/LEAVE event log (recorded only when enabled; off by default to
+  // keep long simulations lean).
+  void set_record_events(bool record) { record_events_ = record; }
+  const std::vector<ReaderEvent>& events() const { return events_; }
+
+  // Total aggregated entries currently retained (storage metric).
+  size_t TotalEntriesRetained() const;
+
+ private:
+  std::unordered_map<ObjectId, ObjectHistory> histories_;
+  std::vector<ReaderEvent> events_;
+  bool record_events_ = false;
+};
+
+}  // namespace ipqs
+
+#endif  // IPQS_RFID_DATA_COLLECTOR_H_

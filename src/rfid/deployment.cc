@@ -1,0 +1,122 @@
+#include "rfid/deployment.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ipqs {
+
+StatusOr<Deployment> Deployment::UniformOnHallways(const FloorPlan& plan,
+                                                   const WalkingGraph& graph,
+                                                   int num_readers,
+                                                   double range) {
+  if (num_readers <= 0) {
+    return Status::InvalidArgument("deployment needs at least one reader");
+  }
+  if (range <= 0.0) {
+    return Status::InvalidArgument("activation range must be positive");
+  }
+  double total = 0.0;
+  for (const Hallway& h : plan.hallways()) {
+    total += h.Length();
+  }
+  if (total <= 0.0) {
+    return Status::FailedPrecondition("floor plan has no hallway length");
+  }
+
+  Deployment dep;
+  const double step = total / num_readers;
+  // Walk the concatenated centerlines, dropping a reader every `step`
+  // meters, centered within its slot.
+  double next_at = step / 2;
+  double consumed = 0.0;
+  for (const Hallway& h : plan.hallways()) {
+    const double len = h.Length();
+    while (next_at < consumed + len - 1e-9 &&
+           dep.num_readers() < num_readers) {
+      const Point pos = h.centerline.AtOffset(next_at - consumed);
+      dep.AddReader(graph, pos, range);
+      next_at += step;
+    }
+    consumed += len;
+  }
+  IPQS_CHECK_EQ(dep.num_readers(), num_readers);
+  return dep;
+}
+
+ReaderId Deployment::AddReader(const WalkingGraph& graph, Point pos,
+                               double range) {
+  Reader r;
+  r.id = static_cast<ReaderId>(readers_.size());
+  r.pos = pos;
+  r.loc = graph.NearestLocation(pos, /*prefer_hallways=*/true);
+  r.range = range;
+  readers_.push_back(r);
+  return r.id;
+}
+
+const Reader& Deployment::reader(ReaderId id) const {
+  IPQS_CHECK(id >= 0 && id < num_readers());
+  return readers_[id];
+}
+
+std::vector<ReaderId> Deployment::Covering(const Point& p) const {
+  std::vector<ReaderId> out;
+  for (const Reader& r : readers_) {
+    if (r.InRange(p)) {
+      out.push_back(r.id);
+    }
+  }
+  return out;
+}
+
+std::optional<ReaderId> Deployment::FirstCovering(const Point& p) const {
+  for (const Reader& r : readers_) {
+    if (r.InRange(p)) {
+      return r.id;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<EdgeInterval> EdgeIntervalsInRange(const WalkingGraph& graph,
+                                               const Reader& reader) {
+  std::vector<EdgeInterval> out;
+  for (const Edge& e : graph.edges()) {
+    // Solve |a + t*(b-a) - c|^2 <= r^2 for t in [0, 1].
+    const Point d = e.geometry.b - e.geometry.a;
+    const Point f = e.geometry.a - reader.pos;
+    const double qa = d.SquaredNorm();
+    const double qb = 2.0 * f.Dot(d);
+    const double qc = f.SquaredNorm() - reader.range * reader.range;
+    if (qa <= 0.0) {
+      continue;
+    }
+    const double disc = qb * qb - 4.0 * qa * qc;
+    if (disc < 0.0) {
+      continue;
+    }
+    const double sq = std::sqrt(disc);
+    const double t0 = std::max((-qb - sq) / (2.0 * qa), 0.0);
+    const double t1 = std::min((-qb + sq) / (2.0 * qa), 1.0);
+    if (t1 - t0 <= 1e-12) {
+      continue;
+    }
+    out.push_back({e.id, t0 * e.length, t1 * e.length});
+  }
+  return out;
+}
+
+bool Deployment::RangesDisjoint() const {
+  for (size_t i = 0; i < readers_.size(); ++i) {
+    for (size_t j = i + 1; j < readers_.size(); ++j) {
+      if (Distance(readers_[i].pos, readers_[j].pos) <
+          readers_[i].range + readers_[j].range) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace ipqs

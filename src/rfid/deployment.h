@@ -1,0 +1,66 @@
+#ifndef IPQS_RFID_DEPLOYMENT_H_
+#define IPQS_RFID_DEPLOYMENT_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/statusor.h"
+#include "floorplan/floor_plan.h"
+#include "graph/walking_graph.h"
+#include "rfid/reader.h"
+
+namespace ipqs {
+
+// The set of RFID readers installed in a building. The paper's evaluation
+// deploys 19 readers "on hallways with uniform distance to each other";
+// UniformOnHallways reproduces that: readers are placed along the
+// concatenated hallway centerlines at equal arc-length intervals.
+class Deployment {
+ public:
+  Deployment() = default;
+
+  static StatusOr<Deployment> UniformOnHallways(const FloorPlan& plan,
+                                                const WalkingGraph& graph,
+                                                int num_readers, double range);
+
+  // Manual placement (examples / what-if studies). `pos` is snapped to the
+  // nearest hallway edge of the graph.
+  ReaderId AddReader(const WalkingGraph& graph, Point pos, double range);
+
+  const std::vector<Reader>& readers() const { return readers_; }
+  const Reader& reader(ReaderId id) const;
+  int num_readers() const { return static_cast<int>(readers_.size()); }
+
+  // All readers whose activation range covers `p`.
+  std::vector<ReaderId> Covering(const Point& p) const;
+
+  // The reader covering `p`, if any; with the paper's disjoint-range
+  // assumption there is at most one (ties broken by lowest id).
+  std::optional<ReaderId> FirstCovering(const Point& p) const;
+
+  // True when no two activation ranges overlap (the paper's setting).
+  bool RangesDisjoint() const;
+
+ private:
+  std::vector<Reader> readers_;
+};
+
+// A stretch of one walking-graph edge, as [lo, hi] offsets from Edge::a.
+struct EdgeInterval {
+  EdgeId edge = kInvalidId;
+  double lo = 0.0;
+  double hi = 0.0;
+
+  double Length() const { return hi - lo; }
+};
+
+// The parts of the walking graph inside `reader`'s activation range
+// (Euclidean disc). Used to initialize particles "within
+// di.activationRange" and to carve deployment-graph cells for the symbolic
+// baseline.
+std::vector<EdgeInterval> EdgeIntervalsInRange(const WalkingGraph& graph,
+                                               const Reader& reader);
+
+}  // namespace ipqs
+
+#endif  // IPQS_RFID_DEPLOYMENT_H_

@@ -1,0 +1,87 @@
+#include "rfid/history_store.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ipqs {
+
+void HistoryStore::Observe(const RawReading& reading) {
+  IPQS_CHECK_NE(reading.object, kInvalidId);
+  IPQS_CHECK_NE(reading.reader, kInvalidId);
+  std::vector<AggregatedEntry>& log = entries_[reading.object];
+  if (!log.empty()) {
+    IPQS_CHECK_GE(reading.time, log.back().time)
+        << "raw readings must arrive in time order per object";
+    if (log.back().time == reading.time &&
+        log.back().reader == reading.reader) {
+      return;  // Aggregated duplicate within the same second.
+    }
+  }
+  log.push_back({reading.time, reading.reader});
+}
+
+std::optional<DataCollector::ObjectHistory> HistoryStore::SnapshotAt(
+    ObjectId object, int64_t time) const {
+  const auto it = entries_.find(object);
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  const std::vector<AggregatedEntry>& log = it->second;
+  // Last entry with entry.time <= time.
+  const auto upper = std::upper_bound(
+      log.begin(), log.end(), time,
+      [](int64_t t, const AggregatedEntry& e) { return t < e.time; });
+  if (upper == log.begin()) {
+    return std::nullopt;  // Nothing seen yet at `time`.
+  }
+
+  // Walk backwards over device episodes (maximal runs of one reader),
+  // keeping the two most recent ones — exactly the collector's window.
+  const auto last = upper - 1;
+  DataCollector::ObjectHistory history;
+  history.current_device = last->reader;
+  auto episode_start = last;
+  while (episode_start != log.begin() &&
+         (episode_start - 1)->reader == history.current_device) {
+    --episode_start;
+  }
+  auto window_start = episode_start;
+  if (episode_start != log.begin()) {
+    history.previous_device = (episode_start - 1)->reader;
+    auto prev_start = episode_start - 1;
+    while (prev_start != log.begin() &&
+           (prev_start - 1)->reader == history.previous_device) {
+      --prev_start;
+    }
+    window_start = prev_start;
+  }
+  history.entries.assign(window_start, upper);
+  return history;
+}
+
+const std::vector<AggregatedEntry>* HistoryStore::FullHistory(
+    ObjectId object) const {
+  const auto it = entries_.find(object);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<ObjectId> HistoryStore::KnownObjects() const {
+  std::vector<ObjectId> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, _] : entries_) {
+    out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t HistoryStore::TotalEntries() const {
+  size_t total = 0;
+  for (const auto& [_, log] : entries_) {
+    total += log.size();
+  }
+  return total;
+}
+
+}  // namespace ipqs

@@ -1,0 +1,48 @@
+#ifndef IPQS_RFID_HISTORY_STORE_H_
+#define IPQS_RFID_HISTORY_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "rfid/data_collector.h"
+
+namespace ipqs {
+
+// Long-horizon reading store. The event-driven data collector deliberately
+// retains only the two most recent detecting devices per object — enough
+// for snapshot queries "launched at the present time". Section 4.1 notes
+// that historical queries require keeping a longer history; this store is
+// that modification: it keeps every aggregated entry and can reconstruct,
+// for any past instant, exactly the two-device window the particle filter
+// would have seen then.
+class HistoryStore {
+ public:
+  HistoryStore() = default;
+
+  // Ingests one raw reading (same aggregation semantics as DataCollector:
+  // at most one entry per (object, second, reader); time-ordered per
+  // object).
+  void Observe(const RawReading& reading);
+
+  // The collector-equivalent history as of `time` (inclusive): entries of
+  // the object's two most recent device episodes whose readings are
+  // <= time. nullopt when the object had not been seen by `time`.
+  std::optional<DataCollector::ObjectHistory> SnapshotAt(ObjectId object,
+                                                         int64_t time) const;
+
+  // Every retained entry of the object (ascending time); nullptr if the
+  // object was never seen.
+  const std::vector<AggregatedEntry>* FullHistory(ObjectId object) const;
+
+  std::vector<ObjectId> KnownObjects() const;
+  size_t TotalEntries() const;
+
+ private:
+  std::unordered_map<ObjectId, std::vector<AggregatedEntry>> entries_;
+};
+
+}  // namespace ipqs
+
+#endif  // IPQS_RFID_HISTORY_STORE_H_

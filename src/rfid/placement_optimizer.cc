@@ -1,0 +1,137 @@
+#include "rfid/placement_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ipqs {
+namespace {
+
+// A candidate or probe point on a hallway centerline.
+struct LinePoint {
+  Point pos;
+  HallwayId hallway = kInvalidId;
+};
+
+// Samples points every `spacing` meters along all centerlines.
+std::vector<LinePoint> SampleCenterlines(const FloorPlan& plan,
+                                         double spacing) {
+  std::vector<LinePoint> out;
+  for (const Hallway& h : plan.hallways()) {
+    const int n = std::max(1, static_cast<int>(h.Length() / spacing));
+    for (int i = 0; i <= n; ++i) {
+      out.push_back(
+          {h.centerline.AtOffset(i * h.Length() / n), h.id});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<Deployment> OptimizePlacement(const FloorPlan& plan,
+                                       const WalkingGraph& graph,
+                                       const PlacementConfig& config) {
+  if (config.num_readers <= 0) {
+    return Status::InvalidArgument("need at least one reader");
+  }
+  if (config.activation_range <= 0 || config.candidate_spacing <= 0) {
+    return Status::InvalidArgument("range and spacing must be positive");
+  }
+  const double min_sep = config.min_separation < 0
+                             ? 2.0 * config.activation_range
+                             : config.min_separation;
+
+  const std::vector<LinePoint> candidates =
+      SampleCenterlines(plan, config.candidate_spacing);
+  // Dense probes measure coverage; each probe stands for `probe_spacing`
+  // meters of centerline.
+  const double probe_spacing = config.candidate_spacing / 2;
+  const std::vector<LinePoint> probes =
+      SampleCenterlines(plan, probe_spacing);
+
+  std::vector<bool> covered(probes.size(), false);
+  std::vector<bool> taken(candidates.size(), false);
+  std::vector<Point> chosen;
+
+  Deployment deployment;
+  for (int r = 0; r < config.num_readers; ++r) {
+    int best = -1;
+    int best_gain = -1;
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (taken[c]) {
+        continue;
+      }
+      bool too_close = false;
+      for (const Point& p : chosen) {
+        if (Distance(p, candidates[c].pos) < min_sep) {
+          too_close = true;
+          break;
+        }
+      }
+      if (too_close) {
+        continue;
+      }
+      int gain = 0;
+      for (size_t i = 0; i < probes.size(); ++i) {
+        if (!covered[i] && Distance(probes[i].pos, candidates[c].pos) <=
+                               config.activation_range) {
+          ++gain;
+        }
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = static_cast<int>(c);
+      }
+    }
+    if (best < 0) {
+      return Status::FailedPrecondition(
+          "cannot place " + std::to_string(config.num_readers) +
+          " readers with the given separation constraint");
+    }
+    taken[best] = true;
+    chosen.push_back(candidates[best].pos);
+    for (size_t i = 0; i < probes.size(); ++i) {
+      if (Distance(probes[i].pos, candidates[best].pos) <=
+          config.activation_range) {
+        covered[i] = true;
+      }
+    }
+    deployment.AddReader(graph, candidates[best].pos,
+                         config.activation_range);
+  }
+  return deployment;
+}
+
+CoverageReport EvaluateCoverage(const FloorPlan& plan,
+                                const Deployment& deployment) {
+  CoverageReport report;
+  double total = 0.0;
+  double covered = 0.0;
+  double longest_gap = 0.0;
+  const double step = 0.25;
+  for (const Hallway& h : plan.hallways()) {
+    double gap = 0.0;
+    const int n = std::max(1, static_cast<int>(h.Length() / step));
+    for (int i = 0; i <= n; ++i) {
+      const Point p = h.centerline.AtOffset(i * h.Length() / n);
+      const double weight = h.Length() / n;
+      total += weight;
+      if (deployment.FirstCovering(p).has_value()) {
+        covered += weight;
+        longest_gap = std::max(longest_gap, gap);
+        gap = 0.0;
+      } else {
+        gap += weight;
+      }
+    }
+    longest_gap = std::max(longest_gap, gap);
+  }
+  report.covered_fraction = total == 0.0 ? 0.0 : covered / total;
+  report.longest_gap = longest_gap;
+  return report;
+}
+
+}  // namespace ipqs

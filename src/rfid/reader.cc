@@ -1,0 +1,14 @@
+#include "rfid/reader.h"
+
+#include <cstdio>
+
+namespace ipqs {
+
+std::string Reader::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "reader%d@(%.2f,%.2f) r=%.2f", id, pos.x,
+                pos.y, range);
+  return buf;
+}
+
+}  // namespace ipqs

@@ -1,0 +1,39 @@
+#ifndef IPQS_RFID_READER_H_
+#define IPQS_RFID_READER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "geom/point.h"
+#include "graph/walking_graph.h"
+
+namespace ipqs {
+
+using ReaderId = int32_t;
+using ObjectId = int32_t;
+
+// A raw RFID observation: `reader` saw `object`'s tag at `time` (seconds).
+struct RawReading {
+  ObjectId object = kInvalidId;
+  ReaderId reader = kInvalidId;
+  int64_t time = 0;
+};
+
+// A stationary RFID reader deployed on a hallway. Its activation range is a
+// disc of radius `range` around `pos`; because ranges cover the full hallway
+// width, a reader acts as an (undirected) partitioning device on the
+// walking graph.
+struct Reader {
+  ReaderId id = kInvalidId;
+  Point pos;
+  GraphLocation loc;  // Snap of `pos` onto the walking graph.
+  double range = 2.0;
+
+  bool InRange(const Point& p) const { return Distance(pos, p) <= range; }
+
+  std::string ToString() const;
+};
+
+}  // namespace ipqs
+
+#endif  // IPQS_RFID_READER_H_

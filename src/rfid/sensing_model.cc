@@ -1,0 +1,22 @@
+#include "rfid/sensing_model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ipqs {
+
+SensingModel::SensingModel(const SensingConfig& config) : config_(config) {
+  IPQS_CHECK(config.sample_detection_prob >= 0.0 &&
+             config.sample_detection_prob <= 1.0);
+  IPQS_CHECK_GE(config.samples_per_second, 1);
+  per_second_prob_ =
+      1.0 - std::pow(1.0 - config.sample_detection_prob,
+                     config.samples_per_second);
+}
+
+bool SensingModel::DetectsThisSecond(Rng& rng) const {
+  return rng.Bernoulli(per_second_prob_);
+}
+
+}  // namespace ipqs

@@ -1,0 +1,45 @@
+#ifndef IPQS_RFID_SENSING_MODEL_H_
+#define IPQS_RFID_SENSING_MODEL_H_
+
+#include "common/rng.h"
+
+namespace ipqs {
+
+// Stochastic model of RFID detection noise. Raw RFID streams suffer false
+// negatives (RF interference, tag orientation, ...); a reader samples its
+// field `samples_per_second` times per second and each sample independently
+// detects a tag inside the activation range with `sample_detection_prob`.
+// The data collector aggregates to one entry per second, so what matters
+// downstream is the per-second detection probability
+//   1 - (1 - p)^samples_per_second,
+// which is high but below 1 — exactly the paper's argument for aggregation
+// ("it is very unlikely that all the readings of an object during one
+// second are totally missed").
+struct SensingConfig {
+  double sample_detection_prob = 0.7;
+  int samples_per_second = 5;
+};
+
+class SensingModel {
+ public:
+  SensingModel() : SensingModel(SensingConfig{}) {}
+  explicit SensingModel(const SensingConfig& config);
+
+  const SensingConfig& config() const { return config_; }
+
+  // Probability that a tag inside the range is detected at least once
+  // within one second.
+  double PerSecondDetectionProbability() const { return per_second_prob_; }
+
+  // Draws whether a tag inside the range produces an aggregated entry for
+  // the current second.
+  bool DetectsThisSecond(Rng& rng) const;
+
+ private:
+  SensingConfig config_;
+  double per_second_prob_;
+};
+
+}  // namespace ipqs
+
+#endif  // IPQS_RFID_SENSING_MODEL_H_

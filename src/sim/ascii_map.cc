@@ -1,0 +1,128 @@
+#include "sim/ascii_map.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+
+namespace ipqs {
+
+AsciiMap::AsciiMap(const FloorPlan& plan, double meters_per_cell)
+    : plan_(plan), scale_(meters_per_cell), bounds_(plan.BoundingBox()) {
+  IPQS_CHECK_GT(meters_per_cell, 0.0);
+  width_ = std::max(1, static_cast<int>(std::ceil(bounds_.Width() / scale_))) +
+           2;  // +2 for the outer wall.
+  height_ =
+      std::max(1, static_cast<int>(std::ceil(bounds_.Height() / scale_))) + 2;
+  grid_.assign(height_, std::string(width_, '#'));
+
+  // Carve out walkable space: hallways first, then room interiors; room
+  // cells hugging their room's boundary render as walls so adjacent rooms
+  // stay visually separate.
+  for (int cy = 0; cy < height_; ++cy) {
+    for (int cx = 0; cx < width_; ++cx) {
+      const Point center{bounds_.min_x + (cx - 1 + 0.5) * scale_,
+                         bounds_.max_y - (cy - 1 + 0.5) * scale_};
+      if (plan_.LocateHallway(center).has_value()) {
+        grid_[cy][cx] = ' ';
+      } else if (const auto room = plan_.LocateRoom(center)) {
+        const Rect& b = plan_.room(*room).bounds;
+        const double to_wall =
+            std::min({center.x - b.min_x, b.max_x - center.x,
+                      center.y - b.min_y, b.max_y - center.y});
+        grid_[cy][cx] = to_wall < scale_ * 0.6 ? '#' : '.';
+      }
+    }
+  }
+  // Punch the doors through: the wall point nearest the door position.
+  for (const Door& d : plan_.doors()) {
+    const Rect& b = plan_.room(d.room).bounds;
+    const Point wall{std::clamp(d.position.x, b.min_x + scale_ / 2,
+                                b.max_x - scale_ / 2),
+                     std::clamp(d.position.y, b.min_y + scale_ / 2,
+                                b.max_y - scale_ / 2)};
+    Set(wall, '+');
+  }
+}
+
+int AsciiMap::CellX(double x) const {
+  return static_cast<int>(std::floor((x - bounds_.min_x) / scale_)) + 1;
+}
+
+int AsciiMap::CellY(double y) const {
+  return static_cast<int>(std::floor((bounds_.max_y - y) / scale_)) + 1;
+}
+
+void AsciiMap::Set(const Point& p, char c) {
+  const int cx = CellX(p.x);
+  const int cy = CellY(p.y);
+  if (InGrid(cx, cy)) {
+    grid_[cy][cx] = c;
+  }
+}
+
+void AsciiMap::MarkReaders(const Deployment& deployment) {
+  for (const Reader& r : deployment.readers()) {
+    Set(r.pos, 'R');
+  }
+}
+
+void AsciiMap::MarkObjects(const std::vector<TrueObjectState>& states) {
+  for (const TrueObjectState& s : states) {
+    Set(s.pos, 'o');
+  }
+}
+
+void AsciiMap::MarkWindow(const Rect& window) {
+  const int x0 = CellX(window.min_x);
+  const int x1 = CellX(window.max_x);
+  const int y0 = CellY(window.max_y);  // Top row.
+  const int y1 = CellY(window.min_y);  // Bottom row.
+  for (int cx = x0; cx <= x1; ++cx) {
+    if (InGrid(cx, y0)) grid_[y0][cx] = 'q';
+    if (InGrid(cx, y1)) grid_[y1][cx] = 'q';
+  }
+  for (int cy = y0; cy <= y1; ++cy) {
+    if (InGrid(x0, cy)) grid_[cy][x0] = 'q';
+    if (InGrid(x1, cy)) grid_[cy][x1] = 'q';
+  }
+}
+
+void AsciiMap::MarkPoint(const Point& p, char c) { Set(p, c); }
+
+void AsciiMap::MarkDistribution(const AnchorPointIndex& anchors,
+                                const AnchorDistribution& dist) {
+  // Accumulate probability per grid cell, then draw deciles 1..9.
+  std::map<std::pair<int, int>, double> mass;
+  for (const auto& [anchor, p] : dist.entries()) {
+    const Point pos = anchors.anchor(anchor).pos;
+    mass[{CellX(pos.x), CellY(pos.y)}] += p;
+  }
+  double peak = 0.0;
+  for (const auto& [_, m] : mass) {
+    peak = std::max(peak, m);
+  }
+  if (peak <= 0.0) {
+    return;
+  }
+  for (const auto& [cell, m] : mass) {
+    const int decile = std::clamp(
+        static_cast<int>(std::ceil(9.0 * m / peak)), 1, 9);
+    if (InGrid(cell.first, cell.second)) {
+      grid_[cell.second][cell.first] = static_cast<char>('0' + decile);
+    }
+  }
+}
+
+std::string AsciiMap::Render() const {
+  std::string out;
+  out.reserve(static_cast<size_t>(height_) * (width_ + 1));
+  for (const std::string& row : grid_) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ipqs

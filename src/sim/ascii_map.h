@@ -1,0 +1,56 @@
+#ifndef IPQS_SIM_ASCII_MAP_H_
+#define IPQS_SIM_ASCII_MAP_H_
+
+#include <string>
+#include <vector>
+
+#include "filter/anchor_distribution.h"
+#include "floorplan/floor_plan.h"
+#include "graph/anchor_points.h"
+#include "rfid/deployment.h"
+#include "sim/trace_generator.h"
+
+namespace ipqs {
+
+// Renders a floor plan and overlays (readers, objects, query windows,
+// location distributions) as plain text — the library's built-in way to
+// *see* what the tracker believes. One character covers
+// `meters_per_cell` x `meters_per_cell` of floor.
+//
+// Legend: '#' wall, '.' room interior, ' ' hallway, '+' door,
+// 'R' reader, 'o' object, '*' query point, digits 1..9 probability mass
+// (deciles of the cell's accumulated probability).
+class AsciiMap {
+ public:
+  explicit AsciiMap(const FloorPlan& plan, double meters_per_cell = 1.0);
+
+  // Overlays; later marks overwrite earlier ones.
+  void MarkReaders(const Deployment& deployment);
+  void MarkObjects(const std::vector<TrueObjectState>& states);
+  void MarkWindow(const Rect& window);  // Corners and edges as 'q'.
+  void MarkPoint(const Point& p, char c);
+  // Accumulates a distribution's probability per cell and draws deciles.
+  void MarkDistribution(const AnchorPointIndex& anchors,
+                        const AnchorDistribution& dist);
+
+  std::string Render() const;
+
+ private:
+  bool InGrid(int cx, int cy) const {
+    return cx >= 0 && cx < width_ && cy >= 0 && cy < height_;
+  }
+  int CellX(double x) const;
+  int CellY(double y) const;
+  void Set(const Point& p, char c);
+
+  const FloorPlan& plan_;
+  double scale_;
+  Rect bounds_;
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::string> grid_;  // grid_[row][col]; row 0 = top (max y).
+};
+
+}  // namespace ipqs
+
+#endif  // IPQS_SIM_ASCII_MAP_H_

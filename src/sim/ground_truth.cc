@@ -1,0 +1,46 @@
+#include "sim/ground_truth.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ipqs {
+
+GroundTruth::GroundTruth(const WalkingGraph* graph) : graph_(graph) {
+  IPQS_CHECK(graph != nullptr);
+}
+
+std::vector<ObjectId> GroundTruth::RangeResult(
+    const std::vector<TrueObjectState>& states, const Rect& window) {
+  std::vector<ObjectId> out;
+  for (const TrueObjectState& s : states) {
+    if (window.Contains(s.pos)) {
+      out.push_back(s.id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ObjectId> GroundTruth::KnnResult(
+    const std::vector<TrueObjectState>& states, const GraphLocation& query,
+    int k) const {
+  IPQS_CHECK_GT(k, 0);
+  const OneToAllDistances from_query(*graph_, query);
+
+  std::vector<std::pair<double, ObjectId>> by_dist;
+  by_dist.reserve(states.size());
+  for (const TrueObjectState& s : states) {
+    by_dist.emplace_back(from_query.ToLocation(s.loc), s.id);
+  }
+  std::sort(by_dist.begin(), by_dist.end());
+  const int n = std::min<int>(k, static_cast<int>(by_dist.size()));
+  std::vector<ObjectId> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    out.push_back(by_dist[i].second);
+  }
+  return out;
+}
+
+}  // namespace ipqs

@@ -1,0 +1,36 @@
+#ifndef IPQS_SIM_GROUND_TRUTH_H_
+#define IPQS_SIM_GROUND_TRUTH_H_
+
+#include <vector>
+
+#include "geom/rect.h"
+#include "graph/shortest_path.h"
+#include "graph/walking_graph.h"
+#include "sim/trace_generator.h"
+
+namespace ipqs {
+
+// Ground truth query evaluation module (Section 5.1): answers range and kNN
+// queries against the exact simulated object states, providing the baseline
+// both probabilistic engines are scored against.
+class GroundTruth {
+ public:
+  explicit GroundTruth(const WalkingGraph* graph);
+
+  // Objects whose true 2-D position lies inside `window`, ascending by id.
+  static std::vector<ObjectId> RangeResult(
+      const std::vector<TrueObjectState>& states, const Rect& window);
+
+  // The k objects closest to `query` by shortest network distance on the
+  // walking graph (the paper's minimum indoor walking distance metric),
+  // ties broken by ascending id.
+  std::vector<ObjectId> KnnResult(const std::vector<TrueObjectState>& states,
+                                  const GraphLocation& query, int k) const;
+
+ private:
+  const WalkingGraph* graph_;
+};
+
+}  // namespace ipqs
+
+#endif  // IPQS_SIM_GROUND_TRUTH_H_

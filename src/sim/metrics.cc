@@ -1,0 +1,74 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+
+namespace ipqs {
+
+std::optional<double> RangeKlDivergence(const std::vector<ObjectId>& truth,
+                                        const QueryResult& predicted,
+                                        double epsilon) {
+  if (truth.empty()) {
+    return std::nullopt;
+  }
+  IPQS_CHECK_GT(epsilon, 0.0);
+
+  std::set<ObjectId> support(truth.begin(), truth.end());
+  for (const auto& [id, _] : predicted.objects) {
+    support.insert(id);
+  }
+
+  // Smoothed Q over the union support. The normalizer is floored at |T| so
+  // that an under-filled prediction (e.g. an empty result) reads as "the
+  // truth objects got almost no mass" rather than renormalizing whatever
+  // little mass there is back up to a full distribution — without the
+  // floor, an empty prediction would smooth to exactly P and score a
+  // perfect 0. Q stays sub-normalized (sums to <= 1), which keeps the
+  // divergence non-negative.
+  double q_total = 0.0;
+  for (ObjectId id : support) {
+    q_total += predicted.ProbabilityOf(id) + epsilon;
+  }
+  q_total = std::max(q_total, static_cast<double>(truth.size()));
+
+  const double p = 1.0 / static_cast<double>(truth.size());
+  double kl = 0.0;
+  for (ObjectId id : truth) {
+    const double q = (predicted.ProbabilityOf(id) + epsilon) / q_total;
+    kl += p * std::log(p / q);
+  }
+  return kl;
+}
+
+double KnnHitRate(const QueryResult& predicted,
+                  const std::vector<ObjectId>& truth, int k,
+                  bool top_k_only) {
+  if (truth.empty()) {
+    return 0.0;
+  }
+  const std::vector<ObjectId> answer =
+      predicted.TopObjects(top_k_only ? k : -1);
+  int hits = 0;
+  for (ObjectId id : truth) {
+    if (std::find(answer.begin(), answer.end(), id) != answer.end()) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+bool TopKSuccess(const AnchorPointIndex& anchors,
+                 const AnchorDistribution& dist, const Point& true_pos, int k,
+                 double tolerance) {
+  for (AnchorId a : dist.TopK(k)) {
+    if (Distance(anchors.anchor(a).pos, true_pos) <= tolerance) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ipqs

@@ -1,0 +1,64 @@
+#ifndef IPQS_SIM_METRICS_H_
+#define IPQS_SIM_METRICS_H_
+
+#include <optional>
+#include <vector>
+
+#include "filter/anchor_distribution.h"
+#include "graph/anchor_points.h"
+#include "query/range_query.h"
+#include "rfid/reader.h"
+
+namespace ipqs {
+
+// Kullback-Leibler divergence D(P || Q) between the ground-truth range
+// membership and a predicted probabilistic range result (Equation 7).
+//
+// P is uniform over the true result set T; Q is the predicted result
+// normalized over the union support T ∪ R and smoothed with `epsilon`
+// (otherwise a single missed object makes the divergence infinite).
+// Returns nullopt when T is empty (the divergence is undefined; the
+// experiment harness skips such windows, mirroring the paper's averaging
+// over populated queries).
+std::optional<double> RangeKlDivergence(const std::vector<ObjectId>& truth,
+                                        const QueryResult& predicted,
+                                        double epsilon = 1e-3);
+
+// kNN hit rate: |answer ∩ truth| / |truth|. With `top_k_only`, the answer
+// is first trimmed to its k most probable objects — the paper does this for
+// the symbolic baseline ("we only consider the maximum probability result
+// set"), while the particle filter's Algorithm 4 result is used as-is.
+double KnnHitRate(const QueryResult& predicted,
+                  const std::vector<ObjectId>& truth, int k,
+                  bool top_k_only);
+
+// Top-k success (PF-only metric): true when one of the k most probable
+// anchor points of `dist` lies within `tolerance` meters (Euclidean) of
+// the object's true position.
+bool TopKSuccess(const AnchorPointIndex& anchors,
+                 const AnchorDistribution& dist, const Point& true_pos, int k,
+                 double tolerance);
+
+// Streaming mean helper used by the experiment harness.
+class MeanAccumulator {
+ public:
+  void Add(double value) {
+    sum_ += value;
+    ++count_;
+  }
+  void AddOptional(const std::optional<double>& value) {
+    if (value.has_value()) {
+      Add(*value);
+    }
+  }
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  int64_t count() const { return count_; }
+
+ private:
+  double sum_ = 0.0;
+  int64_t count_ = 0;
+};
+
+}  // namespace ipqs
+
+#endif  // IPQS_SIM_METRICS_H_

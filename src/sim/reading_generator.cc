@@ -1,0 +1,31 @@
+#include "sim/reading_generator.h"
+
+#include "common/check.h"
+
+namespace ipqs {
+
+ReadingGenerator::ReadingGenerator(const Deployment* deployment,
+                                   const SensingModel& sensing, Rng* rng)
+    : deployment_(deployment), sensing_(sensing), rng_(rng) {
+  IPQS_CHECK(deployment != nullptr);
+  IPQS_CHECK(rng != nullptr);
+}
+
+std::vector<RawReading> ReadingGenerator::Generate(
+    const std::vector<TrueObjectState>& states, int64_t time) {
+  std::vector<RawReading> readings;
+  for (const TrueObjectState& s : states) {
+    for (ReaderId r : deployment_->Covering(s.pos)) {
+      ++stats_.opportunities;
+      if (sensing_.DetectsThisSecond(*rng_)) {
+        ++stats_.detections;
+        readings.push_back(RawReading{s.id, r, time});
+      } else {
+        ++stats_.false_negatives;
+      }
+    }
+  }
+  return readings;
+}
+
+}  // namespace ipqs

@@ -1,0 +1,49 @@
+#ifndef IPQS_SIM_READING_GENERATOR_H_
+#define IPQS_SIM_READING_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "rfid/deployment.h"
+#include "rfid/sensing_model.h"
+#include "sim/trace_generator.h"
+
+namespace ipqs {
+
+// Raw reading generator (Section 5.1): checks every object against every
+// reader's activation range each second and draws detections from the
+// sensing model, producing the noisy RFID stream the system consumes.
+class ReadingGenerator {
+ public:
+  struct Stats {
+    int64_t opportunities = 0;  // (object, reader, second) in-range triples.
+    int64_t detections = 0;
+    int64_t false_negatives = 0;
+
+    double MissRate() const {
+      return opportunities == 0
+                 ? 0.0
+                 : static_cast<double>(false_negatives) / opportunities;
+    }
+  };
+
+  ReadingGenerator(const Deployment* deployment, const SensingModel& sensing,
+                   Rng* rng);
+
+  // Readings for second `time` given the true object states.
+  std::vector<RawReading> Generate(const std::vector<TrueObjectState>& states,
+                                   int64_t time);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  const Deployment* deployment_;
+  SensingModel sensing_;
+  Rng* rng_;
+  Stats stats_;
+};
+
+}  // namespace ipqs
+
+#endif  // IPQS_SIM_READING_GENERATOR_H_

@@ -1,0 +1,90 @@
+#include "sim/simulation.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace ipqs {
+
+Simulation::Simulation(const SimulationConfig& config)
+    : config_(config), world_rng_(config.seed), query_rng_(config.seed + 1) {}
+
+StatusOr<std::unique_ptr<Simulation>> Simulation::Create(
+    const SimulationConfig& config) {
+  std::unique_ptr<Simulation> sim(new Simulation(config));
+  IPQS_RETURN_IF_ERROR(sim->Init());
+  return sim;
+}
+
+Status Simulation::Init() {
+  if (config_.custom_plan.has_value()) {
+    plan_ = *config_.custom_plan;
+    IPQS_RETURN_IF_ERROR(plan_.Validate());
+  } else {
+    IPQS_ASSIGN_OR_RETURN(plan_, GenerateOffice(config_.office));
+  }
+  IPQS_ASSIGN_OR_RETURN(graph_, BuildWalkingGraph(plan_));
+
+  anchors_ = std::make_unique<AnchorPointIndex>(
+      AnchorPointIndex::Build(graph_, plan_, config_.anchor_spacing));
+  anchor_graph_ =
+      std::make_unique<AnchorGraph>(AnchorGraph::Build(graph_, *anchors_));
+
+  if (!config_.custom_readers.empty()) {
+    for (const ReaderSpec& spec : config_.custom_readers) {
+      deployment_.AddReader(graph_, spec.pos, spec.range);
+    }
+  } else {
+    IPQS_ASSIGN_OR_RETURN(
+        deployment_,
+        Deployment::UniformOnHallways(plan_, graph_, config_.num_readers,
+                                      config_.activation_range));
+  }
+  deployment_graph_ = std::make_unique<DeploymentGraph>(
+      DeploymentGraph::Build(*anchors_, *anchor_graph_, deployment_));
+
+  trace_ = std::make_unique<TraceGenerator>(&graph_, &plan_, config_.trace,
+                                            &world_rng_);
+  readings_ = std::make_unique<ReadingGenerator>(
+      &deployment_, SensingModel(config_.sensing), &world_rng_);
+  ground_truth_ = std::make_unique<GroundTruth>(&graph_);
+
+  EngineConfig pf_config;
+  pf_config.method = InferenceMethod::kParticleFilter;
+  pf_config.filter = config_.filter;
+  pf_config.symbolic = config_.symbolic;
+  pf_config.max_speed = config_.max_speed;
+  pf_config.use_pruning = config_.use_pruning;
+  pf_config.use_cache = config_.use_cache;
+  pf_config.seed = config_.seed + 2;
+  pf_engine_ = std::make_unique<QueryEngine>(
+      &graph_, &plan_, anchors_.get(), anchor_graph_.get(), &deployment_,
+      deployment_graph_.get(), &collector_, pf_config);
+
+  EngineConfig sm_config = pf_config;
+  sm_config.method = config_.baseline_method;
+  sm_config.seed = config_.seed + 3;
+  sm_engine_ = std::make_unique<QueryEngine>(
+      &graph_, &plan_, anchors_.get(), anchor_graph_.get(), &deployment_,
+      deployment_graph_.get(), &collector_, sm_config);
+
+  return Status::Ok();
+}
+
+void Simulation::Step() {
+  ++now_;
+  trace_->Tick();
+  for (const RawReading& r : readings_->Generate(trace_->states(), now_)) {
+    collector_.Observe(r);
+    history_.Observe(r);
+  }
+}
+
+void Simulation::Run(int seconds) {
+  IPQS_CHECK_GE(seconds, 0);
+  for (int i = 0; i < seconds; ++i) {
+    Step();
+  }
+}
+
+}  // namespace ipqs

@@ -1,0 +1,119 @@
+#ifndef IPQS_SIM_SIMULATION_H_
+#define IPQS_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/statusor.h"
+#include "floorplan/io.h"
+#include "floorplan/office_generator.h"
+#include "graph/anchor_graph.h"
+#include "graph/anchor_points.h"
+#include "graph/graph_builder.h"
+#include "query/query_engine.h"
+#include "rfid/history_store.h"
+#include "sim/ground_truth.h"
+#include "sim/reading_generator.h"
+#include "sim/trace_generator.h"
+#include "symbolic/deployment_graph.h"
+
+namespace ipqs {
+
+// Everything needed to stand up the full simulated system of Figure 8:
+// the building, the deployment, the moving objects, the RFID stream, the
+// two competing query engines, and the ground truth.
+struct SimulationConfig {
+  OfficeConfig office;            // 30 rooms / 4 hallways by default.
+  // When set, use this plan instead of generating the office, and (when
+  // non-empty) these reader placements instead of the uniform deployment.
+  // Lets experiments run against buildings loaded from text files
+  // (floorplan/io.h).
+  std::optional<FloorPlan> custom_plan;
+  std::vector<ReaderSpec> custom_readers;
+  int num_readers = 19;           // Paper's deployment.
+  double activation_range = 2.0;  // Meters (Table 2 default).
+  double anchor_spacing = 1.0;    // Meters between anchor points.
+  SensingConfig sensing;
+  TraceConfig trace;              // 200 objects by default.
+  FilterConfig filter;            // 64 particles by default.
+  SymbolicConfig symbolic;
+  double max_speed = 1.5;         // u_max for pruning & symbolic model.
+  bool use_pruning = true;
+  bool use_cache = true;
+  // Method the comparison engine (`sm_engine()`) runs; the paper compares
+  // against kSymbolicModel, kLastReading is the naive sanity floor.
+  InferenceMethod baseline_method = InferenceMethod::kSymbolicModel;
+  uint64_t seed = 42;
+};
+
+// Owns the complete simulated world and keeps the particle-filter engine
+// and the symbolic-model engine fed from the same raw reading stream so
+// their answers are directly comparable.
+class Simulation {
+ public:
+  static StatusOr<std::unique_ptr<Simulation>> Create(
+      const SimulationConfig& config);
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  // Advances the world by one second: objects move, readers read, the data
+  // collector ingests.
+  void Step();
+  void Run(int seconds);
+
+  int64_t now() const { return now_; }
+
+  const SimulationConfig& config() const { return config_; }
+  const FloorPlan& plan() const { return plan_; }
+  const WalkingGraph& graph() const { return graph_; }
+  const AnchorPointIndex& anchors() const { return *anchors_; }
+  const AnchorGraph& anchor_graph() const { return *anchor_graph_; }
+  const Deployment& deployment() const { return deployment_; }
+  const DeploymentGraph& deployment_graph() const { return *deployment_graph_; }
+  const DataCollector& collector() const { return collector_; }
+  // Full reading log (for historical queries via HistoricalEngine).
+  const HistoryStore& history() const { return history_; }
+  const GroundTruth& ground_truth() const { return *ground_truth_; }
+  const std::vector<TrueObjectState>& true_states() const {
+    return trace_->states();
+  }
+  const ReadingGenerator::Stats& reading_stats() const {
+    return readings_->stats();
+  }
+
+  QueryEngine& pf_engine() { return *pf_engine_; }
+  QueryEngine& sm_engine() { return *sm_engine_; }
+
+  // A dedicated random stream for experiment-level draws (query windows,
+  // query points), independent of the world's evolution.
+  Rng& query_rng() { return query_rng_; }
+
+ private:
+  explicit Simulation(const SimulationConfig& config);
+  Status Init();
+
+  SimulationConfig config_;
+  FloorPlan plan_;
+  WalkingGraph graph_;
+  std::unique_ptr<AnchorPointIndex> anchors_;
+  std::unique_ptr<AnchorGraph> anchor_graph_;
+  Deployment deployment_;
+  std::unique_ptr<DeploymentGraph> deployment_graph_;
+  DataCollector collector_;
+  HistoryStore history_;
+
+  Rng world_rng_;
+  Rng query_rng_;
+  std::unique_ptr<TraceGenerator> trace_;
+  std::unique_ptr<ReadingGenerator> readings_;
+  std::unique_ptr<GroundTruth> ground_truth_;
+  std::unique_ptr<QueryEngine> pf_engine_;
+  std::unique_ptr<QueryEngine> sm_engine_;
+
+  int64_t now_ = 0;
+};
+
+}  // namespace ipqs
+
+#endif  // IPQS_SIM_SIMULATION_H_

@@ -1,0 +1,139 @@
+#include "sim/svg_map.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace ipqs {
+namespace {
+
+std::string Format(const char* fmt, double a, double b, double c, double d) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), fmt, a, b, c, d);
+  return buf;
+}
+
+}  // namespace
+
+SvgMap::SvgMap(const FloorPlan& plan, double pixels_per_meter)
+    : bounds_(plan.BoundingBox()), scale_(pixels_per_meter) {
+  IPQS_CHECK_GT(pixels_per_meter, 0.0);
+
+  // Hallway footprints.
+  for (const Hallway& h : plan.hallways()) {
+    const Rect b = h.Bounds();
+    body_ += Format(
+        R"(<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" )", X(b.min_x),
+        Y(b.max_y), b.Width() * scale_, b.Height() * scale_);
+    body_ += "fill=\"#e5e7eb\" stroke=\"none\"/>\n";
+  }
+  // Rooms: outlined boxes with their names.
+  for (const Room& r : plan.rooms()) {
+    const Rect& b = r.bounds;
+    body_ += Format(
+        R"(<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" )", X(b.min_x),
+        Y(b.max_y), b.Width() * scale_, b.Height() * scale_);
+    body_ += "fill=\"#f8fafc\" stroke=\"#334155\" stroke-width=\"1.5\"/>\n";
+    char text[160];
+    std::snprintf(text, sizeof(text),
+                  R"(<text x="%.1f" y="%.1f" font-size="%.1f" )",
+                  X(b.Center().x), Y(b.Center().y), scale_ * 0.9);
+    body_ += text;
+    body_ += "fill=\"#94a3b8\" text-anchor=\"middle\">" + r.name +
+             "</text>\n";
+  }
+  // Doors: small gaps rendered as accent squares on the wall.
+  for (const Door& d : plan.doors()) {
+    Circle(d.position, 0.4, "#0f766e", 1.0);
+  }
+}
+
+void SvgMap::Circle(const Point& center, double radius_m,
+                    const std::string& fill, double opacity) {
+  body_ += Format(R"(<circle cx="%.1f" cy="%.1f" r="%.1f" opacity="%.3f" )",
+                  X(center.x), Y(center.y), radius_m * scale_, opacity);
+  body_ += "fill=\"" + fill + "\"/>\n";
+}
+
+void SvgMap::DrawWalkingGraph(const WalkingGraph& graph) {
+  for (const Edge& e : graph.edges()) {
+    const Point& a = e.geometry.a;
+    const Point& b = e.geometry.b;
+    body_ += Format(R"(<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" )",
+                    X(a.x), Y(a.y), X(b.x), Y(b.y));
+    body_ += e.kind == EdgeKind::kHallway
+                 ? "stroke=\"#64748b\" stroke-width=\"1\"/>\n"
+                 : "stroke=\"#64748b\" stroke-width=\"1\" "
+                   "stroke-dasharray=\"4 3\"/>\n";
+  }
+}
+
+void SvgMap::DrawReaders(const Deployment& deployment, bool show_ranges) {
+  for (const Reader& r : deployment.readers()) {
+    if (show_ranges) {
+      Circle(r.pos, r.range, "#3b82f6", 0.15);
+    }
+    Circle(r.pos, 0.35, "#1d4ed8", 1.0);
+  }
+}
+
+void SvgMap::DrawObjects(const std::vector<TrueObjectState>& states) {
+  for (const TrueObjectState& s : states) {
+    Circle(s.pos, 0.3, "#16a34a", 0.9);
+  }
+}
+
+void SvgMap::DrawWindow(const Rect& window) {
+  body_ += Format(
+      R"(<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" )",
+      X(window.min_x), Y(window.max_y), window.Width() * scale_,
+      window.Height() * scale_);
+  body_ += "fill=\"#eab308\" fill-opacity=\"0.18\" stroke=\"#a16207\" "
+           "stroke-width=\"1.5\" stroke-dasharray=\"6 3\"/>\n";
+}
+
+void SvgMap::DrawDistribution(const AnchorPointIndex& anchors,
+                              const AnchorDistribution& dist,
+                              const std::string& color) {
+  double peak = 0.0;
+  for (const auto& [_, p] : dist.entries()) {
+    peak = std::max(peak, p);
+  }
+  if (peak <= 0.0) {
+    return;
+  }
+  for (const auto& [anchor, p] : dist.entries()) {
+    Circle(anchors.anchor(anchor).pos, 0.45, color,
+           0.15 + 0.85 * (p / peak));
+  }
+}
+
+void SvgMap::DrawPoint(const Point& p, const std::string& color,
+                       double radius_m) {
+  Circle(p, radius_m, color, 1.0);
+}
+
+std::string SvgMap::Render() const {
+  const double w = (bounds_.Width() + 2 * margin_) * scale_;
+  const double h = (bounds_.Height() + 2 * margin_) * scale_;
+  std::string out = Format(
+      R"(<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">)",
+      w, h, w, h);
+  out += "\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  out += body_;
+  out += "</svg>\n";
+  return out;
+}
+
+Status SvgMap::WriteFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::Internal("cannot open for writing: " + path);
+  }
+  file << Render();
+  return file.good() ? Status::Ok()
+                     : Status::Internal("short write to " + path);
+}
+
+}  // namespace ipqs

@@ -1,0 +1,63 @@
+#ifndef IPQS_SIM_SVG_MAP_H_
+#define IPQS_SIM_SVG_MAP_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "filter/anchor_distribution.h"
+#include "floorplan/floor_plan.h"
+#include "graph/anchor_points.h"
+#include "graph/walking_graph.h"
+#include "rfid/deployment.h"
+#include "sim/trace_generator.h"
+
+namespace ipqs {
+
+// Renders floor plans and tracking state as standalone SVG — the
+// vector-graphics sibling of AsciiMap, for figures and debugging.
+// Construction draws the floor plan (hallways light gray, rooms outlined,
+// doors as gaps left implicit); overlays stack in call order.
+class SvgMap {
+ public:
+  explicit SvgMap(const FloorPlan& plan, double pixels_per_meter = 12.0);
+
+  // Walking-graph edges as thin lines (hallway solid, stubs dashed).
+  void DrawWalkingGraph(const WalkingGraph& graph);
+
+  // Readers as labelled dots; optionally their activation discs.
+  void DrawReaders(const Deployment& deployment, bool show_ranges = true);
+
+  // True object positions as filled dots.
+  void DrawObjects(const std::vector<TrueObjectState>& states);
+
+  // A query window as a translucent rectangle.
+  void DrawWindow(const Rect& window);
+
+  // A location distribution as opacity-scaled dots on its anchor points.
+  void DrawDistribution(const AnchorPointIndex& anchors,
+                        const AnchorDistribution& dist,
+                        const std::string& color = "#c2410c");
+
+  // A single marked point.
+  void DrawPoint(const Point& p, const std::string& color, double radius_m);
+
+  // The complete SVG document.
+  std::string Render() const;
+
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  double X(double x) const { return (x - bounds_.min_x + margin_) * scale_; }
+  double Y(double y) const { return (bounds_.max_y - y + margin_) * scale_; }
+  void Circle(const Point& center, double radius_m, const std::string& fill,
+              double opacity);
+
+  Rect bounds_;
+  double scale_;
+  double margin_ = 2.0;  // Meters of whitespace around the plan.
+  std::string body_;
+};
+
+}  // namespace ipqs
+
+#endif  // IPQS_SIM_SVG_MAP_H_

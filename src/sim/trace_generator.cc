@@ -1,0 +1,162 @@
+#include "sim/trace_generator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ipqs {
+
+TraceGenerator::TraceGenerator(const WalkingGraph* graph,
+                               const FloorPlan* plan,
+                               const TraceConfig& config, Rng* rng)
+    : graph_(graph), plan_(plan), config_(config), rng_(rng) {
+  IPQS_CHECK(graph != nullptr);
+  IPQS_CHECK(plan != nullptr);
+  IPQS_CHECK(rng != nullptr);
+  IPQS_CHECK_GT(config.num_objects, 0);
+  IPQS_CHECK(!plan->rooms().empty()) << "trace generator needs rooms";
+
+  room_center_node_.assign(plan->rooms().size(), kInvalidId);
+  for (const Node& n : graph->nodes()) {
+    if (n.kind == NodeKind::kRoomCenter) {
+      IPQS_CHECK(n.room >= 0 &&
+                 n.room < static_cast<RoomId>(room_center_node_.size()));
+      room_center_node_[n.room] = n.id;
+    }
+  }
+  for (NodeId id : room_center_node_) {
+    IPQS_CHECK_NE(id, kInvalidId) << "room without a graph node";
+  }
+  Reset();
+}
+
+GraphLocation TraceGenerator::RoomCenterLocation(RoomId room) const {
+  return graph_->LocationAtNode(room_center_node_[room]);
+}
+
+void TraceGenerator::Reset() {
+  states_.assign(config_.num_objects, TrueObjectState{});
+  motions_.assign(config_.num_objects, Motion{});
+
+  // Cumulative edge lengths for uniform sampling along the graph.
+  std::vector<double> lengths;
+  lengths.reserve(graph_->num_edges());
+  for (const Edge& e : graph_->edges()) {
+    lengths.push_back(e.length);
+  }
+
+  for (int i = 0; i < config_.num_objects; ++i) {
+    TrueObjectState& s = states_[i];
+    s.id = static_cast<ObjectId>(i);
+    const EdgeId edge = static_cast<EdgeId>(rng_->Categorical(lengths));
+    s.loc = GraphLocation{edge, rng_->Uniform(0.0, graph_->edge(edge).length)};
+    s.dwelling = false;
+    s.in_room = false;
+    s.room = kInvalidId;
+    motions_[i].lateral = rng_->Uniform01();
+    PickDestination(i);
+    UpdateDerivedPosition(i);
+  }
+}
+
+void TraceGenerator::PickDestination(int i) {
+  TrueObjectState& s = states_[i];
+  Motion& m = motions_[i];
+
+  GraphLocation dest_loc;
+  if (rng_->Bernoulli(config_.hallway_stop_probability)) {
+    // Hallway stop: a uniform spot on the hallway skeleton.
+    std::vector<double> lengths(graph_->num_edges(), 0.0);
+    for (const Edge& e : graph_->edges()) {
+      if (e.kind == EdgeKind::kHallway) {
+        lengths[e.id] = e.length;
+      }
+    }
+    const EdgeId edge = static_cast<EdgeId>(rng_->Categorical(lengths));
+    dest_loc =
+        GraphLocation{edge, rng_->Uniform(0.0, graph_->edge(edge).length)};
+    m.destination = kInvalidId;
+  } else {
+    RoomId dest =
+        static_cast<RoomId>(rng_->UniformIndex(plan_->rooms().size()));
+    if (dest == s.room && plan_->rooms().size() > 1) {
+      dest = (dest + 1) % static_cast<RoomId>(plan_->rooms().size());
+    }
+    m.destination = dest;
+    dest_loc = RoomCenterLocation(dest);
+  }
+
+  auto path = FindShortestPath(*graph_, s.loc, dest_loc);
+  IPQS_CHECK(path.ok()) << path.status().ToString();
+  m.path = std::move(path).value();
+  m.path_pos = 0.0;
+  m.lateral = rng_->Uniform01();
+  s.speed = std::max(rng_->Gaussian(config_.speed_mean, config_.speed_stddev),
+                     config_.min_speed);
+}
+
+void TraceGenerator::UpdateDerivedPosition(int i) {
+  TrueObjectState& s = states_[i];
+  const Motion& m = motions_[i];
+
+  if (s.in_room) {
+    s.pos = m.room_pos;
+    return;
+  }
+  const Point on_line = graph_->PositionOf(s.loc);
+  const Edge& e = graph_->edge(s.loc.edge);
+  if (e.kind == EdgeKind::kHallway) {
+    const Hallway& h = plan_->hallway(e.hallway);
+    const double off = (m.lateral - 0.5) * h.width;
+    // Perpendicular to the (axis-aligned) centerline.
+    s.pos = h.IsHorizontal() ? Point{on_line.x, on_line.y + off}
+                             : Point{on_line.x + off, on_line.y};
+  } else {
+    s.pos = on_line;  // Room stubs carry no lateral freedom.
+  }
+}
+
+void TraceGenerator::Tick() {
+  for (int i = 0; i < config_.num_objects; ++i) {
+    TrueObjectState& s = states_[i];
+    Motion& m = motions_[i];
+
+    if (s.dwelling) {
+      if (rng_->Bernoulli(config_.room_stay_probability)) {
+        continue;  // Keeps dwelling; position unchanged.
+      }
+      // Leaves: pick a fresh destination from where it stands.
+      if (s.in_room) {
+        s.loc = RoomCenterLocation(s.room);
+        s.in_room = false;
+        s.room = kInvalidId;
+      }
+      s.dwelling = false;
+      PickDestination(i);
+    }
+
+    if (m.path.empty()) {
+      // Degenerate path (already at the destination): arrive immediately.
+      m.path_pos = 0.0;
+    } else {
+      m.path_pos += s.speed;
+      s.loc = m.path.Locate(m.path_pos);
+    }
+
+    if (m.path.empty() || m.path_pos >= m.path.Length()) {
+      // Arrived: dwell (inside the destination room, or right here at the
+      // hallway stop).
+      s.dwelling = true;
+      if (m.destination != kInvalidId) {
+        s.in_room = true;
+        s.room = m.destination;
+        const Rect& b = plan_->room(s.room).bounds;
+        m.room_pos = Point{rng_->Uniform(b.min_x, b.max_x),
+                           rng_->Uniform(b.min_y, b.max_y)};
+      }
+    }
+    UpdateDerivedPosition(i);
+  }
+}
+
+}  // namespace ipqs

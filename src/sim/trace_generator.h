@@ -1,0 +1,87 @@
+#ifndef IPQS_SIM_TRACE_GENERATOR_H_
+#define IPQS_SIM_TRACE_GENERATOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "floorplan/floor_plan.h"
+#include "graph/shortest_path.h"
+#include "graph/walking_graph.h"
+#include "rfid/reader.h"
+
+namespace ipqs {
+
+// Parameters of the true trace generator (Section 5.1): every object
+// repeatedly picks a random destination room, walks there along the
+// shortest walking-graph path at a Gaussian speed, dwells, and repeats.
+struct TraceConfig {
+  int num_objects = 200;
+  double speed_mean = 1.0;
+  double speed_stddev = 0.1;
+  double min_speed = 0.3;
+  // Per-second probability of staying inside the current room (matches the
+  // filter's dwell model: leave with probability 0.1).
+  double room_stay_probability = 0.9;
+  // Probability that a freshly chosen destination is a random spot on a
+  // hallway instead of a room (people waiting on a subway platform,
+  // chatting in a corridor, ...). 0 reproduces the paper's trace model
+  // where every trip ends in a room.
+  double hallway_stop_probability = 0.0;
+};
+
+// Ground-truth state of one simulated object at the current second.
+struct TrueObjectState {
+  ObjectId id = kInvalidId;
+  GraphLocation loc;         // Position on the walking graph.
+  Point pos;                 // True 2-D position (lateral offset included).
+  bool dwelling = false;     // Paused (in a room or at a hallway stop).
+  bool in_room = false;      // Dwelling inside a room.
+  RoomId room = kInvalidId;  // Valid when in_room.
+  double speed = 1.0;
+};
+
+// Moves `num_objects` simulated people through the building, one second per
+// Tick(). Objects walk on hallway centerline edges but their true 2-D
+// position carries a random lateral offset across the hallway width (and a
+// random interior point while dwelling in a room), consistent with the
+// paper's assumption that the cross-hallway coordinate is unobservable.
+class TraceGenerator {
+ public:
+  TraceGenerator(const WalkingGraph* graph, const FloorPlan* plan,
+                 const TraceConfig& config, Rng* rng);
+
+  // Draws fresh initial states: objects start at uniformly random positions
+  // on the graph, already en route to a random room.
+  void Reset();
+
+  // Advances every object by one second.
+  void Tick();
+
+  const std::vector<TrueObjectState>& states() const { return states_; }
+  const TraceConfig& config() const { return config_; }
+
+ private:
+  struct Motion {
+    Path path;
+    double path_pos = 0.0;
+    RoomId destination = kInvalidId;  // kInvalidId for a hallway stop.
+    double lateral = 0.5;  // Fraction across the hallway width.
+    Point room_pos;        // Dwell position inside the current room.
+  };
+
+  void PickDestination(int i);
+  void UpdateDerivedPosition(int i);
+  GraphLocation RoomCenterLocation(RoomId room) const;
+
+  const WalkingGraph* graph_;
+  const FloorPlan* plan_;
+  TraceConfig config_;
+  Rng* rng_;
+  std::vector<TrueObjectState> states_;
+  std::vector<Motion> motions_;
+  std::vector<NodeId> room_center_node_;  // Per room.
+};
+
+}  // namespace ipqs
+
+#endif  // IPQS_SIM_TRACE_GENERATOR_H_

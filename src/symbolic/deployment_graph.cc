@@ -1,0 +1,80 @@
+#include "symbolic/deployment_graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ipqs {
+
+DeploymentGraph DeploymentGraph::Build(const AnchorPointIndex& index,
+                                       const AnchorGraph& anchor_graph,
+                                       const Deployment& deployment) {
+  DeploymentGraph dg;
+  const int n = index.num_anchors();
+  dg.covering_.assign(n, kInvalidId);
+  dg.cell_of_.assign(n, kInvalidId);
+  dg.reader_cells_.resize(deployment.num_readers());
+
+  for (AnchorId a = 0; a < n; ++a) {
+    const auto covering = deployment.FirstCovering(index.anchor(a).pos);
+    if (covering.has_value()) {
+      dg.covering_[a] = *covering;
+    }
+  }
+
+  // Flood-fill cells over uncovered anchors.
+  for (AnchorId start = 0; start < n; ++start) {
+    if (dg.covering_[start] != kInvalidId || dg.cell_of_[start] != kInvalidId) {
+      continue;
+    }
+    const CellId cell = static_cast<CellId>(dg.cell_anchors_.size());
+    dg.cell_anchors_.emplace_back();
+    std::vector<AnchorId> stack = {start};
+    dg.cell_of_[start] = cell;
+    while (!stack.empty()) {
+      const AnchorId cur = stack.back();
+      stack.pop_back();
+      dg.cell_anchors_[cell].push_back(cur);
+      for (const AnchorGraph::Neighbor& nb : anchor_graph.NeighborsOf(cur)) {
+        if (dg.covering_[nb.anchor] != kInvalidId) {
+          // Cell borders this reader's zone.
+          std::vector<CellId>& cells = dg.reader_cells_[dg.covering_[nb.anchor]];
+          if (std::find(cells.begin(), cells.end(), cell) == cells.end()) {
+            cells.push_back(cell);
+          }
+          continue;
+        }
+        if (dg.cell_of_[nb.anchor] == kInvalidId) {
+          dg.cell_of_[nb.anchor] = cell;
+          stack.push_back(nb.anchor);
+        }
+      }
+    }
+    std::sort(dg.cell_anchors_[cell].begin(), dg.cell_anchors_[cell].end());
+  }
+  return dg;
+}
+
+ReaderId DeploymentGraph::CoveringReader(AnchorId anchor) const {
+  IPQS_CHECK(anchor >= 0 && anchor < static_cast<AnchorId>(covering_.size()));
+  return covering_[anchor];
+}
+
+CellId DeploymentGraph::CellOf(AnchorId anchor) const {
+  IPQS_CHECK(anchor >= 0 && anchor < static_cast<AnchorId>(cell_of_.size()));
+  return cell_of_[anchor];
+}
+
+const std::vector<AnchorId>& DeploymentGraph::CellAnchors(CellId cell) const {
+  IPQS_CHECK(cell >= 0 && cell < num_cells());
+  return cell_anchors_[cell];
+}
+
+const std::vector<CellId>& DeploymentGraph::CellsAdjacentToReader(
+    ReaderId reader) const {
+  IPQS_CHECK(reader >= 0 &&
+             reader < static_cast<ReaderId>(reader_cells_.size()));
+  return reader_cells_[reader];
+}
+
+}  // namespace ipqs

@@ -1,0 +1,59 @@
+#ifndef IPQS_SYMBOLIC_DEPLOYMENT_GRAPH_H_
+#define IPQS_SYMBOLIC_DEPLOYMENT_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/anchor_graph.h"
+#include "graph/anchor_points.h"
+#include "rfid/deployment.h"
+
+namespace ipqs {
+
+using CellId = int32_t;
+
+// The RFID reader deployment graph of the symbolic model (Section 3.3,
+// after Jensen et al. / Yang et al.): positioning devices partition the
+// indoor space into cells — maximal regions an object can roam without
+// being detected. We materialize cells at anchor-point granularity: an
+// anchor point covered by some reader belongs to that reader's zone;
+// uncovered anchor points are grouped into cells by connectivity over the
+// anchor graph.
+//
+// In the paper's deployment every reader spans the full hallway width, so
+// all readers act as undirected partitioning devices; a reader whose zone
+// touches only one cell degenerates to a presence device.
+class DeploymentGraph {
+ public:
+  static DeploymentGraph Build(const AnchorPointIndex& index,
+                               const AnchorGraph& anchor_graph,
+                               const Deployment& deployment);
+
+  // The reader whose activation range covers this anchor, or kInvalidId.
+  ReaderId CoveringReader(AnchorId anchor) const;
+
+  // The cell containing this anchor, or kInvalidId when the anchor sits in
+  // a reader zone.
+  CellId CellOf(AnchorId anchor) const;
+
+  int num_cells() const { return static_cast<int>(cell_anchors_.size()); }
+
+  // All anchor points of one cell.
+  const std::vector<AnchorId>& CellAnchors(CellId cell) const;
+
+  // Cells whose boundary touches the given reader's zone (the candidate
+  // cells an object may occupy after leaving that reader).
+  const std::vector<CellId>& CellsAdjacentToReader(ReaderId reader) const;
+
+ private:
+  DeploymentGraph() = default;
+
+  std::vector<ReaderId> covering_;           // Per anchor.
+  std::vector<CellId> cell_of_;              // Per anchor.
+  std::vector<std::vector<AnchorId>> cell_anchors_;
+  std::vector<std::vector<CellId>> reader_cells_;  // Per reader.
+};
+
+}  // namespace ipqs
+
+#endif  // IPQS_SYMBOLIC_DEPLOYMENT_GRAPH_H_

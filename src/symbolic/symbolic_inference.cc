@@ -1,0 +1,81 @@
+#include "symbolic/symbolic_inference.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace ipqs {
+
+SymbolicInference::SymbolicInference(const AnchorPointIndex* index,
+                                     const AnchorGraph* anchor_graph,
+                                     const Deployment* deployment,
+                                     const DeploymentGraph* deployment_graph,
+                                     const SymbolicConfig& config)
+    : index_(index),
+      anchor_graph_(anchor_graph),
+      deployment_(deployment),
+      deployment_graph_(deployment_graph),
+      config_(config) {
+  IPQS_CHECK(index != nullptr);
+  IPQS_CHECK(anchor_graph != nullptr);
+  IPQS_CHECK(deployment != nullptr);
+  IPQS_CHECK(deployment_graph != nullptr);
+  IPQS_CHECK_GT(config.max_speed, 0.0);
+}
+
+AnchorDistribution SymbolicInference::CoveredByReader(ReaderId reader) const {
+  std::vector<AnchorId> covered;
+  for (AnchorId a = 0; a < index_->num_anchors(); ++a) {
+    if (deployment_graph_->CoveringReader(a) == reader) {
+      covered.push_back(a);
+    }
+  }
+  return AnchorDistribution::Uniform(std::move(covered));
+}
+
+AnchorDistribution SymbolicInference::Infer(
+    const DataCollector::ObjectHistory& history, int64_t now) const {
+  IPQS_CHECK(!history.entries.empty());
+  const AggregatedEntry& last = history.entries.back();
+  const int64_t elapsed = now - last.time;
+  IPQS_CHECK_GE(elapsed, 0);
+
+  // Case 1: currently observed -> anywhere in the detecting range.
+  if (elapsed == 0) {
+    return CoveredByReader(last.reader);
+  }
+
+  // Cases 2-4: uniform over every location reachable without being seen.
+  // The deployment's readers cover the hallway width, so their zones are
+  // impassable; the object's own last device is the expansion source.
+  const Reader& d = deployment_->reader(last.reader);
+  const double budget =
+      d.range + config_.max_speed * static_cast<double>(elapsed);
+  const DeploymentGraph* dg = deployment_graph_;
+  const ReaderId own = last.reader;
+  const auto passable = [dg, own](AnchorId a) {
+    const ReaderId covering = dg->CoveringReader(a);
+    // The object departed through its own zone; every other zone would
+    // have produced a reading.
+    return covering == kInvalidId || covering == own;
+  };
+
+  const auto reached =
+      anchor_graph_->WithinDistance(*index_, d.loc, budget, passable);
+
+  std::vector<AnchorId> possible;
+  possible.reserve(reached.size());
+  for (const auto& [anchor, _] : reached) {
+    if (dg->CoveringReader(anchor) == kInvalidId) {
+      possible.push_back(anchor);
+    }
+  }
+  if (possible.empty()) {
+    // Speed budget too small to exit the zone: the symbolic model keeps
+    // the object inside the device range (Case 1 degenerate).
+    return CoveredByReader(last.reader);
+  }
+  return AnchorDistribution::Uniform(std::move(possible));
+}
+
+}  // namespace ipqs

@@ -1,0 +1,64 @@
+#ifndef IPQS_SYMBOLIC_SYMBOLIC_INFERENCE_H_
+#define IPQS_SYMBOLIC_SYMBOLIC_INFERENCE_H_
+
+#include <cstdint>
+
+#include "filter/anchor_distribution.h"
+#include "graph/anchor_graph.h"
+#include "graph/anchor_points.h"
+#include "rfid/data_collector.h"
+#include "rfid/deployment.h"
+#include "symbolic/deployment_graph.h"
+
+namespace ipqs {
+
+// Parameters of the symbolic-model baseline (Yang et al. [29, 30], as
+// summarized in Section 3.3 of the paper).
+struct SymbolicConfig {
+  // u_max: the maximum walking speed bounding the reachable region.
+  double max_speed = 1.5;
+};
+
+// Symbolic model-based location inference: an object is uniformly
+// distributed over all reachable locations constrained by its maximum
+// speed and the deployment graph. Concretely, for an object last seen by
+// device d at time t_last:
+//
+//  * currently observed (now == t_last): uniform over the anchor points in
+//    d's activation range (Case 1);
+//  * otherwise: uniform over all anchor points reachable from d within
+//    network distance d.range + u_max * (now - t_last) without crossing
+//    any reader's activation zone — i.e. within the cells adjacent to d
+//    (Cases 2-4), clipped by the speed constraint.
+//
+// The output is an AnchorDistribution, so the identical query evaluation
+// code runs on both inference methods.
+class SymbolicInference {
+ public:
+  SymbolicInference(const AnchorPointIndex* index,
+                    const AnchorGraph* anchor_graph,
+                    const Deployment* deployment,
+                    const DeploymentGraph* deployment_graph,
+                    const SymbolicConfig& config);
+
+  const SymbolicConfig& config() const { return config_; }
+
+  // Location distribution of an object with the given reading history, at
+  // time `now`.
+  AnchorDistribution Infer(const DataCollector::ObjectHistory& history,
+                           int64_t now) const;
+
+ private:
+  // Uniform over the anchors covered by `reader`.
+  AnchorDistribution CoveredByReader(ReaderId reader) const;
+
+  const AnchorPointIndex* index_;
+  const AnchorGraph* anchor_graph_;
+  const Deployment* deployment_;
+  const DeploymentGraph* deployment_graph_;
+  SymbolicConfig config_;
+};
+
+}  // namespace ipqs
+
+#endif  // IPQS_SYMBOLIC_SYMBOLIC_INFERENCE_H_

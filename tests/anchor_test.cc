@@ -1,0 +1,261 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "floorplan/office_generator.h"
+#include "graph/anchor_graph.h"
+#include "graph/anchor_points.h"
+#include "graph/graph_builder.h"
+#include "graph/grid_index.h"
+#include "graph/shortest_path.h"
+
+namespace ipqs {
+namespace {
+
+class AnchorFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    plan_ = GenerateOffice(OfficeConfig{}).value();
+    graph_ = BuildWalkingGraph(plan_).value();
+    anchors_ = std::make_unique<AnchorPointIndex>(
+        AnchorPointIndex::Build(graph_, plan_, 1.0));
+    anchor_graph_ =
+        std::make_unique<AnchorGraph>(AnchorGraph::Build(graph_, *anchors_));
+  }
+
+  FloorPlan plan_;
+  WalkingGraph graph_;
+  std::unique_ptr<AnchorPointIndex> anchors_;
+  std::unique_ptr<AnchorGraph> anchor_graph_;
+};
+
+TEST(GridIndexTest, InsertAndQueryRect) {
+  GridIndex grid(Rect(0, 0, 100, 100), 10.0);
+  grid.Insert(1, {5, 5});
+  grid.Insert(2, {50, 50});
+  grid.Insert(3, {95, 95});
+  EXPECT_EQ(grid.size(), 3u);
+
+  auto hits = grid.QueryRect(Rect(0, 0, 60, 60));
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<int32_t>{1, 2}));
+  EXPECT_TRUE(grid.QueryRect(Rect(60, 0, 80, 40)).empty());
+}
+
+TEST(GridIndexTest, QueryRectIsInclusive) {
+  GridIndex grid(Rect(0, 0, 10, 10), 2.0);
+  grid.Insert(7, {4, 4});
+  EXPECT_EQ(grid.QueryRect(Rect(4, 4, 5, 5)).size(), 1u);
+  EXPECT_EQ(grid.QueryRect(Rect(3, 3, 4, 4)).size(), 1u);
+}
+
+TEST(GridIndexTest, NearestFindsAcrossCells) {
+  GridIndex grid(Rect(0, 0, 100, 100), 5.0);
+  grid.Insert(1, {10, 10});
+  grid.Insert(2, {90, 90});
+  EXPECT_EQ(grid.Nearest({20, 20}), 1);
+  EXPECT_EQ(grid.Nearest({80, 85}), 2);
+  EXPECT_EQ(grid.Nearest({0, 0}), 1);
+}
+
+TEST(GridIndexTest, NearestOnEmptyIndex) {
+  GridIndex grid(Rect(0, 0, 10, 10), 1.0);
+  EXPECT_EQ(grid.Nearest({5, 5}), kInvalidId);
+}
+
+TEST(GridIndexTest, PointsOutsideBoundsAreClamped) {
+  GridIndex grid(Rect(0, 0, 10, 10), 1.0);
+  grid.Insert(1, {-5, -5});
+  EXPECT_EQ(grid.Nearest({0, 0}), 1);
+  // QueryRect covering the border cell finds it.
+  EXPECT_EQ(grid.QueryRect(Rect(-10, -10, 0.5, 0.5)).size(), 1u);
+}
+
+TEST_F(AnchorFixture, EveryEdgeHasAnchors) {
+  for (const Edge& e : graph_.edges()) {
+    EXPECT_FALSE(anchors_->OnEdge(e.id).empty()) << "edge " << e.id;
+  }
+}
+
+TEST_F(AnchorFixture, SpacingIsRespected) {
+  for (const Edge& e : graph_.edges()) {
+    const auto& on_edge = anchors_->OnEdge(e.id);
+    for (size_t i = 0; i + 1 < on_edge.size(); ++i) {
+      const double gap = anchors_->anchor(on_edge[i + 1]).offset -
+                         anchors_->anchor(on_edge[i]).offset;
+      EXPECT_GT(gap, 0.0);
+      // Gap stays within 50% of the requested spacing.
+      EXPECT_LE(gap, 1.5);
+      EXPECT_GE(gap, 0.5);
+    }
+  }
+}
+
+TEST_F(AnchorFixture, OffsetsAscendPerEdge) {
+  for (const Edge& e : graph_.edges()) {
+    const auto& on_edge = anchors_->OnEdge(e.id);
+    EXPECT_TRUE(std::is_sorted(on_edge.begin(), on_edge.end(),
+                               [&](AnchorId a, AnchorId b) {
+                                 return anchors_->anchor(a).offset <
+                                        anchors_->anchor(b).offset;
+                               }));
+  }
+}
+
+TEST_F(AnchorFixture, ContainerAttribution) {
+  int room_anchors = 0;
+  for (const AnchorPoint& ap : anchors_->anchors()) {
+    const Edge& e = graph_.edge(ap.edge);
+    if (e.kind == EdgeKind::kRoomStub) {
+      EXPECT_EQ(ap.room, e.room);
+      EXPECT_EQ(ap.hallway, kInvalidId);
+      ++room_anchors;
+    } else {
+      EXPECT_EQ(ap.hallway, e.hallway);
+      EXPECT_EQ(ap.room, kInvalidId);
+    }
+  }
+  EXPECT_GT(room_anchors, 0);
+}
+
+TEST_F(AnchorFixture, InRoomReturnsItsStubAnchors) {
+  for (const Room& r : plan_.rooms()) {
+    const auto& in_room = anchors_->InRoom(r.id);
+    EXPECT_FALSE(in_room.empty());
+    for (AnchorId a : in_room) {
+      EXPECT_EQ(anchors_->anchor(a).room, r.id);
+    }
+  }
+}
+
+TEST_F(AnchorFixture, NearestOnEdgeSnapsToClosest) {
+  for (const Edge& e : graph_.edges()) {
+    // Probe several offsets; the result must be the true arg-min.
+    for (double frac : {0.0, 0.21, 0.5, 0.77, 1.0}) {
+      const GraphLocation loc{e.id, frac * e.length};
+      const AnchorId got = anchors_->NearestOnEdge(loc);
+      double best = 1e18;
+      for (AnchorId a : anchors_->OnEdge(e.id)) {
+        best = std::min(best,
+                        std::fabs(anchors_->anchor(a).offset - loc.offset));
+      }
+      // Ties (probe exactly between two anchors) may resolve either way.
+      EXPECT_NEAR(std::fabs(anchors_->anchor(got).offset - loc.offset), best,
+                  1e-9);
+    }
+  }
+}
+
+TEST_F(AnchorFixture, InRectMatchesLinearScan) {
+  const Rect window(5, -3, 25, 5);
+  auto got = anchors_->InRect(window);
+  std::sort(got.begin(), got.end());
+  std::vector<AnchorId> want;
+  for (const AnchorPoint& ap : anchors_->anchors()) {
+    if (window.Contains(ap.pos)) {
+      want.push_back(ap.id);
+    }
+  }
+  EXPECT_EQ(got, want);
+}
+
+TEST_F(AnchorFixture, NearestToPointAgreesWithScan) {
+  for (const Point probe : {Point{3.3, 0.4}, Point{25.0, 18.0},
+                            Point{-1.0, 20.0}, Point{48.0, 36.0}}) {
+    const AnchorId got = anchors_->NearestToPoint(probe);
+    double best = 1e18;
+    for (const AnchorPoint& ap : anchors_->anchors()) {
+      best = std::min(best, Distance(ap.pos, probe));
+    }
+    EXPECT_NEAR(Distance(anchors_->anchor(got).pos, probe), best, 1e-9);
+  }
+}
+
+TEST_F(AnchorFixture, AnchorGraphIsSymmetric) {
+  for (AnchorId a = 0; a < anchor_graph_->num_anchors(); ++a) {
+    for (const AnchorGraph::Neighbor& nb : anchor_graph_->NeighborsOf(a)) {
+      const auto& back = anchor_graph_->NeighborsOf(nb.anchor);
+      const bool found =
+          std::any_of(back.begin(), back.end(),
+                      [a, &nb](const AnchorGraph::Neighbor& b) {
+                        return b.anchor == a && b.dist == nb.dist;
+                      });
+      EXPECT_TRUE(found) << "link " << a << "<->" << nb.anchor;
+    }
+  }
+}
+
+TEST_F(AnchorFixture, AnchorGraphIsConnected) {
+  std::vector<bool> seen(anchor_graph_->num_anchors(), false);
+  std::vector<AnchorId> stack = {0};
+  seen[0] = true;
+  size_t count = 1;
+  while (!stack.empty()) {
+    const AnchorId cur = stack.back();
+    stack.pop_back();
+    for (const auto& nb : anchor_graph_->NeighborsOf(cur)) {
+      if (!seen[nb.anchor]) {
+        seen[nb.anchor] = true;
+        ++count;
+        stack.push_back(nb.anchor);
+      }
+    }
+  }
+  EXPECT_EQ(count, static_cast<size_t>(anchor_graph_->num_anchors()));
+}
+
+TEST_F(AnchorFixture, WithinDistanceAscendingAndBudgeted) {
+  const GraphLocation src{0, 0.5};
+  const double budget = 15.0;
+  const auto reached = anchor_graph_->WithinDistance(*anchors_, src, budget);
+  ASSERT_FALSE(reached.empty());
+  double prev = 0.0;
+  for (const auto& [anchor, d] : reached) {
+    EXPECT_GE(d, prev);
+    EXPECT_LE(d, budget);
+    prev = d;
+  }
+}
+
+TEST_F(AnchorFixture, WithinDistanceAgreesWithNetworkDistance) {
+  const GraphLocation src{3, 1.0};
+  const auto reached = anchor_graph_->WithinDistance(*anchors_, src, 25.0);
+  for (size_t i = 0; i < reached.size(); i += 5) {
+    const AnchorPoint& ap = anchors_->anchor(reached[i].first);
+    const double exact =
+        NetworkDistance(graph_, src, GraphLocation{ap.edge, ap.offset});
+    // Anchor-graph distances route through anchor points, so they can
+    // exceed the exact network distance by at most one spacing of slack on
+    // each end.
+    EXPECT_NEAR(reached[i].second, exact, 2.0 * anchors_->spacing());
+  }
+}
+
+TEST_F(AnchorFixture, WithinDistanceBlockedByWall) {
+  // Block every anchor except those on the source edge: expansion must not
+  // escape the edge (plus the immediate boundary anchors of neighbors).
+  const GraphLocation src{0, 0.5};
+  const EdgeId src_edge = 0;
+  const auto passable = [&](AnchorId a) {
+    return anchors_->anchor(a).edge == src_edge;
+  };
+  const auto reached =
+      anchor_graph_->WithinDistance(*anchors_, src, 1000.0, passable);
+  // Reached anchors outside the edge must all be direct neighbors of the
+  // edge's anchors (reached but not expanded).
+  for (const auto& [anchor, _] : reached) {
+    if (anchors_->anchor(anchor).edge == src_edge) {
+      continue;
+    }
+    bool adjacent_to_edge = false;
+    for (const auto& nb : anchor_graph_->NeighborsOf(anchor)) {
+      adjacent_to_edge |= anchors_->anchor(nb.anchor).edge == src_edge;
+    }
+    EXPECT_TRUE(adjacent_to_edge);
+  }
+}
+
+}  // namespace
+}  // namespace ipqs

@@ -1,0 +1,142 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "query/continuous.h"
+#include "sim/experiment.h"
+#include "sim/simulation.h"
+
+namespace ipqs {
+namespace {
+
+class ContinuousFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SimulationConfig config;
+    config.trace.num_objects = 30;
+    config.seed = 777;
+    sim_ = Simulation::Create(config).value();
+    sim_->Run(200);
+  }
+
+  std::unique_ptr<Simulation> sim_;
+};
+
+TEST_F(ContinuousFixture, RangeMonitorReportsDeltasNotSnapshots) {
+  const Rect zone = Rect::FromCenter(sim_->deployment().reader(5).pos, 12, 12);
+  ContinuousRangeMonitor monitor(&sim_->pf_engine(), zone, 0.5);
+
+  const RangeUpdate first = monitor.Poll(sim_->now());
+  // The very first poll reports every current member as "entered".
+  EXPECT_EQ(first.entered.size(), monitor.members().size());
+  EXPECT_TRUE(first.left.empty());
+
+  // Polling again without advancing time changes nothing.
+  const RangeUpdate again = monitor.Poll(sim_->now());
+  EXPECT_TRUE(again.Empty());
+}
+
+TEST_F(ContinuousFixture, RangeMonitorMembershipConsistent) {
+  const Rect zone = Rect::FromCenter(sim_->deployment().reader(9).pos, 14, 14);
+  ContinuousRangeMonitor monitor(&sim_->pf_engine(), zone, 0.4);
+  for (int i = 0; i < 5; ++i) {
+    sim_->Run(10);
+    const RangeUpdate update = monitor.Poll(sim_->now());
+    // Every reported entry is a current member above the threshold.
+    for (const auto& [id, p] : update.entered) {
+      EXPECT_GE(p, 0.4);
+      EXPECT_TRUE(monitor.members().count(id));
+    }
+    // Nobody is simultaneously entered and left.
+    for (ObjectId id : update.left) {
+      EXPECT_FALSE(monitor.members().count(id));
+      const bool also_entered =
+          std::any_of(update.entered.begin(), update.entered.end(),
+                      [id](const auto& e) { return e.first == id; });
+      EXPECT_FALSE(also_entered);
+    }
+  }
+}
+
+TEST_F(ContinuousFixture, KnnMonitorTracksTopK) {
+  const Point q = sim_->deployment().reader(9).pos;
+  ContinuousKnnMonitor monitor(&sim_->pf_engine(), q, 3);
+
+  const KnnUpdate first = monitor.Poll(sim_->now());
+  EXPECT_LE(first.current.size(), 3u);
+  EXPECT_EQ(first.entered.size(), first.current.size());
+
+  sim_->Run(20);
+  const KnnUpdate second = monitor.Poll(sim_->now());
+  EXPECT_LE(second.current.size(), 3u);
+  // entered/left are consistent with the reported current set.
+  for (ObjectId id : second.entered) {
+    EXPECT_TRUE(std::find(second.current.begin(), second.current.end(), id) !=
+                second.current.end());
+  }
+  for (ObjectId id : second.left) {
+    EXPECT_TRUE(std::find(second.current.begin(), second.current.end(), id) ==
+                second.current.end());
+  }
+}
+
+TEST(ThresholdKnnTest, FiltersAndSorts) {
+  KnnResult result;
+  result.result.Add(1, 0.9);
+  result.result.Add(2, 0.3);
+  result.result.Add(3, 0.6);
+  const auto out = ThresholdKnn(result, 0.5);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].first, 1);
+  EXPECT_EQ(out[1].first, 3);
+  EXPECT_TRUE(ThresholdKnn(result, 0.95).empty());
+}
+
+TEST_F(ContinuousFixture, ClosestPairMatchesBruteForce) {
+  // Infer everyone, then compare the evaluator against a brute-force MAP
+  // pairwise scan.
+  const int64_t now = sim_->now();
+  for (ObjectId id : sim_->collector().KnownObjects()) {
+    sim_->pf_engine().InferObject(id, now);
+  }
+  const AnchorObjectTable& table = sim_->pf_engine().table();
+  ASSERT_GE(table.num_objects(), 2u);
+
+  const ClosestPairEvaluator eval(&sim_->anchors(), &sim_->anchor_graph());
+  const auto result = eval.Evaluate(table);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  // Brute force over MAP anchors with exact network distances.
+  const auto objects = table.Objects();
+  double best = 1e18;
+  for (size_t i = 0; i < objects.size(); ++i) {
+    const auto ti = table.Distribution(objects[i])->TopK(1);
+    if (ti.empty()) continue;
+    const AnchorPoint& ai = sim_->anchors().anchor(ti[0]);
+    const OneToAllDistances from_i(sim_->graph(),
+                                   GraphLocation{ai.edge, ai.offset});
+    for (size_t j = i + 1; j < objects.size(); ++j) {
+      const auto tj = table.Distribution(objects[j])->TopK(1);
+      if (tj.empty()) continue;
+      const AnchorPoint& aj = sim_->anchors().anchor(tj[0]);
+      best = std::min(best, from_i.ToLocation({aj.edge, aj.offset}));
+    }
+  }
+  // Anchor-graph distances route anchor-to-anchor, matching the brute
+  // force within the anchor-spacing slack.
+  EXPECT_NEAR(result->distance, best, 2.0 * sim_->anchors().spacing());
+  EXPECT_NE(result->first, result->second);
+}
+
+TEST_F(ContinuousFixture, ClosestPairNeedsTwoObjects) {
+  AnchorObjectTable table;
+  const ClosestPairEvaluator eval(&sim_->anchors(), &sim_->anchor_graph());
+  EXPECT_FALSE(eval.Evaluate(table).ok());
+  table.Set(1, AnchorDistribution::FromWeights({{0, 1.0}}));
+  EXPECT_FALSE(eval.Evaluate(table).ok());
+  table.Set(2, AnchorDistribution::FromWeights({{5, 1.0}}));
+  EXPECT_TRUE(eval.Evaluate(table).ok());
+}
+
+}  // namespace
+}  // namespace ipqs

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "query/events.h"
+#include "sim/simulation.h"
+
+namespace ipqs {
+namespace {
+
+class EventsFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SimulationConfig config;
+    config.trace.num_objects = 20;
+    config.seed = 12;
+    sim_ = Simulation::Create(config).value();
+    sim_->Run(200);
+  }
+
+  // Places the whole unit mass of `object` on one anchor.
+  void PlaceAt(AnchorId anchor, ObjectId object) {
+    table_.Set(object, AnchorDistribution::FromWeights({{anchor, 1.0}}));
+  }
+
+  AnchorId RoomAnchor(RoomId room) {
+    return sim_->anchors().InRoom(room).front();
+  }
+
+  std::unique_ptr<Simulation> sim_;
+  AnchorObjectTable table_;
+};
+
+TEST_F(EventsFixture, ProbabilityInRoomSumsRoomMass) {
+  const RoomId room = 3;
+  const AnchorId inside = RoomAnchor(room);
+  const AnchorId hallway =
+      sim_->anchors().NearestToPoint(sim_->deployment().reader(5).pos);
+  table_.Set(1, AnchorDistribution::FromWeights(
+                    {{inside, 0.7}, {hallway, 0.3}}));
+  EXPECT_NEAR(ProbabilityInRoom(sim_->anchors(), table_, 1, room), 0.7,
+              1e-12);
+  EXPECT_NEAR(ProbabilityInRoom(sim_->anchors(), table_, 1, room + 1), 0.0,
+              1e-12);
+  EXPECT_DOUBLE_EQ(ProbabilityInRoom(sim_->anchors(), table_, 99, room), 0.0);
+}
+
+TEST_F(EventsFixture, ProbabilityTogetherCertainWhenColocated) {
+  const AnchorId spot = RoomAnchor(0);
+  PlaceAt(spot, 1);
+  PlaceAt(spot, 2);
+  EXPECT_NEAR(ProbabilityTogether(sim_->anchors(), sim_->anchor_graph(),
+                                  table_, 1, 2, 1.0),
+              1.0, 1e-9);
+}
+
+TEST_F(EventsFixture, ProbabilityTogetherZeroWhenFarApart) {
+  PlaceAt(RoomAnchor(0), 1);
+  PlaceAt(RoomAnchor(29), 2);  // Opposite corner of the building.
+  EXPECT_NEAR(ProbabilityTogether(sim_->anchors(), sim_->anchor_graph(),
+                                  table_, 1, 2, 5.0),
+              0.0, 1e-9);
+}
+
+TEST_F(EventsFixture, ProbabilityTogetherGrowsWithRadius) {
+  // Two objects ~10 m apart along a hallway.
+  const AnchorId a =
+      sim_->anchors().NearestToPoint(sim_->deployment().reader(5).pos);
+  const AnchorId b =
+      sim_->anchors().NearestToPoint(sim_->deployment().reader(6).pos);
+  PlaceAt(a, 1);
+  PlaceAt(b, 2);
+  const double near = ProbabilityTogether(sim_->anchors(),
+                                          sim_->anchor_graph(), table_, 1, 2,
+                                          3.0);
+  const double far = ProbabilityTogether(sim_->anchors(),
+                                         sim_->anchor_graph(), table_, 1, 2,
+                                         15.0);
+  EXPECT_LT(near, far);
+  EXPECT_NEAR(far, 1.0, 1e-9);
+}
+
+TEST_F(EventsFixture, ProbabilityTogetherSplitMass) {
+  // Object 2 splits mass between object 1's anchor and a distant one.
+  const AnchorId here = RoomAnchor(0);
+  const AnchorId there = RoomAnchor(29);
+  PlaceAt(here, 1);
+  table_.Set(2, AnchorDistribution::FromWeights({{here, 0.4}, {there, 0.6}}));
+  EXPECT_NEAR(ProbabilityTogether(sim_->anchors(), sim_->anchor_graph(),
+                                  table_, 1, 2, 2.0),
+              0.4, 1e-9);
+}
+
+TEST_F(EventsFixture, MeetingDetectorEndToEnd) {
+  // Drive the detector against the live engine with two objects that the
+  // simulation actually tracks; the probabilities must stay in [0, 1] and
+  // streak bookkeeping must be consistent.
+  const auto objects = sim_->collector().KnownObjects();
+  ASSERT_GE(objects.size(), 2u);
+  MeetingDetector detector(&sim_->pf_engine(), &sim_->anchors(), objects[0],
+                           objects[1], /*room=*/0,
+                           /*probability_threshold=*/0.01,
+                           /*min_duration_seconds=*/1);
+  for (int i = 0; i < 10; ++i) {
+    sim_->Run(5);
+    const auto event = detector.Poll(sim_->now());
+    EXPECT_GE(detector.last_probability(), 0.0);
+    EXPECT_LE(detector.last_probability(), 1.0);
+    if (event.has_value()) {
+      EXPECT_LE(event->start, event->end);
+      EXPECT_GT(event->mean_probability, 0.0);
+    }
+  }
+  detector.Flush();
+}
+
+TEST(MeetingDetectorLogicTest, DetectsSustainedMeetings) {
+  // Unit-level check of the streak logic using a stub world: build a tiny
+  // simulation, park two synthetic distributions in a room via the
+  // engine's table is not possible from outside, so instead validate the
+  // detector's streak arithmetic through a forced scenario: threshold so
+  // low that every poll is "in the room" (probability >= 0 fails only for
+  // unknown objects) is covered above; here we check the short-streak
+  // suppression using min_duration > streak length.
+  SimulationConfig config;
+  config.trace.num_objects = 5;
+  config.seed = 3;
+  auto sim = Simulation::Create(config).value();
+  sim->Run(120);
+  const auto objects = sim->collector().KnownObjects();
+  ASSERT_GE(objects.size(), 2u);
+  MeetingDetector detector(&sim->pf_engine(), &sim->anchors(), objects[0],
+                           objects[1], /*room=*/0,
+                           /*probability_threshold=*/0.9999,
+                           /*min_duration_seconds=*/100000);
+  for (int i = 0; i < 5; ++i) {
+    sim->Run(5);
+    // With an impossibly strict threshold + duration, no event can fire.
+    EXPECT_FALSE(detector.Poll(sim->now()).has_value());
+  }
+  EXPECT_FALSE(detector.Flush().has_value());
+}
+
+}  // namespace
+}  // namespace ipqs

@@ -1,0 +1,621 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "filter/anchor_distribution.h"
+#include "filter/measurement_model.h"
+#include "filter/motion_model.h"
+#include "filter/particle.h"
+#include "filter/particle_cache.h"
+#include "filter/particle_filter.h"
+#include "filter/resampler.h"
+#include "floorplan/office_generator.h"
+#include "graph/graph_builder.h"
+
+namespace ipqs {
+namespace {
+
+class FilterFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    plan_ = GenerateOffice(OfficeConfig{}).value();
+    graph_ = BuildWalkingGraph(plan_).value();
+    anchors_ = std::make_unique<AnchorPointIndex>(
+        AnchorPointIndex::Build(graph_, plan_, 1.0));
+    deployment_ = Deployment::UniformOnHallways(plan_, graph_, 19, 2.0).value();
+  }
+
+  FloorPlan plan_;
+  WalkingGraph graph_;
+  std::unique_ptr<AnchorPointIndex> anchors_;
+  Deployment deployment_;
+};
+
+std::vector<Particle> MakeParticles(const std::vector<double>& weights) {
+  std::vector<Particle> out;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    Particle p;
+    p.loc = GraphLocation{static_cast<EdgeId>(i), 0.0};
+    p.weight = weights[i];
+    out.push_back(p);
+  }
+  return out;
+}
+
+TEST(ParticleTest, TotalWeightAndNormalize) {
+  auto particles = MakeParticles({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(TotalWeight(particles), 4.0);
+  NormalizeWeights(&particles);
+  EXPECT_DOUBLE_EQ(particles[0].weight, 0.25);
+  EXPECT_DOUBLE_EQ(particles[1].weight, 0.75);
+  EXPECT_DOUBLE_EQ(TotalWeight(particles), 1.0);
+}
+
+TEST(ParticleTest, EffectiveSampleSize) {
+  auto uniform = MakeParticles({0.25, 0.25, 0.25, 0.25});
+  EXPECT_NEAR(EffectiveSampleSize(uniform), 4.0, 1e-12);
+  auto degenerate = MakeParticles({1.0, 0.0, 0.0, 0.0});
+  EXPECT_NEAR(EffectiveSampleSize(degenerate), 1.0, 1e-12);
+}
+
+TEST(ResamplerTest, PreservesCountAndUniformWeights) {
+  Rng rng(1);
+  auto particles = MakeParticles({0.1, 0.9, 0.5, 0.01});
+  SystematicResample(&particles, rng);
+  ASSERT_EQ(particles.size(), 4u);
+  for (const Particle& p : particles) {
+    EXPECT_DOUBLE_EQ(p.weight, 0.25);
+  }
+}
+
+TEST(ResamplerTest, DropsZeroWeightParticles) {
+  Rng rng(2);
+  // Particle on edge 3 has zero weight; it must never survive.
+  auto particles = MakeParticles({1.0, 1.0, 1.0, 0.0});
+  SystematicResample(&particles, rng);
+  for (const Particle& p : particles) {
+    EXPECT_NE(p.loc.edge, 3);
+  }
+}
+
+TEST(ResamplerTest, ReplicatesDominantParticle) {
+  Rng rng(3);
+  auto particles = MakeParticles({0.0001, 0.0001, 1000.0, 0.0001});
+  SystematicResample(&particles, rng);
+  int dominant = 0;
+  for (const Particle& p : particles) {
+    dominant += p.loc.edge == 2;
+  }
+  EXPECT_GE(dominant, 3);
+}
+
+TEST(ResamplerTest, ProportionalSurvival) {
+  Rng rng(4);
+  // 10000 resampling draws over weights 1:3 -> edge 1 should win ~75%.
+  int edge1 = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    auto particles = MakeParticles({1.0, 3.0});
+    SystematicResample(&particles, rng);
+    for (const Particle& p : particles) {
+      edge1 += p.loc.edge == 1;
+    }
+  }
+  EXPECT_NEAR(edge1 / (2.0 * trials), 0.75, 0.02);
+}
+
+class ResamplingSchemeSweep
+    : public ::testing::TestWithParam<ResamplingScheme> {};
+
+TEST_P(ResamplingSchemeSweep, ContractHolds) {
+  Rng rng(17);
+  auto particles = MakeParticles({0.5, 0.01, 2.0, 0.0, 0.7});
+  Resample(GetParam(), &particles, rng);
+  ASSERT_EQ(particles.size(), 5u);
+  for (const Particle& p : particles) {
+    EXPECT_DOUBLE_EQ(p.weight, 0.2);
+    EXPECT_NE(p.loc.edge, 3);  // Zero-weight particle never survives.
+  }
+}
+
+TEST_P(ResamplingSchemeSweep, ProportionalSurvival) {
+  Rng rng(18);
+  int edge1 = 0;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    auto particles = MakeParticles({1.0, 3.0});
+    Resample(GetParam(), &particles, rng);
+    for (const Particle& p : particles) {
+      edge1 += p.loc.edge == 1;
+    }
+  }
+  EXPECT_NEAR(edge1 / (2.0 * trials), 0.75, 0.03)
+      << ToString(GetParam());
+}
+
+TEST_P(ResamplingSchemeSweep, DominantParticleTakesOver) {
+  Rng rng(19);
+  auto particles = MakeParticles({1e-9, 1e-9, 1.0, 1e-9});
+  Resample(GetParam(), &particles, rng);
+  int dominant = 0;
+  for (const Particle& p : particles) {
+    dominant += p.loc.edge == 2;
+  }
+  EXPECT_EQ(dominant, 4) << ToString(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, ResamplingSchemeSweep,
+                         ::testing::Values(ResamplingScheme::kSystematic,
+                                           ResamplingScheme::kStratified,
+                                           ResamplingScheme::kMultinomial,
+                                           ResamplingScheme::kResidual));
+
+TEST_F(FilterFixture, AdaptiveResamplingSkipsHealthySets) {
+  // With ess_fraction = 0, resampling never triggers: weights stay
+  // non-uniform after an observation.
+  FilterConfig config;
+  config.resample_ess_fraction = 0.0;
+  const ParticleFilter filter(&graph_, &deployment_, config);
+  Rng rng(20);
+  DataCollector::ObjectHistory history;
+  history.entries = {{100, 0}, {102, 0}};
+  history.current_device = 0;
+  const FilterResult result = filter.Run(history, 103, rng);
+  // Weights are normalized but not uniform (in-range vs out-of-range).
+  double min_w = 1.0;
+  double max_w = 0.0;
+  for (const Particle& p : result.particles) {
+    min_w = std::min(min_w, p.weight);
+    max_w = std::max(max_w, p.weight);
+  }
+  EXPECT_LT(min_w, max_w);
+  EXPECT_NEAR(TotalWeight(result.particles), 1.0, 1e-9);
+}
+
+TEST_F(FilterFixture, MotionSampleSpeedTruncated) {
+  MotionConfig config;
+  config.min_speed = 0.9;
+  const MotionModel model(config);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(model.SampleSpeed(rng), 0.9);
+  }
+}
+
+TEST_F(FilterFixture, MotionStepCoversExactDistanceOnOpenEdge) {
+  const MotionModel model;
+  Rng rng(6);
+  // Find a long hallway edge.
+  EdgeId long_edge = kInvalidId;
+  for (const Edge& e : graph_.edges()) {
+    if (e.kind == EdgeKind::kHallway && e.length >= 8.0) {
+      long_edge = e.id;
+      break;
+    }
+  }
+  ASSERT_NE(long_edge, kInvalidId);
+  Particle p;
+  p.loc = GraphLocation{long_edge, 1.0};
+  p.heading = graph_.edge(long_edge).b;
+  p.speed = 1.2;
+  const Point before = graph_.PositionOf(p.loc);
+  model.Step(graph_, &p, 1.0, rng);
+  const Point after = graph_.PositionOf(p.loc);
+  EXPECT_NEAR(Distance(before, after), 1.2, 1e-9);
+}
+
+TEST_F(FilterFixture, MotionParksInRoom) {
+  MotionConfig config;
+  config.room_enter_probability = 1.0;  // Always turn into rooms.
+  const MotionModel model(config);
+  Rng rng(7);
+  // Start right before a door node heading toward it.
+  const Edge* stub = nullptr;
+  for (const Edge& e : graph_.edges()) {
+    if (e.kind == EdgeKind::kRoomStub) {
+      stub = &e;
+      break;
+    }
+  }
+  ASSERT_NE(stub, nullptr);
+  const NodeId door = graph_.node(stub->a).kind == NodeKind::kDoor
+                          ? stub->a
+                          : stub->b;
+  // Particle on the stub heading into the room.
+  Particle p;
+  p.loc = GraphLocation{stub->id, graph_.OffsetOfNode(stub->id, door)};
+  p.heading = graph_.OtherEnd(stub->id, door);
+  p.speed = 1.0;
+  for (int i = 0; i < 20 && !p.in_room; ++i) {
+    model.Step(graph_, &p, 1.0, rng);
+  }
+  EXPECT_TRUE(p.in_room);
+  // Parked at the room-center end of the stub.
+  EXPECT_EQ(p.loc.edge, stub->id);
+}
+
+TEST_F(FilterFixture, RoomExitIsGeometric) {
+  MotionConfig config;
+  config.room_exit_probability = 0.25;
+  const MotionModel model(config);
+  Rng rng(8);
+  const Edge* stub = nullptr;
+  for (const Edge& e : graph_.edges()) {
+    if (e.kind == EdgeKind::kRoomStub) {
+      stub = &e;
+      break;
+    }
+  }
+  ASSERT_NE(stub, nullptr);
+  const NodeId room_node = graph_.node(stub->a).kind == NodeKind::kRoomCenter
+                               ? stub->a
+                               : stub->b;
+  int exits = 0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    Particle p;
+    p.loc = GraphLocation{stub->id, graph_.OffsetOfNode(stub->id, room_node)};
+    p.in_room = true;
+    p.speed = 1.0;
+    p.heading = room_node;
+    model.Step(graph_, &p, 1.0, rng);
+    exits += !p.in_room;
+  }
+  EXPECT_NEAR(exits / static_cast<double>(trials), 0.25, 0.03);
+}
+
+TEST_F(FilterFixture, ChooseNextEdgeNeverUturnsMidGraph) {
+  const MotionModel model;
+  Rng rng(9);
+  for (const Node& n : graph_.nodes()) {
+    if (n.edges.size() < 2) {
+      continue;
+    }
+    const EdgeId incoming = n.edges.front();
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_NE(model.ChooseNextEdge(graph_, n.id, incoming, rng), incoming);
+    }
+  }
+}
+
+TEST_F(FilterFixture, ChooseNextEdgeUturnsAtDeadEnd) {
+  const MotionModel model;
+  Rng rng(10);
+  for (const Node& n : graph_.nodes()) {
+    if (n.edges.size() == 1) {
+      EXPECT_EQ(model.ChooseNextEdge(graph_, n.id, n.edges[0], rng),
+                n.edges[0]);
+    }
+  }
+}
+
+TEST_F(FilterFixture, MeasurementWeights) {
+  const MeasurementModel model;
+  const Reader& r = deployment_.reader(0);
+  EXPECT_DOUBLE_EQ(model.WeightOnDetection(deployment_, r.pos, 0), 1.0);
+  EXPECT_DOUBLE_EQ(
+      model.WeightOnDetection(deployment_, Point{1000, 1000}, 0), 1e-6);
+  // Silence is uninformative by default.
+  EXPECT_DOUBLE_EQ(model.WeightOnSilence(deployment_, r.pos), 1.0);
+}
+
+TEST_F(FilterFixture, MeasurementNegativeInformation) {
+  MeasurementConfig config;
+  config.use_negative_information = true;
+  config.silent_zone_weight = 0.2;
+  const MeasurementModel model(config);
+  const Reader& r = deployment_.reader(0);
+  EXPECT_DOUBLE_EQ(model.WeightOnSilence(deployment_, r.pos), 0.2);
+  EXPECT_DOUBLE_EQ(model.WeightOnSilence(deployment_, Point{1000, 1000}),
+                   1.0);
+}
+
+TEST_F(FilterFixture, InitializeAtReaderPlacesParticlesInRange) {
+  FilterConfig config;
+  config.num_particles = 128;
+  const ParticleFilter filter(&graph_, &deployment_, config);
+  Rng rng(11);
+  const auto particles = filter.InitializeAtReader(3, rng);
+  ASSERT_EQ(particles.size(), 128u);
+  const Reader& r = deployment_.reader(3);
+  for (const Particle& p : particles) {
+    EXPECT_LE(Distance(graph_.PositionOf(p.loc), r.pos), r.range + 1e-6);
+    EXPECT_DOUBLE_EQ(p.weight, 1.0 / 128);
+    EXPECT_GT(p.speed, 0.0);
+    const Edge& e = graph_.edge(p.loc.edge);
+    EXPECT_TRUE(p.heading == e.a || p.heading == e.b);
+  }
+}
+
+DataCollector::ObjectHistory MakeHistory(
+    std::initializer_list<AggregatedEntry> entries) {
+  DataCollector::ObjectHistory h;
+  h.entries = entries;
+  h.current_device = h.entries.back().reader;
+  return h;
+}
+
+TEST_F(FilterFixture, RunStopsAtCoastLimit) {
+  FilterConfig config;
+  config.max_coast_seconds = 60;
+  const ParticleFilter filter(&graph_, &deployment_, config);
+  Rng rng(12);
+  const auto history = MakeHistory({{100, 0}, {101, 0}});
+  const FilterResult result = filter.Run(history, 1000, rng);
+  EXPECT_EQ(result.time, 161);  // td + 60.
+  EXPECT_EQ(result.seconds_processed, 61);
+  EXPECT_EQ(result.particles.size(), 64u);
+}
+
+TEST_F(FilterFixture, RunStopsAtNow) {
+  const ParticleFilter filter(&graph_, &deployment_, FilterConfig{});
+  Rng rng(13);
+  const auto history = MakeHistory({{100, 0}, {101, 0}});
+  const FilterResult result = filter.Run(history, 110, rng);
+  EXPECT_EQ(result.time, 110);
+}
+
+TEST_F(FilterFixture, FilterLearnsDirection) {
+  // Find two consecutive readers on the same wing (a straight stretch).
+  ReaderId a = kInvalidId;
+  ReaderId b = kInvalidId;
+  for (int i = 0; i + 1 < deployment_.num_readers(); ++i) {
+    const Point pa = deployment_.reader(i).pos;
+    const Point pb = deployment_.reader(i + 1).pos;
+    if (std::fabs(pa.y - pb.y) < 1e-9 && pb.x > pa.x) {
+      a = i;
+      b = i + 1;
+      break;
+    }
+  }
+  ASSERT_NE(a, kInvalidId);
+  const double step = Distance(deployment_.reader(a).pos,
+                               deployment_.reader(b).pos);
+
+  // The object walked from a to b at ~1 m/s, then kept going 5 more
+  // seconds. Particles should be concentrated beyond b, not back toward a.
+  const int64_t t_at_a = 100;
+  const int64_t t_at_b = t_at_a + static_cast<int64_t>(step);
+  const auto history = MakeHistory({{t_at_a, a},
+                                    {t_at_a + 1, a},
+                                    {t_at_b, b},
+                                    {t_at_b + 1, b}});
+  FilterConfig config;
+  config.num_particles = 512;
+  const ParticleFilter filter(&graph_, &deployment_, config);
+  Rng rng(14);
+  const FilterResult result = filter.Run(history, t_at_b + 6, rng);
+
+  const double xb = deployment_.reader(b).pos.x;
+  int forward = 0;
+  int backward = 0;
+  for (const Particle& p : result.particles) {
+    const Point pos = graph_.PositionOf(p.loc);
+    if (pos.x > xb + 1.0) ++forward;
+    if (pos.x < xb - 1.0) ++backward;
+  }
+  EXPECT_GT(forward, backward * 2)
+      << "forward=" << forward << " backward=" << backward;
+}
+
+TEST_F(FilterFixture, ContradictoryObservationReseedsCloud) {
+  // History that teleports: detections at reader 0 (spine), then a second
+  // later at a reader on the far wing. No particle can cover that distance,
+  // so the filter must re-seed at the new reader instead of keeping a
+  // stale cloud.
+  ReaderId far_reader = kInvalidId;
+  for (const Reader& r : deployment_.readers()) {
+    if (Distance(r.pos, deployment_.reader(0).pos) > 40.0) {
+      far_reader = r.id;
+      break;
+    }
+  }
+  ASSERT_NE(far_reader, kInvalidId);
+
+  DataCollector::ObjectHistory history;
+  history.entries = {{100, 0}, {101, 0}, {102, far_reader}};
+  history.current_device = far_reader;
+  history.previous_device = 0;
+
+  const ParticleFilter filter(&graph_, &deployment_, FilterConfig{});
+  Rng rng(23);
+  const FilterResult result = filter.Run(history, 103, rng);
+  // The cloud must be concentrated near the far reader now.
+  const Point far_pos = deployment_.reader(far_reader).pos;
+  int near = 0;
+  for (const Particle& p : result.particles) {
+    near += Distance(graph_.PositionOf(p.loc), far_pos) < 8.0;
+  }
+  EXPECT_GT(near, static_cast<int>(result.particles.size()) / 2);
+}
+
+TEST_F(FilterFixture, NegativeInformationPullsMassOutOfSilentZones) {
+  // Object detected once, then silent for a while. With negative
+  // information, particles lingering inside (silent) reader ranges are
+  // discounted, so less final mass sits inside any activation range.
+  DataCollector::ObjectHistory history;
+  history.entries = {{100, 5}, {101, 5}};
+  history.current_device = 5;
+
+  FilterConfig plain;
+  plain.num_particles = 512;
+  FilterConfig negative = plain;
+  negative.measurement.use_negative_information = true;
+
+  const ParticleFilter f_plain(&graph_, &deployment_, plain);
+  const ParticleFilter f_neg(&graph_, &deployment_, negative);
+  auto zone_mass = [&](const FilterResult& r) {
+    double mass = 0.0;
+    for (const Particle& p : r.particles) {
+      if (deployment_.FirstCovering(graph_.PositionOf(p.loc)).has_value()) {
+        mass += p.weight;
+      }
+    }
+    return mass / TotalWeight(r.particles);
+  };
+  Rng rng_a(31);
+  Rng rng_b(31);
+  const double plain_mass = zone_mass(f_plain.Run(history, 121, rng_a));
+  const double neg_mass = zone_mass(f_neg.Run(history, 121, rng_b));
+  EXPECT_LT(neg_mass, plain_mass + 1e-9);
+}
+
+TEST_F(FilterFixture, ResumeMatchesContinuedRun) {
+  const ParticleFilter filter(&graph_, &deployment_, FilterConfig{});
+  const auto history = MakeHistory({{100, 0}, {101, 0}});
+  Rng rng(15);
+  FilterResult state = filter.Run(history, 120, rng);
+  EXPECT_EQ(state.time, 120);
+  // Nothing new: resume is a no-op.
+  const FilterResult same = filter.Resume(state, history, 120, rng);
+  EXPECT_EQ(same.time, 120);
+  EXPECT_EQ(same.seconds_processed, state.seconds_processed);
+  // Ten more seconds: resume processes exactly 10.
+  const FilterResult more = filter.Resume(state, history, 130, rng);
+  EXPECT_EQ(more.time, 130);
+  EXPECT_EQ(more.seconds_processed, state.seconds_processed + 10);
+}
+
+TEST_F(FilterFixture, InferProducesNormalizedDistribution) {
+  const ParticleFilter filter(&graph_, &deployment_, FilterConfig{});
+  Rng rng(16);
+  const auto history = MakeHistory({{100, 5}, {101, 5}});
+  const AnchorDistribution dist = filter.Infer(*anchors_, history, 120, rng);
+  EXPECT_FALSE(dist.empty());
+  EXPECT_NEAR(dist.TotalProbability(), 1.0, 1e-9);
+}
+
+TEST(AnchorDistributionTest, UniformSplitsEvenly) {
+  const AnchorDistribution dist = AnchorDistribution::Uniform({3, 1, 2, 1});
+  EXPECT_EQ(dist.support_size(), 3u);
+  EXPECT_NEAR(dist.ProbabilityAt(1), 1.0 / 3, 1e-12);
+  EXPECT_NEAR(dist.ProbabilityAt(2), 1.0 / 3, 1e-12);
+  EXPECT_NEAR(dist.ProbabilityAt(3), 1.0 / 3, 1e-12);
+  EXPECT_DOUBLE_EQ(dist.ProbabilityAt(4), 0.0);
+}
+
+TEST(AnchorDistributionTest, FromWeightsNormalizesAndMerges) {
+  const AnchorDistribution dist =
+      AnchorDistribution::FromWeights({{5, 1.0}, {7, 2.0}, {5, 1.0}});
+  EXPECT_EQ(dist.support_size(), 2u);
+  EXPECT_NEAR(dist.ProbabilityAt(5), 0.5, 1e-12);
+  EXPECT_NEAR(dist.ProbabilityAt(7), 0.5, 1e-12);
+}
+
+TEST(AnchorDistributionTest, TopKOrdersByProbability) {
+  const AnchorDistribution dist =
+      AnchorDistribution::FromWeights({{1, 0.1}, {2, 0.6}, {3, 0.3}});
+  EXPECT_EQ(dist.TopK(2), (std::vector<AnchorId>{2, 3}));
+  EXPECT_EQ(dist.TopK(10), (std::vector<AnchorId>{2, 3, 1}));
+}
+
+TEST(AnchorDistributionTest, EmptyDistribution) {
+  const AnchorDistribution dist = AnchorDistribution::Uniform({});
+  EXPECT_TRUE(dist.empty());
+  EXPECT_DOUBLE_EQ(dist.TotalProbability(), 0.0);
+  EXPECT_TRUE(dist.TopK(3).empty());
+}
+
+TEST_F(FilterFixture, FromParticlesSnapsWeightMass) {
+  // Two particles on one edge, one on another, weights 1:1:2.
+  const EdgeId e0 = 0;
+  const EdgeId e1 = 1;
+  std::vector<Particle> particles(3);
+  particles[0].loc = {e0, 0.1};
+  particles[0].weight = 1.0;
+  particles[1].loc = {e0, 0.2};
+  particles[1].weight = 1.0;
+  particles[2].loc = {e1, 0.1};
+  particles[2].weight = 2.0;
+  const AnchorDistribution dist =
+      AnchorDistribution::FromParticles(*anchors_, particles);
+  EXPECT_NEAR(dist.TotalProbability(), 1.0, 1e-12);
+  const AnchorId a0 = anchors_->NearestOnEdge({e0, 0.15});
+  const AnchorId a1 = anchors_->NearestOnEdge({e1, 0.1});
+  EXPECT_NEAR(dist.ProbabilityAt(a0), 0.5, 1e-12);
+  EXPECT_NEAR(dist.ProbabilityAt(a1), 0.5, 1e-12);
+}
+
+TEST(AnchorObjectTableTest, SetAndLookup) {
+  AnchorObjectTable table;
+  table.Set(1, AnchorDistribution::FromWeights({{10, 0.6}, {11, 0.4}}));
+  table.Set(2, AnchorDistribution::FromWeights({{10, 1.0}}));
+
+  const auto& at10 = table.AtAnchor(10);
+  EXPECT_EQ(at10.size(), 2u);
+  EXPECT_EQ(table.AtAnchor(11).size(), 1u);
+  EXPECT_TRUE(table.AtAnchor(99).empty());
+  EXPECT_EQ(table.Objects(), (std::vector<ObjectId>{1, 2}));
+}
+
+TEST(AnchorObjectTableTest, SetReplacesPreviousEntries) {
+  AnchorObjectTable table;
+  table.Set(1, AnchorDistribution::FromWeights({{10, 1.0}}));
+  table.Set(1, AnchorDistribution::FromWeights({{20, 1.0}}));
+  EXPECT_TRUE(table.AtAnchor(10).empty());
+  EXPECT_EQ(table.AtAnchor(20).size(), 1u);
+  EXPECT_EQ(table.num_objects(), 1u);
+}
+
+TEST(AnchorObjectTableTest, EraseAndClear) {
+  AnchorObjectTable table;
+  table.Set(1, AnchorDistribution::FromWeights({{10, 1.0}}));
+  table.Set(2, AnchorDistribution::FromWeights({{10, 1.0}}));
+  table.Erase(1);
+  EXPECT_EQ(table.AtAnchor(10).size(), 1u);
+  EXPECT_EQ(table.Distribution(1), nullptr);
+  ASSERT_NE(table.Distribution(2), nullptr);
+  table.Clear();
+  EXPECT_EQ(table.num_objects(), 0u);
+  EXPECT_TRUE(table.AtAnchor(10).empty());
+}
+
+TEST(ParticleCacheTest, HitMissInvalidate) {
+  ParticleCache cache;
+  EXPECT_EQ(cache.Lookup(1, 0), std::nullopt);
+  EXPECT_EQ(cache.stats().misses, 1);
+
+  FilterResult state;
+  state.time = 100;
+  cache.Insert(1, 0, state);
+  EXPECT_EQ(cache.size(), 1u);
+
+  const auto hit = cache.Lookup(1, 0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->time, 100);
+  EXPECT_EQ(cache.stats().hits, 1);
+
+  // New device -> stale.
+  EXPECT_EQ(cache.Lookup(1, 5), std::nullopt);
+  EXPECT_EQ(cache.stats().invalidations, 1);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ParticleCacheTest, EvictOlderThan) {
+  ParticleCache cache;
+  FilterResult old_state;
+  old_state.time = 50;
+  FilterResult new_state;
+  new_state.time = 150;
+  cache.Insert(1, 0, old_state);
+  cache.Insert(2, 0, new_state);
+  cache.EvictOlderThan(100);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.Lookup(2, 0).has_value());
+}
+
+TEST(ParticleCacheTest, HitRateStat) {
+  ParticleCache cache;
+  FilterResult state;
+  cache.Insert(1, 0, state);
+  cache.Lookup(1, 0);
+  cache.Lookup(1, 0);
+  cache.Lookup(9, 0);
+  EXPECT_NEAR(cache.stats().HitRate(), 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ipqs

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "floorplan/floor_plan.h"
+#include "floorplan/office_generator.h"
+
+namespace ipqs {
+namespace {
+
+FloorPlan SimplePlan() {
+  // One horizontal hallway with a room above it.
+  FloorPlan plan;
+  const HallwayId h =
+      plan.AddHallway(Segment({0, 0}, {20, 0}), 2.0, "hall").value();
+  const RoomId r =
+      plan.AddRoom(Rect::FromCorners({5, 1}, {15, 9}), "room").value();
+  EXPECT_TRUE(plan.AddDoor(r, h, Point{10, 0}).ok());
+  return plan;
+}
+
+TEST(FloorPlanTest, AddHallwayValidatesInput) {
+  FloorPlan plan;
+  EXPECT_FALSE(plan.AddHallway(Segment({0, 0}, {10, 0}), 0.0).ok());
+  EXPECT_FALSE(plan.AddHallway(Segment({0, 0}, {0, 0}), 2.0).ok());
+  // Diagonal centerlines are rejected.
+  EXPECT_FALSE(plan.AddHallway(Segment({0, 0}, {10, 10}), 2.0).ok());
+  EXPECT_TRUE(plan.AddHallway(Segment({0, 0}, {10, 0}), 2.0).ok());
+  EXPECT_TRUE(plan.AddHallway(Segment({0, 0}, {0, 10}), 2.0).ok());
+}
+
+TEST(FloorPlanTest, AddRoomValidatesInput) {
+  FloorPlan plan;
+  EXPECT_FALSE(plan.AddRoom(Rect(0, 0, 0, 5)).ok());
+  EXPECT_TRUE(plan.AddRoom(Rect(0, 0, 5, 5)).ok());
+}
+
+TEST(FloorPlanTest, AddDoorChecksReferences) {
+  FloorPlan plan;
+  const HallwayId h =
+      plan.AddHallway(Segment({0, 0}, {20, 0}), 2.0).value();
+  const RoomId r = plan.AddRoom(Rect::FromCorners({5, 1}, {15, 9})).value();
+  EXPECT_FALSE(plan.AddDoor(r + 1, h, Point{10, 0}).ok());
+  EXPECT_FALSE(plan.AddDoor(r, h + 1, Point{10, 0}).ok());
+  // Door not on the centerline.
+  EXPECT_FALSE(plan.AddDoor(r, h, Point{10, 0.5}).ok());
+  EXPECT_TRUE(plan.AddDoor(r, h, Point{10, 0}).ok());
+  EXPECT_EQ(plan.room(r).doors.size(), 1u);
+}
+
+TEST(FloorPlanTest, HallwayBounds) {
+  FloorPlan plan = SimplePlan();
+  const Hallway& h = plan.hallways()[0];
+  EXPECT_TRUE(h.IsHorizontal());
+  EXPECT_EQ(h.Bounds(), Rect(0, -1, 20, 1));
+  EXPECT_DOUBLE_EQ(h.Length(), 20.0);
+}
+
+TEST(FloorPlanTest, VerticalHallwayBounds) {
+  FloorPlan plan;
+  const HallwayId h =
+      plan.AddHallway(Segment({0, 0}, {0, 12}), 3.0).value();
+  EXPECT_FALSE(plan.hallway(h).IsHorizontal());
+  EXPECT_EQ(plan.hallway(h).Bounds(), Rect(-1.5, 0, 1.5, 12));
+}
+
+TEST(FloorPlanTest, ValidatePassesOnGoodPlan) {
+  EXPECT_TRUE(SimplePlan().Validate().ok());
+}
+
+TEST(FloorPlanTest, ValidateRejectsDoorlessRoom) {
+  FloorPlan plan;
+  plan.AddHallway(Segment({0, 0}, {20, 0}), 2.0).value();
+  plan.AddRoom(Rect::FromCorners({5, 1}, {15, 9})).value();
+  EXPECT_EQ(plan.Validate().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FloorPlanTest, ValidateRejectsOverlappingRooms) {
+  FloorPlan plan;
+  const HallwayId h =
+      plan.AddHallway(Segment({0, 0}, {20, 0}), 2.0).value();
+  const RoomId r1 = plan.AddRoom(Rect::FromCorners({5, 1}, {15, 9})).value();
+  const RoomId r2 = plan.AddRoom(Rect::FromCorners({10, 1}, {18, 9})).value();
+  EXPECT_TRUE(plan.AddDoor(r1, h, Point{10, 0}).ok());
+  EXPECT_TRUE(plan.AddDoor(r2, h, Point{14, 0}).ok());
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST(FloorPlanTest, ValidateRejectsRoomOverlappingHallway) {
+  FloorPlan plan;
+  const HallwayId h =
+      plan.AddHallway(Segment({0, 0}, {20, 0}), 2.0).value();
+  // Room dips into the hallway footprint (y in [-1, 1]).
+  const RoomId r = plan.AddRoom(Rect::FromCorners({5, 0.5}, {15, 9})).value();
+  EXPECT_TRUE(plan.AddDoor(r, h, Point{10, 0}).ok());
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST(FloorPlanTest, BoundingBoxCoversEverything) {
+  FloorPlan plan = SimplePlan();
+  const Rect box = plan.BoundingBox();
+  EXPECT_EQ(box, Rect(0, -1, 20, 9));
+}
+
+TEST(FloorPlanTest, TotalAreaSumsRoomsAndHallways) {
+  FloorPlan plan = SimplePlan();
+  // Room 10x8 = 80, hallway 20x2 = 40.
+  EXPECT_DOUBLE_EQ(plan.TotalArea(), 120.0);
+}
+
+TEST(FloorPlanTest, LocateRoomAndHallway) {
+  FloorPlan plan = SimplePlan();
+  EXPECT_EQ(plan.LocateRoom({10, 5}), std::optional<RoomId>(0));
+  EXPECT_EQ(plan.LocateRoom({1, 5}), std::nullopt);
+  EXPECT_EQ(plan.LocateHallway({10, 0.5}), std::optional<HallwayId>(0));
+  EXPECT_EQ(plan.LocateHallway({10, 5}), std::nullopt);  // Inside room.
+  EXPECT_EQ(plan.LocateHallway({10, -5}), std::nullopt); // Outside.
+}
+
+TEST(OfficeGeneratorTest, DefaultMatchesPaperSetting) {
+  const OfficeConfig config;
+  EXPECT_EQ(config.TotalRooms(), 30);
+  EXPECT_EQ(config.TotalHallways(), 4);
+
+  auto plan = GenerateOffice(config);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->rooms().size(), 30u);
+  EXPECT_EQ(plan->hallways().size(), 4u);
+  EXPECT_EQ(plan->doors().size(), 30u);
+  EXPECT_TRUE(plan->Validate().ok());
+}
+
+TEST(OfficeGeneratorTest, EveryRoomHasOneDoorOnItsWing) {
+  auto plan = GenerateOffice(OfficeConfig{});
+  ASSERT_TRUE(plan.ok());
+  for (const Room& r : plan->rooms()) {
+    ASSERT_EQ(r.doors.size(), 1u);
+    const Door& d = plan->door(r.doors[0]);
+    EXPECT_EQ(d.room, r.id);
+    // Door sits within the room's horizontal extent.
+    EXPECT_GT(d.position.x, r.bounds.min_x);
+    EXPECT_LT(d.position.x, r.bounds.max_x);
+  }
+}
+
+TEST(OfficeGeneratorTest, RejectsBadConfig) {
+  OfficeConfig config;
+  config.num_wings = 0;
+  EXPECT_FALSE(GenerateOffice(config).ok());
+  config = OfficeConfig{};
+  config.room_width = -1;
+  EXPECT_FALSE(GenerateOffice(config).ok());
+}
+
+TEST(OfficeGeneratorTest, SingleWingHasNoSpine) {
+  OfficeConfig config;
+  config.num_wings = 1;
+  config.rooms_per_side = 3;
+  auto plan = GenerateOffice(config);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->hallways().size(), 1u);
+  EXPECT_EQ(plan->rooms().size(), 6u);
+  EXPECT_TRUE(plan->Validate().ok());
+}
+
+TEST(OfficeGeneratorTest, ScalesToLargerCampuses) {
+  OfficeConfig config;
+  config.num_wings = 5;
+  config.rooms_per_side = 8;
+  auto plan = GenerateOffice(config);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->rooms().size(), 80u);
+  EXPECT_EQ(plan->hallways().size(), 6u);
+  EXPECT_TRUE(plan->Validate().ok());
+}
+
+}  // namespace
+}  // namespace ipqs

@@ -1,0 +1,186 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "geom/segment.h"
+
+namespace ipqs {
+namespace {
+
+TEST(PointTest, Arithmetic) {
+  const Point a{1.0, 2.0};
+  const Point b{3.0, -1.0};
+  EXPECT_EQ(a + b, Point(4.0, 1.0));
+  EXPECT_EQ(a - b, Point(-2.0, 3.0));
+  EXPECT_EQ(a * 2.0, Point(2.0, 4.0));
+  EXPECT_EQ(b / 2.0, Point(1.5, -0.5));
+}
+
+TEST(PointTest, DotAndCross) {
+  const Point a{1.0, 0.0};
+  const Point b{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(a.Dot(b), 0.0);
+  EXPECT_DOUBLE_EQ(a.Cross(b), 1.0);
+  EXPECT_DOUBLE_EQ(b.Cross(a), -1.0);
+}
+
+TEST(PointTest, NormAndDistance) {
+  EXPECT_DOUBLE_EQ(Point(3.0, 4.0).Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(Point(3.0, 4.0).SquaredNorm(), 25.0);
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({1, 1}, {4, 5}), 25.0);
+}
+
+TEST(PointTest, AlmostEqual) {
+  EXPECT_TRUE(AlmostEqual({1.0, 1.0}, {1.0 + 1e-12, 1.0 - 1e-12}));
+  EXPECT_FALSE(AlmostEqual({1.0, 1.0}, {1.1, 1.0}));
+  EXPECT_TRUE(AlmostEqual({1.0, 1.0}, {1.05, 0.95}, 0.1));
+}
+
+TEST(PointTest, Lerp) {
+  const Point a{0.0, 0.0};
+  const Point b{10.0, 20.0};
+  EXPECT_EQ(Lerp(a, b, 0.0), a);
+  EXPECT_EQ(Lerp(a, b, 1.0), b);
+  EXPECT_EQ(Lerp(a, b, 0.5), Point(5.0, 10.0));
+}
+
+TEST(SegmentTest, LengthAndAt) {
+  const Segment s({0, 0}, {6, 8});
+  EXPECT_DOUBLE_EQ(s.Length(), 10.0);
+  EXPECT_EQ(s.At(0.5), Point(3.0, 4.0));
+  EXPECT_EQ(s.AtOffset(5.0), Point(3.0, 4.0));
+  // Offsets clamp to the segment.
+  EXPECT_EQ(s.AtOffset(-5.0), Point(0.0, 0.0));
+  EXPECT_EQ(s.AtOffset(50.0), Point(6.0, 8.0));
+}
+
+TEST(SegmentTest, DegenerateSegment) {
+  const Segment s({2, 2}, {2, 2});
+  EXPECT_DOUBLE_EQ(s.Length(), 0.0);
+  EXPECT_EQ(s.AtOffset(1.0), Point(2.0, 2.0));
+  EXPECT_DOUBLE_EQ(s.ClosestParameter({5, 5}), 0.0);
+}
+
+TEST(SegmentTest, ClosestPointInterior) {
+  const Segment s({0, 0}, {10, 0});
+  EXPECT_EQ(s.ClosestPoint({4.0, 3.0}), Point(4.0, 0.0));
+  EXPECT_DOUBLE_EQ(s.DistanceTo({4.0, 3.0}), 3.0);
+}
+
+TEST(SegmentTest, ClosestPointClampsToEnds) {
+  const Segment s({0, 0}, {10, 0});
+  EXPECT_EQ(s.ClosestPoint({-5.0, 0.0}), Point(0.0, 0.0));
+  EXPECT_EQ(s.ClosestPoint({15.0, 2.0}), Point(10.0, 0.0));
+}
+
+TEST(SegmentTest, IntersectProperCrossing) {
+  EXPECT_TRUE(SegmentsIntersect(Segment({0, 0}, {10, 10}),
+                                Segment({0, 10}, {10, 0})));
+}
+
+TEST(SegmentTest, IntersectSharedEndpoint) {
+  EXPECT_TRUE(
+      SegmentsIntersect(Segment({0, 0}, {5, 5}), Segment({5, 5}, {9, 1})));
+}
+
+TEST(SegmentTest, DisjointSegments) {
+  EXPECT_FALSE(
+      SegmentsIntersect(Segment({0, 0}, {1, 1}), Segment({2, 2}, {3, 3})));
+  EXPECT_FALSE(
+      SegmentsIntersect(Segment({0, 0}, {1, 0}), Segment({0, 1}, {1, 1})));
+}
+
+TEST(SegmentTest, CollinearOverlap) {
+  EXPECT_TRUE(
+      SegmentsIntersect(Segment({0, 0}, {5, 0}), Segment({3, 0}, {8, 0})));
+  EXPECT_FALSE(
+      SegmentsIntersect(Segment({0, 0}, {2, 0}), Segment({3, 0}, {8, 0})));
+}
+
+TEST(RectTest, FromCornersNormalizes) {
+  const Rect r = Rect::FromCorners({5, 7}, {1, 2});
+  EXPECT_DOUBLE_EQ(r.min_x, 1.0);
+  EXPECT_DOUBLE_EQ(r.min_y, 2.0);
+  EXPECT_DOUBLE_EQ(r.max_x, 5.0);
+  EXPECT_DOUBLE_EQ(r.max_y, 7.0);
+}
+
+TEST(RectTest, FromCenter) {
+  const Rect r = Rect::FromCenter({5, 5}, 4.0, 2.0);
+  EXPECT_EQ(r, Rect(3.0, 4.0, 7.0, 6.0));
+  EXPECT_EQ(r.Center(), Point(5.0, 5.0));
+}
+
+TEST(RectTest, AreaWidthHeight) {
+  const Rect r(0, 0, 4, 3);
+  EXPECT_DOUBLE_EQ(r.Width(), 4.0);
+  EXPECT_DOUBLE_EQ(r.Height(), 3.0);
+  EXPECT_DOUBLE_EQ(r.Area(), 12.0);
+}
+
+TEST(RectTest, ContainsIsInclusive) {
+  const Rect r(0, 0, 4, 3);
+  EXPECT_TRUE(r.Contains({0, 0}));
+  EXPECT_TRUE(r.Contains({4, 3}));
+  EXPECT_TRUE(r.Contains({2, 1}));
+  EXPECT_FALSE(r.Contains({4.01, 1}));
+  EXPECT_FALSE(r.Contains({2, -0.01}));
+}
+
+TEST(RectTest, IntersectsAndIntersection) {
+  const Rect a(0, 0, 4, 4);
+  const Rect b(2, 2, 6, 6);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_EQ(a.Intersection(b), Rect(2, 2, 4, 4));
+
+  const Rect c(5, 5, 7, 7);
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_DOUBLE_EQ(a.Intersection(c).Area(), 0.0);
+}
+
+TEST(RectTest, TouchingRectsIntersectWithZeroArea) {
+  const Rect a(0, 0, 2, 2);
+  const Rect b(2, 0, 4, 2);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_DOUBLE_EQ(a.Intersection(b).Area(), 0.0);
+}
+
+TEST(RectTest, DistanceToPoint) {
+  const Rect r(0, 0, 4, 4);
+  EXPECT_DOUBLE_EQ(r.DistanceTo({2, 2}), 0.0);   // Inside.
+  EXPECT_DOUBLE_EQ(r.DistanceTo({6, 2}), 2.0);   // Right of.
+  EXPECT_DOUBLE_EQ(r.DistanceTo({7, 8}), 5.0);   // Corner: 3-4-5.
+}
+
+TEST(RectTest, ClipSegmentThrough) {
+  const Rect r(0, 0, 10, 10);
+  double t0;
+  double t1;
+  ASSERT_TRUE(r.ClipSegment(Segment({-5, 5}, {15, 5}), &t0, &t1));
+  EXPECT_DOUBLE_EQ(t0, 0.25);
+  EXPECT_DOUBLE_EQ(t1, 0.75);
+}
+
+TEST(RectTest, ClipSegmentInside) {
+  const Rect r(0, 0, 10, 10);
+  double t0;
+  double t1;
+  ASSERT_TRUE(r.ClipSegment(Segment({2, 2}, {8, 8}), &t0, &t1));
+  EXPECT_DOUBLE_EQ(t0, 0.0);
+  EXPECT_DOUBLE_EQ(t1, 1.0);
+}
+
+TEST(RectTest, ClipSegmentMiss) {
+  const Rect r(0, 0, 10, 10);
+  double t0;
+  double t1;
+  EXPECT_FALSE(r.ClipSegment(Segment({-5, 20}, {15, 20}), &t0, &t1));
+  EXPECT_FALSE(r.IntersectsSegment(Segment({12, 0}, {12, 10})));
+  EXPECT_TRUE(r.IntersectsSegment(Segment({5, -1}, {5, 11})));
+}
+
+}  // namespace
+}  // namespace ipqs

@@ -1,0 +1,121 @@
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "floorplan/io.h"
+#include "floorplan/office_generator.h"
+
+namespace ipqs {
+namespace {
+
+constexpr char kSample[] = R"(
+# a tiny building
+hallway hall 0 0 30 0 2
+room lab 5 1 15 9
+room store 16 1 26 9
+door lab hall 10 0
+door store hall 20 0
+reader 5 0 2
+reader 25 0 2
+)";
+
+TEST(BuildingIoTest, ParsesSample) {
+  auto spec = ParseBuilding(kSample);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->plan.hallways().size(), 1u);
+  EXPECT_EQ(spec->plan.rooms().size(), 2u);
+  EXPECT_EQ(spec->plan.doors().size(), 2u);
+  ASSERT_EQ(spec->readers.size(), 2u);
+  EXPECT_EQ(spec->readers[0].pos, Point(5, 0));
+  EXPECT_DOUBLE_EQ(spec->readers[1].range, 2.0);
+  EXPECT_TRUE(spec->plan.Validate().ok());
+  EXPECT_EQ(spec->plan.rooms()[0].name, "lab");
+}
+
+TEST(BuildingIoTest, CommentsAndBlankLinesIgnored) {
+  auto spec = ParseBuilding(
+      "hallway h 0 0 10 0 2   # inline comment\n\n# full line\n"
+      "room r 2 1 8 5\ndoor r h 5 0\n");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->plan.rooms().size(), 1u);
+}
+
+TEST(BuildingIoTest, ErrorsCarryLineNumbers) {
+  const auto bad_directive = ParseBuilding("corridor h 0 0 10 0 2\n");
+  ASSERT_FALSE(bad_directive.ok());
+  EXPECT_NE(bad_directive.status().message().find("line 1"),
+            std::string::npos);
+
+  const auto bad_args = ParseBuilding("hallway h 0 0 10\n");
+  ASSERT_FALSE(bad_args.ok());
+
+  const auto unknown_room =
+      ParseBuilding("hallway h 0 0 10 0 2\ndoor ghost h 5 0\n");
+  ASSERT_FALSE(unknown_room.ok());
+  EXPECT_NE(unknown_room.status().message().find("ghost"), std::string::npos);
+}
+
+TEST(BuildingIoTest, RejectsDuplicateNames) {
+  EXPECT_FALSE(
+      ParseBuilding("hallway h 0 0 10 0 2\nhallway h 0 5 10 5 2\n").ok());
+  EXPECT_FALSE(ParseBuilding("hallway h 0 0 30 0 2\nroom r 2 1 8 5\n"
+                             "room r 12 1 18 5\ndoor r h 5 0\n")
+                   .ok());
+}
+
+TEST(BuildingIoTest, RejectsInvalidGeometry) {
+  // Door off the centerline is a plan-level error surfaced with a line.
+  const auto off_door = ParseBuilding(
+      "hallway h 0 0 10 0 2\nroom r 2 1 8 5\ndoor r h 5 3\n");
+  ASSERT_FALSE(off_door.ok());
+  // A room without a door fails final validation.
+  EXPECT_FALSE(ParseBuilding("hallway h 0 0 10 0 2\nroom r 2 1 8 5\n").ok());
+  // Bad reader range.
+  EXPECT_FALSE(ParseBuilding("hallway h 0 0 10 0 2\nroom r 2 1 8 5\n"
+                             "door r h 5 0\nreader 5 0 -1\n")
+                   .ok());
+}
+
+TEST(BuildingIoTest, RoundTripsTheOfficePlan) {
+  const FloorPlan office = GenerateOffice(OfficeConfig{}).value();
+  const std::string text =
+      SerializeBuilding(office, {{Point{5, 0}, 2.0}, {Point{15, 0}, 1.5}});
+  auto spec = ParseBuilding(text);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+
+  ASSERT_EQ(spec->plan.hallways().size(), office.hallways().size());
+  ASSERT_EQ(spec->plan.rooms().size(), office.rooms().size());
+  ASSERT_EQ(spec->plan.doors().size(), office.doors().size());
+  EXPECT_EQ(spec->readers.size(), 2u);
+  for (size_t i = 0; i < office.rooms().size(); ++i) {
+    EXPECT_EQ(spec->plan.rooms()[i].bounds, office.rooms()[i].bounds);
+    EXPECT_EQ(spec->plan.rooms()[i].name, office.rooms()[i].name);
+  }
+  for (size_t i = 0; i < office.hallways().size(); ++i) {
+    EXPECT_DOUBLE_EQ(spec->plan.hallways()[i].width,
+                     office.hallways()[i].width);
+    EXPECT_EQ(spec->plan.hallways()[i].centerline.a,
+              office.hallways()[i].centerline.a);
+  }
+  for (size_t i = 0; i < office.doors().size(); ++i) {
+    EXPECT_EQ(spec->plan.doors()[i].position, office.doors()[i].position);
+  }
+}
+
+TEST(BuildingIoTest, LoadBuildingFile) {
+  const std::string path = ::testing::TempDir() + "/building.txt";
+  {
+    std::ofstream out(path);
+    out << kSample;
+  }
+  auto spec = LoadBuildingFile(path);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->plan.rooms().size(), 2u);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(LoadBuildingFile("/nonexistent/building.txt").ok());
+}
+
+}  // namespace
+}  // namespace ipqs

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "floorplan/office_generator.h"
+#include "graph/graph_builder.h"
+#include "query/trajectory.h"
+#include "rfid/placement_optimizer.h"
+#include "sim/simulation.h"
+
+namespace ipqs {
+namespace {
+
+class PlacementFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    plan_ = GenerateOffice(OfficeConfig{}).value();
+    graph_ = BuildWalkingGraph(plan_).value();
+  }
+
+  FloorPlan plan_;
+  WalkingGraph graph_;
+};
+
+TEST_F(PlacementFixture, ProducesRequestedReaderCount) {
+  PlacementConfig config;
+  config.num_readers = 12;
+  auto dep = OptimizePlacement(plan_, graph_, config);
+  ASSERT_TRUE(dep.ok()) << dep.status();
+  EXPECT_EQ(dep->num_readers(), 12);
+}
+
+TEST_F(PlacementFixture, RespectsSeparationAndDisjointRanges) {
+  PlacementConfig config;
+  config.num_readers = 19;
+  auto dep = OptimizePlacement(plan_, graph_, config);
+  ASSERT_TRUE(dep.ok()) << dep.status();
+  // Default separation = 2 * range => ranges disjoint (paper's setting).
+  EXPECT_TRUE(dep->RangesDisjoint());
+}
+
+TEST_F(PlacementFixture, ReadersLandOnHallways) {
+  PlacementConfig config;
+  config.num_readers = 8;
+  auto dep = OptimizePlacement(plan_, graph_, config);
+  ASSERT_TRUE(dep.ok());
+  for (const Reader& r : dep->readers()) {
+    EXPECT_TRUE(plan_.LocateHallway(r.pos).has_value()) << r.ToString();
+  }
+}
+
+TEST_F(PlacementFixture, BeatsUniformPlacementOnCoverage) {
+  // With few readers, greedy coverage should match or beat the uniform
+  // deployment on covered centerline fraction.
+  const int n = 8;
+  PlacementConfig config;
+  config.num_readers = n;
+  auto optimized = OptimizePlacement(plan_, graph_, config);
+  ASSERT_TRUE(optimized.ok());
+  auto uniform = Deployment::UniformOnHallways(plan_, graph_, n, 2.0);
+  ASSERT_TRUE(uniform.ok());
+
+  const CoverageReport opt = EvaluateCoverage(plan_, *optimized);
+  const CoverageReport uni = EvaluateCoverage(plan_, *uniform);
+  EXPECT_GE(opt.covered_fraction, uni.covered_fraction - 1e-9);
+  EXPECT_GT(opt.covered_fraction, 0.0);
+  EXPECT_LT(opt.covered_fraction, 1.0);
+}
+
+TEST_F(PlacementFixture, FailsWhenOverConstrained) {
+  PlacementConfig config;
+  config.num_readers = 500;  // Impossible with 2*range separation.
+  EXPECT_FALSE(OptimizePlacement(plan_, graph_, config).ok());
+  config = PlacementConfig{};
+  config.num_readers = 0;
+  EXPECT_FALSE(OptimizePlacement(plan_, graph_, config).ok());
+}
+
+TEST_F(PlacementFixture, CoverageReportSaneOnUniform) {
+  auto dep = Deployment::UniformOnHallways(plan_, graph_, 19, 2.0).value();
+  const CoverageReport report = EvaluateCoverage(plan_, dep);
+  EXPECT_GT(report.covered_fraction, 0.2);
+  EXPECT_LT(report.covered_fraction, 1.0);
+  EXPECT_GT(report.longest_gap, 0.0);
+  // 19 readers ~10 m apart with 2 m ranges: gaps of roughly 6 m.
+  EXPECT_LT(report.longest_gap, 25.0);
+}
+
+TEST(TrajectoryTest, ReconstructsRecentPath) {
+  SimulationConfig config;
+  config.trace.num_objects = 15;
+  config.seed = 88;
+  auto sim = Simulation::Create(config).value();
+  sim->Run(400);
+
+  EngineConfig engine_config;
+  HistoricalEngine engine(&sim->graph(), &sim->plan(), &sim->anchors(),
+                          &sim->anchor_graph(), &sim->deployment(),
+                          &sim->deployment_graph(), &sim->history(),
+                          engine_config);
+
+  const ObjectId object = sim->history().KnownObjects().front();
+  const auto trajectory =
+      ReconstructTrajectory(engine, object, 100, sim->now(), 20);
+  ASSERT_FALSE(trajectory.empty());
+  // Times ascend by the step; probabilities are valid.
+  for (size_t i = 0; i < trajectory.size(); ++i) {
+    EXPECT_GT(trajectory[i].probability, 0.0);
+    EXPECT_LE(trajectory[i].probability, 1.0 + 1e-9);
+    if (i > 0) {
+      EXPECT_GT(trajectory[i].time, trajectory[i - 1].time);
+    }
+  }
+  // The object was first seen after its first reading, not before.
+  const auto* full = sim->history().FullHistory(object);
+  ASSERT_NE(full, nullptr);
+  EXPECT_GE(trajectory.front().time, full->front().time - 20);
+
+  const double length = TrajectoryLength(sim->anchors(), sim->anchor_graph(),
+                                         trajectory);
+  EXPECT_GE(length, 0.0);
+}
+
+TEST(TrajectoryTest, EmptyBeforeFirstDetection) {
+  SimulationConfig config;
+  config.trace.num_objects = 5;
+  config.seed = 89;
+  auto sim = Simulation::Create(config).value();
+  sim->Run(120);
+  EngineConfig engine_config;
+  HistoricalEngine engine(&sim->graph(), &sim->plan(), &sim->anchors(),
+                          &sim->anchor_graph(), &sim->deployment(),
+                          &sim->deployment_graph(), &sim->history(),
+                          engine_config);
+  // Query entirely before the simulation started.
+  const auto trajectory = ReconstructTrajectory(engine, 0, -100, -1, 10);
+  EXPECT_TRUE(trajectory.empty());
+}
+
+}  // namespace
+}  // namespace ipqs

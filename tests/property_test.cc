@@ -1,0 +1,172 @@
+// Cross-cutting invariants checked on randomized worlds: these encode the
+// probability-theoretic contracts of the query evaluators and the
+// geometric soundness of the inference pipeline.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "query/uncertain_region.h"
+#include "sim/experiment.h"
+#include "sim/simulation.h"
+
+namespace ipqs {
+namespace {
+
+class PropertyFixture : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    SimulationConfig config;
+    config.trace.num_objects = 25;
+    config.seed = GetParam();
+    sim_ = Simulation::Create(config).value();
+    sim_->Run(220);
+  }
+
+  std::unique_ptr<Simulation> sim_;
+};
+
+TEST_P(PropertyFixture, RangeProbabilityBoundedPerObject) {
+  for (int i = 0; i < 10; ++i) {
+    const Rect w =
+        Experiment::RandomWindow(sim_->plan(), 0.03, sim_->query_rng());
+    const QueryResult res = sim_->pf_engine().EvaluateRange(w, sim_->now());
+    for (const auto& [id, p] : res.objects) {
+      EXPECT_GE(p, 0.0) << "object " << id;
+      EXPECT_LE(p, 1.0 + 1e-9) << "object " << id;
+    }
+  }
+}
+
+TEST_P(PropertyFixture, RangeMonotoneInWindow) {
+  // A window contained in another can only lose probability.
+  const Point c = sim_->deployment().reader(7).pos;
+  const int64_t now = sim_->now();
+  const QueryResult small =
+      sim_->pf_engine().EvaluateRange(Rect::FromCenter(c, 6, 6), now);
+  const QueryResult big =
+      sim_->pf_engine().EvaluateRange(Rect::FromCenter(c, 14, 14), now);
+  for (const auto& [id, p] : small.objects) {
+    EXPECT_LE(p, big.ProbabilityOf(id) + 1e-9) << "object " << id;
+  }
+}
+
+TEST_P(PropertyFixture, RangePartitionAdditive) {
+  // Splitting a window along a line: the halves' probabilities sum to the
+  // whole (per object), since every anchor/ratio contribution lands in
+  // exactly one half.
+  const Point c = sim_->deployment().reader(11).pos;
+  const Rect whole = Rect::FromCenter(c, 12, 10);
+  Rect left = whole;
+  left.max_x = c.x;
+  Rect right = whole;
+  right.min_x = c.x;
+  const int64_t now = sim_->now();
+  const QueryResult rw = sim_->pf_engine().EvaluateRange(whole, now);
+  const QueryResult rl = sim_->pf_engine().EvaluateRange(left, now);
+  const QueryResult rr = sim_->pf_engine().EvaluateRange(right, now);
+  for (const auto& [id, p] : rw.objects) {
+    EXPECT_NEAR(p, rl.ProbabilityOf(id) + rr.ProbabilityOf(id), 1e-6)
+        << "object " << id;
+  }
+}
+
+TEST_P(PropertyFixture, WholeFloorHasAllMass) {
+  // A window covering the whole bounding box must contain every tracked
+  // object with probability ~1.
+  const Rect everything = sim_->plan().BoundingBox();
+  const QueryResult res =
+      sim_->pf_engine().EvaluateRange(everything, sim_->now());
+  for (ObjectId id : sim_->collector().KnownObjects()) {
+    EXPECT_NEAR(res.ProbabilityOf(id), 1.0, 1e-6) << "object " << id;
+  }
+}
+
+TEST_P(PropertyFixture, KnnResultGrowsWithK) {
+  const Point q = Experiment::RandomIndoorPoint(sim_->anchors(),
+                                                sim_->query_rng());
+  const int64_t now = sim_->now();
+  double prev_mass = 0.0;
+  size_t prev_size = 0;
+  for (int k = 1; k <= 5; ++k) {
+    const KnnResult res = sim_->pf_engine().EvaluateKnn(q, k, now);
+    EXPECT_GE(res.total_probability, prev_mass - 1e-9);
+    EXPECT_GE(res.result.objects.size(), prev_size);
+    prev_mass = res.total_probability;
+    prev_size = res.result.objects.size();
+  }
+}
+
+TEST_P(PropertyFixture, KnnMassReachesKWhenPossible) {
+  const int64_t now = sim_->now();
+  // Total available mass = number of tracked objects.
+  const double available =
+      static_cast<double>(sim_->collector().KnownObjects().size());
+  const Point q = sim_->deployment().reader(3).pos;
+  for (int k : {1, 3, 8}) {
+    const KnnResult res = sim_->pf_engine().EvaluateKnn(q, k, now);
+    if (available >= k) {
+      EXPECT_GE(res.total_probability, static_cast<double>(k) - 1e-6);
+    }
+  }
+}
+
+TEST_P(PropertyFixture, FilterSupportInsideUncertainRegion) {
+  // The particle cloud can never outrun the uncertain region (whose radius
+  // uses u_max = 1.5 m/s while particle speeds are ~N(1, 0.1) plus
+  // jitter): pruning soundness depends on this.
+  const int64_t now = sim_->now();
+  for (ObjectId id : sim_->collector().KnownObjects()) {
+    const auto last = sim_->collector().LastReading(id);
+    ASSERT_TRUE(last.has_value());
+    const UncertainRegion ur = ComputeUncertainRegion(
+        sim_->deployment(), id, *last, now, sim_->config().max_speed);
+    const AnchorDistribution* dist = sim_->pf_engine().InferObject(id, now);
+    ASSERT_NE(dist, nullptr);
+    for (const auto& [anchor, p] : dist->entries()) {
+      const double d = Distance(sim_->anchors().anchor(anchor).pos, ur.center);
+      // Slack: anchor snapping (1 m) + roughening jitter.
+      EXPECT_LE(d, ur.radius + 2.0)
+          << "object " << id << " anchor " << anchor << " p=" << p;
+    }
+  }
+}
+
+TEST_P(PropertyFixture, SymbolicSupportInsideUncertainRegion) {
+  const int64_t now = sim_->now();
+  for (ObjectId id : sim_->collector().KnownObjects()) {
+    const auto last = sim_->collector().LastReading(id);
+    const UncertainRegion ur = ComputeUncertainRegion(
+        sim_->deployment(), id, *last, now, sim_->config().max_speed);
+    const AnchorDistribution* dist = sim_->sm_engine().InferObject(id, now);
+    ASSERT_NE(dist, nullptr);
+    for (const auto& [anchor, _] : dist->entries()) {
+      const double d = Distance(sim_->anchors().anchor(anchor).pos, ur.center);
+      EXPECT_LE(d, ur.radius + 1.0) << "object " << id;
+    }
+  }
+}
+
+TEST_P(PropertyFixture, EngineAnswersAreReproducibleAcrossRuns) {
+  // Two identically-seeded worlds answer identically (full determinism).
+  SimulationConfig config;
+  config.trace.num_objects = 25;
+  config.seed = GetParam();
+  auto other = Simulation::Create(config).value();
+  other->Run(220);
+
+  const Rect w = Rect::FromCenter(sim_->deployment().reader(5).pos, 10, 10);
+  const QueryResult a = sim_->pf_engine().EvaluateRange(w, sim_->now());
+  const QueryResult b = other->pf_engine().EvaluateRange(w, other->now());
+  ASSERT_EQ(a.objects.size(), b.objects.size());
+  for (const auto& [id, p] : a.objects) {
+    EXPECT_DOUBLE_EQ(p, b.ProbabilityOf(id));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyFixture,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace ipqs

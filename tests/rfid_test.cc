@@ -1,0 +1,237 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "floorplan/office_generator.h"
+#include "graph/graph_builder.h"
+#include "rfid/data_collector.h"
+#include "rfid/deployment.h"
+#include "rfid/sensing_model.h"
+
+namespace ipqs {
+namespace {
+
+class DeploymentFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    plan_ = GenerateOffice(OfficeConfig{}).value();
+    graph_ = BuildWalkingGraph(plan_).value();
+  }
+
+  FloorPlan plan_;
+  WalkingGraph graph_;
+};
+
+TEST_F(DeploymentFixture, UniformDeploymentCounts) {
+  auto dep = Deployment::UniformOnHallways(plan_, graph_, 19, 2.0);
+  ASSERT_TRUE(dep.ok()) << dep.status();
+  EXPECT_EQ(dep->num_readers(), 19);
+}
+
+TEST_F(DeploymentFixture, ReadersSitOnHallways) {
+  auto dep = Deployment::UniformOnHallways(plan_, graph_, 19, 2.0);
+  ASSERT_TRUE(dep.ok());
+  for (const Reader& r : dep->readers()) {
+    const Edge& e = graph_.edge(r.loc.edge);
+    EXPECT_EQ(e.kind, EdgeKind::kHallway);
+    // Snap error should be tiny: readers are placed on centerlines.
+    EXPECT_LT(Distance(graph_.PositionOf(r.loc), r.pos), 1e-6);
+  }
+}
+
+TEST_F(DeploymentFixture, UniformSpacingAlongHallways) {
+  auto dep = Deployment::UniformOnHallways(plan_, graph_, 19, 2.0);
+  ASSERT_TRUE(dep.ok());
+  // Consecutive readers on the same hallway should be ~total/19 apart.
+  double total = 0.0;
+  for (const Hallway& h : plan_.hallways()) total += h.Length();
+  const double step = total / 19;
+  for (int i = 0; i + 1 < dep->num_readers(); ++i) {
+    const Reader& a = dep->reader(i);
+    const Reader& b = dep->reader(i + 1);
+    const double gap = Distance(a.pos, b.pos);
+    if (gap < 2 * step) {  // Same hallway.
+      EXPECT_NEAR(gap, step, 1e-6);
+    }
+  }
+}
+
+TEST_F(DeploymentFixture, DefaultRangesAreDisjoint) {
+  auto dep = Deployment::UniformOnHallways(plan_, graph_, 19, 2.0);
+  ASSERT_TRUE(dep.ok());
+  EXPECT_TRUE(dep->RangesDisjoint());
+}
+
+TEST_F(DeploymentFixture, HugeRangesOverlap) {
+  auto dep = Deployment::UniformOnHallways(plan_, graph_, 19, 10.0);
+  ASSERT_TRUE(dep.ok());
+  EXPECT_FALSE(dep->RangesDisjoint());
+}
+
+TEST_F(DeploymentFixture, CoveringAndFirstCovering) {
+  auto dep = Deployment::UniformOnHallways(plan_, graph_, 19, 2.0);
+  ASSERT_TRUE(dep.ok());
+  const Reader& r0 = dep->reader(0);
+  EXPECT_EQ(dep->FirstCovering(r0.pos), std::optional<ReaderId>(0));
+  EXPECT_EQ(dep->Covering(r0.pos).size(), 1u);
+  // A point far outside any range.
+  EXPECT_EQ(dep->FirstCovering({1000, 1000}), std::nullopt);
+}
+
+TEST_F(DeploymentFixture, RejectsBadArguments) {
+  EXPECT_FALSE(Deployment::UniformOnHallways(plan_, graph_, 0, 2.0).ok());
+  EXPECT_FALSE(Deployment::UniformOnHallways(plan_, graph_, 5, -1.0).ok());
+}
+
+TEST_F(DeploymentFixture, EdgeIntervalsCoverReaderDisc) {
+  auto dep = Deployment::UniformOnHallways(plan_, graph_, 19, 2.0);
+  ASSERT_TRUE(dep.ok());
+  for (const Reader& r : dep->readers()) {
+    const auto intervals = EdgeIntervalsInRange(graph_, r);
+    ASSERT_FALSE(intervals.empty()) << r.ToString();
+    double total = 0.0;
+    for (const EdgeInterval& iv : intervals) {
+      EXPECT_GE(iv.lo, 0.0);
+      EXPECT_LE(iv.hi, graph_.edge(iv.edge).length + 1e-9);
+      EXPECT_GT(iv.Length(), 0.0);
+      // Every point of the interval is inside the disc.
+      const Edge& e = graph_.edge(iv.edge);
+      for (double f : {0.0, 0.5, 1.0}) {
+        const Point p = e.geometry.AtOffset(iv.lo + f * iv.Length());
+        EXPECT_LE(Distance(p, r.pos), r.range + 1e-6);
+      }
+      total += iv.Length();
+    }
+    // A reader in the middle of a hallway covers a 2*range stretch.
+    EXPECT_GE(total, r.range);
+  }
+}
+
+TEST(SensingModelTest, PerSecondProbability) {
+  SensingConfig config;
+  config.sample_detection_prob = 0.5;
+  config.samples_per_second = 3;
+  const SensingModel model(config);
+  EXPECT_NEAR(model.PerSecondDetectionProbability(), 1.0 - 0.125, 1e-12);
+}
+
+TEST(SensingModelTest, PerfectSamplesAlwaysDetect) {
+  SensingConfig config;
+  config.sample_detection_prob = 1.0;
+  config.samples_per_second = 1;
+  const SensingModel model(config);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(model.DetectsThisSecond(rng));
+  }
+}
+
+TEST(SensingModelTest, EmpiricalRateMatches) {
+  const SensingModel model(SensingConfig{0.7, 5});
+  Rng rng(9);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    hits += model.DetectsThisSecond(rng);
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n,
+              model.PerSecondDetectionProbability(), 0.01);
+}
+
+TEST(DataCollectorTest, AggregatesWithinSecond) {
+  DataCollector collector;
+  for (int i = 0; i < 10; ++i) {
+    collector.Observe({1, 0, 100});  // Ten raw samples, same second.
+  }
+  const auto* h = collector.History(1);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->entries.size(), 1u);
+  EXPECT_EQ(h->entries[0].time, 100);
+  EXPECT_EQ(h->entries[0].reader, 0);
+}
+
+TEST(DataCollectorTest, KeepsOnlyTwoMostRecentDevices) {
+  DataCollector collector;
+  collector.Observe({1, 0, 100});
+  collector.Observe({1, 0, 101});
+  collector.Observe({1, 1, 110});
+  collector.Observe({1, 1, 111});
+  // Third device: device 0's entries must be dropped.
+  collector.Observe({1, 2, 120});
+
+  const auto* h = collector.History(1);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->current_device, 2);
+  EXPECT_EQ(h->previous_device, 1);
+  for (const AggregatedEntry& e : h->entries) {
+    EXPECT_NE(e.reader, 0);
+  }
+  EXPECT_EQ(h->entries.size(), 3u);
+  EXPECT_EQ(h->FirstTime(), 110);
+  EXPECT_EQ(h->LastTime(), 120);
+}
+
+TEST(DataCollectorTest, ReturnToPreviousDeviceCountsAsNewDevice) {
+  DataCollector collector;
+  collector.Observe({1, 0, 100});
+  collector.Observe({1, 1, 110});
+  collector.Observe({1, 0, 120});  // Back to device 0.
+  const auto* h = collector.History(1);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->current_device, 0);
+  EXPECT_EQ(h->previous_device, 1);
+  // The ORIGINAL device-0 episode aged out (it is the third most recent
+  // episode), leaving the device-1 entry plus the fresh device-0 entry.
+  ASSERT_EQ(h->entries.size(), 2u);
+  EXPECT_EQ(h->entries[0].time, 110);
+  EXPECT_EQ(h->entries[1].time, 120);
+}
+
+TEST(DataCollectorTest, LastReading) {
+  DataCollector collector;
+  EXPECT_EQ(collector.LastReading(1), std::nullopt);
+  collector.Observe({1, 4, 50});
+  collector.Observe({1, 4, 60});
+  const auto last = collector.LastReading(1);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->time, 60);
+  EXPECT_EQ(last->reader, 4);
+}
+
+TEST(DataCollectorTest, TracksMultipleObjectsIndependently) {
+  DataCollector collector;
+  collector.Observe({1, 0, 100});
+  collector.Observe({2, 5, 100});
+  collector.Observe({1, 0, 101});
+  EXPECT_EQ(collector.KnownObjects(), (std::vector<ObjectId>{1, 2}));
+  EXPECT_EQ(collector.History(1)->entries.size(), 2u);
+  EXPECT_EQ(collector.History(2)->entries.size(), 1u);
+  EXPECT_EQ(collector.History(3), nullptr);
+  EXPECT_EQ(collector.TotalEntriesRetained(), 3u);
+}
+
+TEST(DataCollectorTest, EnterLeaveEvents) {
+  DataCollector collector;
+  collector.set_record_events(true);
+  collector.Observe({1, 0, 100});
+  collector.Observe({1, 0, 105});
+  collector.Observe({1, 1, 112});
+
+  const auto& events = collector.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_TRUE(events[0].enter);
+  EXPECT_EQ(events[0].reader, 0);
+  EXPECT_EQ(events[0].time, 100);
+  // LEAVE of device 0 stamped with its last detection time.
+  EXPECT_FALSE(events[1].enter);
+  EXPECT_EQ(events[1].reader, 0);
+  EXPECT_EQ(events[1].time, 105);
+  EXPECT_TRUE(events[2].enter);
+  EXPECT_EQ(events[2].reader, 1);
+  EXPECT_EQ(events[2].time, 112);
+}
+
+}  // namespace
+}  // namespace ipqs

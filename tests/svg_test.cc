@@ -1,0 +1,104 @@
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+#include "sim/svg_map.h"
+
+namespace ipqs {
+namespace {
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0;
+  size_t pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+class SvgFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SimulationConfig config;
+    config.trace.num_objects = 10;
+    config.seed = 4;
+    sim_ = Simulation::Create(config).value();
+    sim_->Run(120);
+  }
+
+  std::unique_ptr<Simulation> sim_;
+};
+
+TEST_F(SvgFixture, DocumentIsWellFormed) {
+  SvgMap map(sim_->plan());
+  const std::string svg = map.Render();
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);  // Document starts with <svg.
+  EXPECT_NE(svg.find("xmlns=\"http://www.w3.org/2000/svg\""),
+            std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One rect per room + one per hallway + background.
+  EXPECT_EQ(CountOccurrences(svg, "<rect"),
+            sim_->plan().rooms().size() + sim_->plan().hallways().size() + 1);
+  // Room labels present.
+  EXPECT_EQ(CountOccurrences(svg, "<text"), sim_->plan().rooms().size());
+}
+
+TEST_F(SvgFixture, OverlaysAddElements) {
+  SvgMap map(sim_->plan());
+  const size_t base = CountOccurrences(map.Render(), "<circle");
+
+  map.DrawReaders(sim_->deployment(), /*show_ranges=*/true);
+  const size_t with_readers = CountOccurrences(map.Render(), "<circle");
+  // Two circles per reader (range disc + dot).
+  EXPECT_EQ(with_readers - base,
+            2u * static_cast<size_t>(sim_->deployment().num_readers()));
+
+  map.DrawObjects(sim_->true_states());
+  const size_t with_objects = CountOccurrences(map.Render(), "<circle");
+  EXPECT_EQ(with_objects - with_readers, sim_->true_states().size());
+
+  map.DrawWindow(Rect(0, 0, 10, 10));
+  EXPECT_NE(map.Render().find("stroke-dasharray=\"6 3\""), std::string::npos);
+}
+
+TEST_F(SvgFixture, DistributionDotsScaleWithSupport) {
+  const ObjectId id = sim_->collector().KnownObjects().front();
+  const AnchorDistribution* dist =
+      sim_->pf_engine().InferObject(id, sim_->now());
+  ASSERT_NE(dist, nullptr);
+
+  SvgMap map(sim_->plan());
+  const size_t base = CountOccurrences(map.Render(), "<circle");
+  map.DrawDistribution(sim_->anchors(), *dist);
+  const size_t after = CountOccurrences(map.Render(), "<circle");
+  EXPECT_EQ(after - base, dist->support_size());
+}
+
+TEST_F(SvgFixture, WalkingGraphEdgesAsLines) {
+  SvgMap map(sim_->plan());
+  map.DrawWalkingGraph(sim_->graph());
+  EXPECT_EQ(CountOccurrences(map.Render(), "<line"),
+            static_cast<size_t>(sim_->graph().num_edges()));
+  // Room stubs are dashed.
+  EXPECT_NE(map.Render().find("stroke-dasharray=\"4 3\""), std::string::npos);
+}
+
+TEST_F(SvgFixture, WriteFileRoundTrips) {
+  SvgMap map(sim_->plan());
+  const std::string path = ::testing::TempDir() + "/map.svg";
+  ASSERT_TRUE(map.WriteFile(path).ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, map.Render());
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(map.WriteFile("/nonexistent/dir/map.svg").ok());
+}
+
+}  // namespace
+}  // namespace ipqs

@@ -1,0 +1,164 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "floorplan/office_generator.h"
+#include "graph/anchor_graph.h"
+#include "graph/graph_builder.h"
+#include "symbolic/deployment_graph.h"
+#include "symbolic/symbolic_inference.h"
+
+namespace ipqs {
+namespace {
+
+class SymbolicFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    plan_ = GenerateOffice(OfficeConfig{}).value();
+    graph_ = BuildWalkingGraph(plan_).value();
+    anchors_ = std::make_unique<AnchorPointIndex>(
+        AnchorPointIndex::Build(graph_, plan_, 1.0));
+    anchor_graph_ =
+        std::make_unique<AnchorGraph>(AnchorGraph::Build(graph_, *anchors_));
+    deployment_ = Deployment::UniformOnHallways(plan_, graph_, 19, 2.0).value();
+    dg_ = std::make_unique<DeploymentGraph>(
+        DeploymentGraph::Build(*anchors_, *anchor_graph_, deployment_));
+    inference_ = std::make_unique<SymbolicInference>(
+        anchors_.get(), anchor_graph_.get(), &deployment_, dg_.get(),
+        SymbolicConfig{});
+  }
+
+  DataCollector::ObjectHistory HistoryAt(ReaderId reader, int64_t time) {
+    DataCollector::ObjectHistory h;
+    h.entries = {{time, reader}};
+    h.current_device = reader;
+    return h;
+  }
+
+  FloorPlan plan_;
+  WalkingGraph graph_;
+  std::unique_ptr<AnchorPointIndex> anchors_;
+  std::unique_ptr<AnchorGraph> anchor_graph_;
+  Deployment deployment_;
+  std::unique_ptr<DeploymentGraph> dg_;
+  std::unique_ptr<SymbolicInference> inference_;
+};
+
+TEST_F(SymbolicFixture, EveryAnchorIsZonedOrCelled) {
+  for (AnchorId a = 0; a < anchors_->num_anchors(); ++a) {
+    const bool covered = dg_->CoveringReader(a) != kInvalidId;
+    const bool in_cell = dg_->CellOf(a) != kInvalidId;
+    EXPECT_NE(covered, in_cell) << "anchor " << a;
+  }
+}
+
+TEST_F(SymbolicFixture, CoveredAnchorsMatchDeployment) {
+  for (AnchorId a = 0; a < anchors_->num_anchors(); ++a) {
+    const auto covering = deployment_.FirstCovering(anchors_->anchor(a).pos);
+    EXPECT_EQ(dg_->CoveringReader(a),
+              covering.has_value() ? *covering : kInvalidId);
+  }
+}
+
+TEST_F(SymbolicFixture, CellsPartitionFreeAnchors) {
+  std::set<AnchorId> seen;
+  for (CellId c = 0; c < dg_->num_cells(); ++c) {
+    for (AnchorId a : dg_->CellAnchors(c)) {
+      EXPECT_EQ(dg_->CellOf(a), c);
+      EXPECT_TRUE(seen.insert(a).second) << "anchor in two cells";
+    }
+  }
+  int free_anchors = 0;
+  for (AnchorId a = 0; a < anchors_->num_anchors(); ++a) {
+    free_anchors += dg_->CoveringReader(a) == kInvalidId;
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), free_anchors);
+}
+
+TEST_F(SymbolicFixture, ReadersPartitionHallways) {
+  // 19 readers on the hallway skeleton produce many separate cells: with
+  // full-width coverage each reader splits its hallway locally.
+  EXPECT_GT(dg_->num_cells(), 10);
+  // Every reader borders at least one cell.
+  for (ReaderId r = 0; r < deployment_.num_readers(); ++r) {
+    EXPECT_FALSE(dg_->CellsAdjacentToReader(r).empty()) << "reader " << r;
+  }
+}
+
+TEST_F(SymbolicFixture, CurrentlyObservedUniformOverReaderZone) {
+  const AnchorDistribution dist = inference_->Infer(HistoryAt(4, 100), 100);
+  EXPECT_FALSE(dist.empty());
+  EXPECT_NEAR(dist.TotalProbability(), 1.0, 1e-9);
+  double uniform = -1.0;
+  for (const auto& [anchor, p] : dist.entries()) {
+    EXPECT_EQ(dg_->CoveringReader(anchor), 4);
+    if (uniform < 0.0) uniform = p;
+    EXPECT_DOUBLE_EQ(p, uniform);
+  }
+}
+
+TEST_F(SymbolicFixture, AfterLeavingExcludesReaderZones) {
+  const AnchorDistribution dist = inference_->Infer(HistoryAt(4, 100), 110);
+  EXPECT_FALSE(dist.empty());
+  for (const auto& [anchor, p] : dist.entries()) {
+    EXPECT_EQ(dg_->CoveringReader(anchor), kInvalidId);
+    EXPECT_GT(p, 0.0);
+  }
+}
+
+TEST_F(SymbolicFixture, ReachableRegionGrowsWithTime) {
+  const AnchorDistribution early = inference_->Infer(HistoryAt(4, 100), 103);
+  const AnchorDistribution late = inference_->Infer(HistoryAt(4, 100), 130);
+  EXPECT_GT(late.support_size(), early.support_size());
+}
+
+TEST_F(SymbolicFixture, ReachableRegionRespectsSpeedBudget) {
+  const int64_t elapsed = 8;
+  const AnchorDistribution dist =
+      inference_->Infer(HistoryAt(4, 100), 100 + elapsed);
+  const Reader& d = deployment_.reader(4);
+  const double budget =
+      d.range + SymbolicConfig{}.max_speed * static_cast<double>(elapsed);
+  for (const auto& [anchor, _] : dist.entries()) {
+    // Euclidean distance lower-bounds network distance.
+    EXPECT_LE(Distance(anchors_->anchor(anchor).pos, d.pos), budget + 1e-6);
+  }
+}
+
+TEST_F(SymbolicFixture, RegionDoesNotLeakPastNeighborReaders) {
+  // After a long absence the reachable set must still exclude everything
+  // beyond the adjacent readers' zones along the same hallway, except what
+  // is reachable around them through open space. With full-width zones,
+  // anchors strictly behind a neighboring reader (網络-wise) are excluded
+  // unless another route exists. Reached anchors must all belong to cells
+  // adjacent to the last detecting reader.
+  const AnchorDistribution dist = inference_->Infer(HistoryAt(4, 100), 400);
+  const auto& adjacent = dg_->CellsAdjacentToReader(4);
+  for (const auto& [anchor, _] : dist.entries()) {
+    const CellId cell = dg_->CellOf(anchor);
+    EXPECT_TRUE(std::find(adjacent.begin(), adjacent.end(), cell) !=
+                adjacent.end())
+        << "anchor " << anchor << " escaped to non-adjacent cell " << cell;
+  }
+}
+
+TEST_F(SymbolicFixture, UniformOverReachableSet) {
+  const AnchorDistribution dist = inference_->Infer(HistoryAt(0, 100), 120);
+  ASSERT_FALSE(dist.empty());
+  const double expect = 1.0 / static_cast<double>(dist.support_size());
+  for (const auto& [_, p] : dist.entries()) {
+    EXPECT_DOUBLE_EQ(p, expect);
+  }
+}
+
+TEST_F(SymbolicFixture, TinyBudgetFallsBackToReaderZone) {
+  // One second after the last reading the object may not yet have cleared
+  // the zone; the distribution must never be empty.
+  const AnchorDistribution dist = inference_->Infer(HistoryAt(4, 100), 101);
+  EXPECT_FALSE(dist.empty());
+  EXPECT_NEAR(dist.TotalProbability(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ipqs
