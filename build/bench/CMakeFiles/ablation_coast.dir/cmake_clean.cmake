@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_coast.dir/ablation_coast.cc.o"
+  "CMakeFiles/ablation_coast.dir/ablation_coast.cc.o.d"
+  "CMakeFiles/ablation_coast.dir/bench_util.cc.o"
+  "CMakeFiles/ablation_coast.dir/bench_util.cc.o.d"
+  "ablation_coast"
+  "ablation_coast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_negative_info.dir/ablation_negative_info.cc.o"
+  "CMakeFiles/ablation_negative_info.dir/ablation_negative_info.cc.o.d"
+  "CMakeFiles/ablation_negative_info.dir/bench_util.cc.o"
+  "CMakeFiles/ablation_negative_info.dir/bench_util.cc.o.d"
+  "ablation_negative_info"
+  "ablation_negative_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_negative_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_util.cc" "bench/CMakeFiles/fig09_window_size.dir/bench_util.cc.o" "gcc" "bench/CMakeFiles/fig09_window_size.dir/bench_util.cc.o.d"
+  "/root/repo/bench/fig09_window_size.cc" "bench/CMakeFiles/fig09_window_size.dir/fig09_window_size.cc.o" "gcc" "bench/CMakeFiles/fig09_window_size.dir/fig09_window_size.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ipqs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_rfid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

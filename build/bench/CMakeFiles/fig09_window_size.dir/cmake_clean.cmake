@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_window_size.dir/bench_util.cc.o"
+  "CMakeFiles/fig09_window_size.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig09_window_size.dir/fig09_window_size.cc.o"
+  "CMakeFiles/fig09_window_size.dir/fig09_window_size.cc.o.d"
+  "fig09_window_size"
+  "fig09_window_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_window_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_k.dir/bench_util.cc.o"
+  "CMakeFiles/fig10_k.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig10_k.dir/fig10_k.cc.o"
+  "CMakeFiles/fig10_k.dir/fig10_k.cc.o.d"
+  "fig10_k"
+  "fig10_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_particles.dir/bench_util.cc.o"
+  "CMakeFiles/fig11_particles.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig11_particles.dir/fig11_particles.cc.o"
+  "CMakeFiles/fig11_particles.dir/fig11_particles.cc.o.d"
+  "fig11_particles"
+  "fig11_particles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_particles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

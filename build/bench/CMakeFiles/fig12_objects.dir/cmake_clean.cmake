@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_objects.dir/bench_util.cc.o"
+  "CMakeFiles/fig12_objects.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig12_objects.dir/fig12_objects.cc.o"
+  "CMakeFiles/fig12_objects.dir/fig12_objects.cc.o.d"
+  "fig12_objects"
+  "fig12_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

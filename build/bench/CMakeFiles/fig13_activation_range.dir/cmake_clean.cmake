@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_activation_range.dir/bench_util.cc.o"
+  "CMakeFiles/fig13_activation_range.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig13_activation_range.dir/fig13_activation_range.cc.o"
+  "CMakeFiles/fig13_activation_range.dir/fig13_activation_range.cc.o.d"
+  "fig13_activation_range"
+  "fig13_activation_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_activation_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continuous_tracking.dir/continuous_tracking.cpp.o"
+  "CMakeFiles/continuous_tracking.dir/continuous_tracking.cpp.o.d"
+  "continuous_tracking"
+  "continuous_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continuous_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/friend_finder.dir/friend_finder.cpp.o"
+  "CMakeFiles/friend_finder.dir/friend_finder.cpp.o.d"
+  "friend_finder"
+  "friend_finder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/friend_finder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

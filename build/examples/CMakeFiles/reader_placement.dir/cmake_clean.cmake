@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reader_placement.dir/reader_placement.cpp.o"
+  "CMakeFiles/reader_placement.dir/reader_placement.cpp.o.d"
+  "reader_placement"
+  "reader_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reader_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subway_station.dir/subway_station.cpp.o"
+  "CMakeFiles/subway_station.dir/subway_station.cpp.o.d"
+  "subway_station"
+  "subway_station.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subway_station.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

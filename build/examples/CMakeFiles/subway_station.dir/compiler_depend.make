@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for subway_station.
+# This may be replaced when dependencies are built.

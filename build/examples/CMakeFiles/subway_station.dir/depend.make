@@ -1,0 +1,2 @@
+# Empty dependencies file for subway_station.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipqs_common.dir/common/logging.cc.o"
+  "CMakeFiles/ipqs_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/ipqs_common.dir/common/rng.cc.o"
+  "CMakeFiles/ipqs_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/ipqs_common.dir/common/status.cc.o"
+  "CMakeFiles/ipqs_common.dir/common/status.cc.o.d"
+  "libipqs_common.a"
+  "libipqs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipqs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/filter/anchor_distribution.cc" "src/CMakeFiles/ipqs_filter.dir/filter/anchor_distribution.cc.o" "gcc" "src/CMakeFiles/ipqs_filter.dir/filter/anchor_distribution.cc.o.d"
+  "/root/repo/src/filter/measurement_model.cc" "src/CMakeFiles/ipqs_filter.dir/filter/measurement_model.cc.o" "gcc" "src/CMakeFiles/ipqs_filter.dir/filter/measurement_model.cc.o.d"
+  "/root/repo/src/filter/motion_model.cc" "src/CMakeFiles/ipqs_filter.dir/filter/motion_model.cc.o" "gcc" "src/CMakeFiles/ipqs_filter.dir/filter/motion_model.cc.o.d"
+  "/root/repo/src/filter/particle.cc" "src/CMakeFiles/ipqs_filter.dir/filter/particle.cc.o" "gcc" "src/CMakeFiles/ipqs_filter.dir/filter/particle.cc.o.d"
+  "/root/repo/src/filter/particle_cache.cc" "src/CMakeFiles/ipqs_filter.dir/filter/particle_cache.cc.o" "gcc" "src/CMakeFiles/ipqs_filter.dir/filter/particle_cache.cc.o.d"
+  "/root/repo/src/filter/particle_filter.cc" "src/CMakeFiles/ipqs_filter.dir/filter/particle_filter.cc.o" "gcc" "src/CMakeFiles/ipqs_filter.dir/filter/particle_filter.cc.o.d"
+  "/root/repo/src/filter/resampler.cc" "src/CMakeFiles/ipqs_filter.dir/filter/resampler.cc.o" "gcc" "src/CMakeFiles/ipqs_filter.dir/filter/resampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ipqs_rfid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

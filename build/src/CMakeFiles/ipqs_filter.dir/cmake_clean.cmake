@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipqs_filter.dir/filter/anchor_distribution.cc.o"
+  "CMakeFiles/ipqs_filter.dir/filter/anchor_distribution.cc.o.d"
+  "CMakeFiles/ipqs_filter.dir/filter/measurement_model.cc.o"
+  "CMakeFiles/ipqs_filter.dir/filter/measurement_model.cc.o.d"
+  "CMakeFiles/ipqs_filter.dir/filter/motion_model.cc.o"
+  "CMakeFiles/ipqs_filter.dir/filter/motion_model.cc.o.d"
+  "CMakeFiles/ipqs_filter.dir/filter/particle.cc.o"
+  "CMakeFiles/ipqs_filter.dir/filter/particle.cc.o.d"
+  "CMakeFiles/ipqs_filter.dir/filter/particle_cache.cc.o"
+  "CMakeFiles/ipqs_filter.dir/filter/particle_cache.cc.o.d"
+  "CMakeFiles/ipqs_filter.dir/filter/particle_filter.cc.o"
+  "CMakeFiles/ipqs_filter.dir/filter/particle_filter.cc.o.d"
+  "CMakeFiles/ipqs_filter.dir/filter/resampler.cc.o"
+  "CMakeFiles/ipqs_filter.dir/filter/resampler.cc.o.d"
+  "libipqs_filter.a"
+  "libipqs_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipqs_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

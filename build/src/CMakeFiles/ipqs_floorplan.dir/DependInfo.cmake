@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/floorplan/floor_plan.cc" "src/CMakeFiles/ipqs_floorplan.dir/floorplan/floor_plan.cc.o" "gcc" "src/CMakeFiles/ipqs_floorplan.dir/floorplan/floor_plan.cc.o.d"
+  "/root/repo/src/floorplan/io.cc" "src/CMakeFiles/ipqs_floorplan.dir/floorplan/io.cc.o" "gcc" "src/CMakeFiles/ipqs_floorplan.dir/floorplan/io.cc.o.d"
+  "/root/repo/src/floorplan/office_generator.cc" "src/CMakeFiles/ipqs_floorplan.dir/floorplan/office_generator.cc.o" "gcc" "src/CMakeFiles/ipqs_floorplan.dir/floorplan/office_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ipqs_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipqs_floorplan.dir/floorplan/floor_plan.cc.o"
+  "CMakeFiles/ipqs_floorplan.dir/floorplan/floor_plan.cc.o.d"
+  "CMakeFiles/ipqs_floorplan.dir/floorplan/io.cc.o"
+  "CMakeFiles/ipqs_floorplan.dir/floorplan/io.cc.o.d"
+  "CMakeFiles/ipqs_floorplan.dir/floorplan/office_generator.cc.o"
+  "CMakeFiles/ipqs_floorplan.dir/floorplan/office_generator.cc.o.d"
+  "libipqs_floorplan.a"
+  "libipqs_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipqs_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/point.cc" "src/CMakeFiles/ipqs_geom.dir/geom/point.cc.o" "gcc" "src/CMakeFiles/ipqs_geom.dir/geom/point.cc.o.d"
+  "/root/repo/src/geom/rect.cc" "src/CMakeFiles/ipqs_geom.dir/geom/rect.cc.o" "gcc" "src/CMakeFiles/ipqs_geom.dir/geom/rect.cc.o.d"
+  "/root/repo/src/geom/segment.cc" "src/CMakeFiles/ipqs_geom.dir/geom/segment.cc.o" "gcc" "src/CMakeFiles/ipqs_geom.dir/geom/segment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ipqs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

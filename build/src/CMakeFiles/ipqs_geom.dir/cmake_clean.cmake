@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipqs_geom.dir/geom/point.cc.o"
+  "CMakeFiles/ipqs_geom.dir/geom/point.cc.o.d"
+  "CMakeFiles/ipqs_geom.dir/geom/rect.cc.o"
+  "CMakeFiles/ipqs_geom.dir/geom/rect.cc.o.d"
+  "CMakeFiles/ipqs_geom.dir/geom/segment.cc.o"
+  "CMakeFiles/ipqs_geom.dir/geom/segment.cc.o.d"
+  "libipqs_geom.a"
+  "libipqs_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipqs_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

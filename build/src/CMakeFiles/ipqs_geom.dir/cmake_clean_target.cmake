@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libipqs_geom.a"
+)

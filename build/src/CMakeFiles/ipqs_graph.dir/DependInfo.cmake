@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/anchor_graph.cc" "src/CMakeFiles/ipqs_graph.dir/graph/anchor_graph.cc.o" "gcc" "src/CMakeFiles/ipqs_graph.dir/graph/anchor_graph.cc.o.d"
+  "/root/repo/src/graph/anchor_points.cc" "src/CMakeFiles/ipqs_graph.dir/graph/anchor_points.cc.o" "gcc" "src/CMakeFiles/ipqs_graph.dir/graph/anchor_points.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "src/CMakeFiles/ipqs_graph.dir/graph/graph_builder.cc.o" "gcc" "src/CMakeFiles/ipqs_graph.dir/graph/graph_builder.cc.o.d"
+  "/root/repo/src/graph/grid_index.cc" "src/CMakeFiles/ipqs_graph.dir/graph/grid_index.cc.o" "gcc" "src/CMakeFiles/ipqs_graph.dir/graph/grid_index.cc.o.d"
+  "/root/repo/src/graph/shortest_path.cc" "src/CMakeFiles/ipqs_graph.dir/graph/shortest_path.cc.o" "gcc" "src/CMakeFiles/ipqs_graph.dir/graph/shortest_path.cc.o.d"
+  "/root/repo/src/graph/walking_graph.cc" "src/CMakeFiles/ipqs_graph.dir/graph/walking_graph.cc.o" "gcc" "src/CMakeFiles/ipqs_graph.dir/graph/walking_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ipqs_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

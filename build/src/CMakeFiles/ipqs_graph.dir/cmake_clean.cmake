@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipqs_graph.dir/graph/anchor_graph.cc.o"
+  "CMakeFiles/ipqs_graph.dir/graph/anchor_graph.cc.o.d"
+  "CMakeFiles/ipqs_graph.dir/graph/anchor_points.cc.o"
+  "CMakeFiles/ipqs_graph.dir/graph/anchor_points.cc.o.d"
+  "CMakeFiles/ipqs_graph.dir/graph/graph_builder.cc.o"
+  "CMakeFiles/ipqs_graph.dir/graph/graph_builder.cc.o.d"
+  "CMakeFiles/ipqs_graph.dir/graph/grid_index.cc.o"
+  "CMakeFiles/ipqs_graph.dir/graph/grid_index.cc.o.d"
+  "CMakeFiles/ipqs_graph.dir/graph/shortest_path.cc.o"
+  "CMakeFiles/ipqs_graph.dir/graph/shortest_path.cc.o.d"
+  "CMakeFiles/ipqs_graph.dir/graph/walking_graph.cc.o"
+  "CMakeFiles/ipqs_graph.dir/graph/walking_graph.cc.o.d"
+  "libipqs_graph.a"
+  "libipqs_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipqs_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/continuous.cc" "src/CMakeFiles/ipqs_query.dir/query/continuous.cc.o" "gcc" "src/CMakeFiles/ipqs_query.dir/query/continuous.cc.o.d"
+  "/root/repo/src/query/events.cc" "src/CMakeFiles/ipqs_query.dir/query/events.cc.o" "gcc" "src/CMakeFiles/ipqs_query.dir/query/events.cc.o.d"
+  "/root/repo/src/query/historical.cc" "src/CMakeFiles/ipqs_query.dir/query/historical.cc.o" "gcc" "src/CMakeFiles/ipqs_query.dir/query/historical.cc.o.d"
+  "/root/repo/src/query/knn_query.cc" "src/CMakeFiles/ipqs_query.dir/query/knn_query.cc.o" "gcc" "src/CMakeFiles/ipqs_query.dir/query/knn_query.cc.o.d"
+  "/root/repo/src/query/query_engine.cc" "src/CMakeFiles/ipqs_query.dir/query/query_engine.cc.o" "gcc" "src/CMakeFiles/ipqs_query.dir/query/query_engine.cc.o.d"
+  "/root/repo/src/query/range_query.cc" "src/CMakeFiles/ipqs_query.dir/query/range_query.cc.o" "gcc" "src/CMakeFiles/ipqs_query.dir/query/range_query.cc.o.d"
+  "/root/repo/src/query/trajectory.cc" "src/CMakeFiles/ipqs_query.dir/query/trajectory.cc.o" "gcc" "src/CMakeFiles/ipqs_query.dir/query/trajectory.cc.o.d"
+  "/root/repo/src/query/uncertain_region.cc" "src/CMakeFiles/ipqs_query.dir/query/uncertain_region.cc.o" "gcc" "src/CMakeFiles/ipqs_query.dir/query/uncertain_region.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ipqs_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_rfid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipqs_query.dir/query/continuous.cc.o"
+  "CMakeFiles/ipqs_query.dir/query/continuous.cc.o.d"
+  "CMakeFiles/ipqs_query.dir/query/events.cc.o"
+  "CMakeFiles/ipqs_query.dir/query/events.cc.o.d"
+  "CMakeFiles/ipqs_query.dir/query/historical.cc.o"
+  "CMakeFiles/ipqs_query.dir/query/historical.cc.o.d"
+  "CMakeFiles/ipqs_query.dir/query/knn_query.cc.o"
+  "CMakeFiles/ipqs_query.dir/query/knn_query.cc.o.d"
+  "CMakeFiles/ipqs_query.dir/query/query_engine.cc.o"
+  "CMakeFiles/ipqs_query.dir/query/query_engine.cc.o.d"
+  "CMakeFiles/ipqs_query.dir/query/range_query.cc.o"
+  "CMakeFiles/ipqs_query.dir/query/range_query.cc.o.d"
+  "CMakeFiles/ipqs_query.dir/query/trajectory.cc.o"
+  "CMakeFiles/ipqs_query.dir/query/trajectory.cc.o.d"
+  "CMakeFiles/ipqs_query.dir/query/uncertain_region.cc.o"
+  "CMakeFiles/ipqs_query.dir/query/uncertain_region.cc.o.d"
+  "libipqs_query.a"
+  "libipqs_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipqs_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

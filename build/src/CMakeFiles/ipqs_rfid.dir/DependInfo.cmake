@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rfid/data_collector.cc" "src/CMakeFiles/ipqs_rfid.dir/rfid/data_collector.cc.o" "gcc" "src/CMakeFiles/ipqs_rfid.dir/rfid/data_collector.cc.o.d"
+  "/root/repo/src/rfid/deployment.cc" "src/CMakeFiles/ipqs_rfid.dir/rfid/deployment.cc.o" "gcc" "src/CMakeFiles/ipqs_rfid.dir/rfid/deployment.cc.o.d"
+  "/root/repo/src/rfid/history_store.cc" "src/CMakeFiles/ipqs_rfid.dir/rfid/history_store.cc.o" "gcc" "src/CMakeFiles/ipqs_rfid.dir/rfid/history_store.cc.o.d"
+  "/root/repo/src/rfid/placement_optimizer.cc" "src/CMakeFiles/ipqs_rfid.dir/rfid/placement_optimizer.cc.o" "gcc" "src/CMakeFiles/ipqs_rfid.dir/rfid/placement_optimizer.cc.o.d"
+  "/root/repo/src/rfid/reader.cc" "src/CMakeFiles/ipqs_rfid.dir/rfid/reader.cc.o" "gcc" "src/CMakeFiles/ipqs_rfid.dir/rfid/reader.cc.o.d"
+  "/root/repo/src/rfid/sensing_model.cc" "src/CMakeFiles/ipqs_rfid.dir/rfid/sensing_model.cc.o" "gcc" "src/CMakeFiles/ipqs_rfid.dir/rfid/sensing_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ipqs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipqs_rfid.dir/rfid/data_collector.cc.o"
+  "CMakeFiles/ipqs_rfid.dir/rfid/data_collector.cc.o.d"
+  "CMakeFiles/ipqs_rfid.dir/rfid/deployment.cc.o"
+  "CMakeFiles/ipqs_rfid.dir/rfid/deployment.cc.o.d"
+  "CMakeFiles/ipqs_rfid.dir/rfid/history_store.cc.o"
+  "CMakeFiles/ipqs_rfid.dir/rfid/history_store.cc.o.d"
+  "CMakeFiles/ipqs_rfid.dir/rfid/placement_optimizer.cc.o"
+  "CMakeFiles/ipqs_rfid.dir/rfid/placement_optimizer.cc.o.d"
+  "CMakeFiles/ipqs_rfid.dir/rfid/reader.cc.o"
+  "CMakeFiles/ipqs_rfid.dir/rfid/reader.cc.o.d"
+  "CMakeFiles/ipqs_rfid.dir/rfid/sensing_model.cc.o"
+  "CMakeFiles/ipqs_rfid.dir/rfid/sensing_model.cc.o.d"
+  "libipqs_rfid.a"
+  "libipqs_rfid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipqs_rfid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

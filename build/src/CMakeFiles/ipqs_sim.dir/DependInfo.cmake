@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/ascii_map.cc" "src/CMakeFiles/ipqs_sim.dir/sim/ascii_map.cc.o" "gcc" "src/CMakeFiles/ipqs_sim.dir/sim/ascii_map.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/ipqs_sim.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/ipqs_sim.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/ground_truth.cc" "src/CMakeFiles/ipqs_sim.dir/sim/ground_truth.cc.o" "gcc" "src/CMakeFiles/ipqs_sim.dir/sim/ground_truth.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/CMakeFiles/ipqs_sim.dir/sim/metrics.cc.o" "gcc" "src/CMakeFiles/ipqs_sim.dir/sim/metrics.cc.o.d"
+  "/root/repo/src/sim/reading_generator.cc" "src/CMakeFiles/ipqs_sim.dir/sim/reading_generator.cc.o" "gcc" "src/CMakeFiles/ipqs_sim.dir/sim/reading_generator.cc.o.d"
+  "/root/repo/src/sim/simulation.cc" "src/CMakeFiles/ipqs_sim.dir/sim/simulation.cc.o" "gcc" "src/CMakeFiles/ipqs_sim.dir/sim/simulation.cc.o.d"
+  "/root/repo/src/sim/svg_map.cc" "src/CMakeFiles/ipqs_sim.dir/sim/svg_map.cc.o" "gcc" "src/CMakeFiles/ipqs_sim.dir/sim/svg_map.cc.o.d"
+  "/root/repo/src/sim/trace_generator.cc" "src/CMakeFiles/ipqs_sim.dir/sim/trace_generator.cc.o" "gcc" "src/CMakeFiles/ipqs_sim.dir/sim/trace_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ipqs_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_rfid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

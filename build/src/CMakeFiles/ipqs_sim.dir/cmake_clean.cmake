@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipqs_sim.dir/sim/ascii_map.cc.o"
+  "CMakeFiles/ipqs_sim.dir/sim/ascii_map.cc.o.d"
+  "CMakeFiles/ipqs_sim.dir/sim/experiment.cc.o"
+  "CMakeFiles/ipqs_sim.dir/sim/experiment.cc.o.d"
+  "CMakeFiles/ipqs_sim.dir/sim/ground_truth.cc.o"
+  "CMakeFiles/ipqs_sim.dir/sim/ground_truth.cc.o.d"
+  "CMakeFiles/ipqs_sim.dir/sim/metrics.cc.o"
+  "CMakeFiles/ipqs_sim.dir/sim/metrics.cc.o.d"
+  "CMakeFiles/ipqs_sim.dir/sim/reading_generator.cc.o"
+  "CMakeFiles/ipqs_sim.dir/sim/reading_generator.cc.o.d"
+  "CMakeFiles/ipqs_sim.dir/sim/simulation.cc.o"
+  "CMakeFiles/ipqs_sim.dir/sim/simulation.cc.o.d"
+  "CMakeFiles/ipqs_sim.dir/sim/svg_map.cc.o"
+  "CMakeFiles/ipqs_sim.dir/sim/svg_map.cc.o.d"
+  "CMakeFiles/ipqs_sim.dir/sim/trace_generator.cc.o"
+  "CMakeFiles/ipqs_sim.dir/sim/trace_generator.cc.o.d"
+  "libipqs_sim.a"
+  "libipqs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipqs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symbolic/deployment_graph.cc" "src/CMakeFiles/ipqs_symbolic.dir/symbolic/deployment_graph.cc.o" "gcc" "src/CMakeFiles/ipqs_symbolic.dir/symbolic/deployment_graph.cc.o.d"
+  "/root/repo/src/symbolic/symbolic_inference.cc" "src/CMakeFiles/ipqs_symbolic.dir/symbolic/symbolic_inference.cc.o" "gcc" "src/CMakeFiles/ipqs_symbolic.dir/symbolic/symbolic_inference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ipqs_rfid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipqs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipqs_symbolic.dir/symbolic/deployment_graph.cc.o"
+  "CMakeFiles/ipqs_symbolic.dir/symbolic/deployment_graph.cc.o.d"
+  "CMakeFiles/ipqs_symbolic.dir/symbolic/symbolic_inference.cc.o"
+  "CMakeFiles/ipqs_symbolic.dir/symbolic/symbolic_inference.cc.o.d"
+  "libipqs_symbolic.a"
+  "libipqs_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipqs_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

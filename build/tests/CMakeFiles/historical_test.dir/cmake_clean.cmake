@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/historical_test.dir/historical_test.cc.o"
+  "CMakeFiles/historical_test.dir/historical_test.cc.o.d"
+  "historical_test"
+  "historical_test.pdb"
+  "historical_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/historical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

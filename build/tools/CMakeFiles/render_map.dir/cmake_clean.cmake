@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render_map.dir/render_map.cc.o"
+  "CMakeFiles/render_map.dir/render_map.cc.o.d"
+  "render_map"
+  "render_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
