@@ -66,4 +66,27 @@ Rng Rng::Fork() {
   return Rng(engine_());
 }
 
+namespace {
+
+// SplitMix64 finalizer (Vigna): a bijective avalanche mix, the standard
+// way to turn structured counters into well-distributed seeds.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Rng Rng::ForStream(uint64_t seed, uint64_t stream, uint64_t substream) {
+  // Chain the mixes so that (seed, stream, substream) triples that differ
+  // in any coordinate land on unrelated seeds; a plain XOR of the three
+  // would alias (a^b, b^a) style swaps onto the same generator.
+  uint64_t h = SplitMix64(seed);
+  h = SplitMix64(h ^ SplitMix64(stream));
+  h = SplitMix64(h ^ SplitMix64(substream));
+  return Rng(h);
+}
+
 }  // namespace ipqs

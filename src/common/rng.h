@@ -49,6 +49,13 @@ class Rng {
   // experiment trial its own stream without coupling consumption order.
   Rng Fork();
 
+  // Counter-based stream split: an independent generator that is a pure
+  // function of (seed, stream, substream) — no shared state, no dependence
+  // on how much any other stream has consumed. Used to give every
+  // (object, timestamp) inference its own stream so per-object filtering
+  // is order- and thread-count-invariant.
+  static Rng ForStream(uint64_t seed, uint64_t stream, uint64_t substream);
+
   // UniformRandomBitGenerator interface so <random> distributions and
   // std::shuffle can consume this directly.
   using result_type = std::mt19937_64::result_type;

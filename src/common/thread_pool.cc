@@ -1,0 +1,150 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ipqs {
+
+int ThreadPool::DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = num_threads <= 0 ? DefaultThreads() : num_threads;
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(static_cast<size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  IPQS_CHECK(task != nullptr);
+  const size_t q = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                   workers_.size();
+  {
+    std::lock_guard<std::mutex> lock(workers_[q]->mu);
+    workers_[q]->tasks.push_back(std::move(task));
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::RunOneTask(size_t self) {
+  std::function<void()> task;
+  const size_t n = workers_.size();
+  // Own deque first (LIFO: the freshest task is the cache-warmest) ...
+  {
+    Worker& own = *workers_[self % n];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+    }
+  }
+  // ... then steal a sibling's oldest task.
+  for (size_t i = 1; task == nullptr && i <= n; ++i) {
+    Worker& victim = *workers_[(self + i) % n];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+    }
+  }
+  if (task == nullptr) {
+    return false;
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  while (true) {
+    if (RunOneTask(self)) {
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    // Re-check the deques under the wake lock: a Submit between our last
+    // scan and this wait would otherwise be missed. Checking the deques
+    // before the stop flag also makes shutdown drain every queued task.
+    bool any = false;
+    for (const auto& w : workers_) {
+      std::lock_guard<std::mutex> qlock(w->mu);
+      if (!w->tasks.empty()) {
+        any = true;
+        break;
+      }
+    }
+    if (any) {
+      continue;
+    }
+    if (stop_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    wake_cv_.wait(lock);
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (n == 1 || workers_.empty()) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  // Shard [0, n) into more chunks than workers so stealing can rebalance
+  // uneven per-index costs.
+  const size_t shards = std::min(n, workers_.size() * size_t{4});
+  struct State {
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>();
+  for (size_t s = 0; s < shards; ++s) {
+    const size_t lo = n * s / shards;
+    const size_t hi = n * (s + 1) / shards;
+    Submit([&fn, lo, hi, shards, state] {
+      for (size_t i = lo; i < hi; ++i) {
+        fn(i);
+      }
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == shards) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->cv.notify_all();
+      }
+    });
+  }
+  // Help out instead of idling; tasks from unrelated Submits may also run
+  // on this thread, which is fine — they are queued work either way.
+  while (state->done.load(std::memory_order_acquire) < shards) {
+    if (!RunOneTask(next_queue_.load(std::memory_order_relaxed))) {
+      std::unique_lock<std::mutex> lock(state->mu);
+      state->cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
+        return state->done.load(std::memory_order_acquire) >= shards;
+      });
+    }
+  }
+}
+
+}  // namespace ipqs

@@ -1,0 +1,78 @@
+#ifndef IPQS_COMMON_THREAD_POOL_H_
+#define IPQS_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ipqs {
+
+// A small work-stealing thread pool for fanning independent per-object
+// work (filter runs) across cores.
+//
+// Tasks are distributed round-robin over per-worker deques; a worker pops
+// its own deque LIFO and, when empty, steals FIFO from a sibling, so an
+// uneven batch (one object with a long history next to many cheap cache
+// resumes) still keeps every core busy.
+//
+// The pool makes no determinism promises itself — callers get determinism
+// by making each task a pure function of its index (see Rng::ForStream)
+// and by merging results in index order.
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers. num_threads <= 0 means
+  // hardware_concurrency (at least 1). With num_threads == 1 the pool
+  // still spawns one worker; use RunInline-style serial code paths when
+  // the fan-out is not wanted at all.
+  explicit ThreadPool(int num_threads);
+
+  // Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  // Enqueues one task. Tasks must not themselves block on the pool.
+  void Submit(std::function<void()> task);
+
+  // Runs fn(0) ... fn(n-1) across the workers and blocks until all calls
+  // returned. The caller's thread helps by stealing while it waits, so
+  // ParallelFor from a non-worker thread uses num_threads()+1 cores.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  // What ThreadPool(0) resolves to: hardware_concurrency, at least 1.
+  static int DefaultThreads();
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t self);
+  // Pops one task (own deque back first, then steals a sibling's front)
+  // and runs it. Returns false when every deque was empty.
+  bool RunOneTask(size_t self);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Sleep/wake machinery: workers block on wake_cv_ when all deques are
+  // empty; Submit notifies.
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<size_t> next_queue_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace ipqs
+
+#endif  // IPQS_COMMON_THREAD_POOL_H_

@@ -1,36 +1,92 @@
 #include "filter/particle_cache.h"
 
+#include <algorithm>
+
+#include "common/check.h"
+
 namespace ipqs {
 
-std::optional<FilterResult> ParticleCache::Lookup(ObjectId object,
-                                                  ReaderId current_device) {
-  const auto it = entries_.find(object);
-  if (it == entries_.end()) {
-    ++stats_.misses;
+std::optional<FilterResult> ParticleCache::Lookup(
+    ObjectId object, const DataCollector::ObjectHistory& history) {
+  IPQS_CHECK(!history.entries.empty());
+  Shard& shard = ShardFor(object);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.entries.find(object);
+  if (it == shard.entries.end()) {
+    ++shard.stats.misses;
     return std::nullopt;
   }
-  if (it->second.device != current_device) {
+  const Entry& entry = it->second;
+  if (entry.device != history.current_device) {
     // New device since the cached run: stale by the paper's rule.
-    entries_.erase(it);
-    ++stats_.misses;
-    ++stats_.invalidations;
+    shard.entries.erase(it);
+    ++shard.stats.misses;
+    ++shard.stats.invalidations;
     return std::nullopt;
   }
-  ++stats_.hits;
-  return it->second.state;
+  // Stale-coast check: a reading the cached run never processed, at or
+  // before the time the state coasted to, would be silently dropped by
+  // Resume (it only advances strictly past state.time). Entries are
+  // ascending by time, so the first unseen reading is enough to check.
+  const auto first_unseen = std::upper_bound(
+      history.entries.begin(), history.entries.end(), entry.last_reading,
+      [](int64_t t, const AggregatedEntry& e) { return t < e.time; });
+  if (first_unseen != history.entries.end() &&
+      first_unseen->time <= entry.state.time) {
+    shard.entries.erase(it);
+    ++shard.stats.misses;
+    ++shard.stats.stale_invalidations;
+    return std::nullopt;
+  }
+  ++shard.stats.hits;
+  return entry.state;
 }
 
-void ParticleCache::Insert(ObjectId object, ReaderId current_device,
+void ParticleCache::Insert(ObjectId object,
+                           const DataCollector::ObjectHistory& history,
                            FilterResult state) {
-  entries_[object] = Entry{current_device, std::move(state)};
+  IPQS_CHECK(!history.entries.empty());
+  Shard& shard = ShardFor(object);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.entries[object] =
+      Entry{history.current_device, history.LastTime(), std::move(state)};
 }
 
 void ParticleCache::EvictOlderThan(int64_t min_time) {
-  std::erase_if(entries_, [min_time](const auto& kv) {
-    return kv.second.state.time < min_time;
-  });
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    std::erase_if(shard.entries, [min_time](const auto& kv) {
+      return kv.second.state.time < min_time;
+    });
+  }
 }
 
-void ParticleCache::Clear() { entries_.clear(); }
+void ParticleCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.entries.clear();
+  }
+}
+
+size_t ParticleCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+ParticleCache::Stats ParticleCache::stats() const {
+  Stats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.stats.hits;
+    total.misses += shard.stats.misses;
+    total.invalidations += shard.stats.invalidations;
+    total.stale_invalidations += shard.stats.stale_invalidations;
+  }
+  return total;
+}
 
 }  // namespace ipqs

@@ -2,10 +2,14 @@
 #define IPQS_FILTER_PARTICLE_CACHE_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "filter/particle_filter.h"
+#include "rfid/data_collector.h"
 #include "rfid/reader.h"
 
 namespace ipqs {
@@ -14,16 +18,27 @@ namespace ipqs {
 // object's filter run ended in, so a follow-up query resumes filtering from
 // that timestamp instead of replaying the whole history.
 //
-// Invalidation rule from the paper: the moment an object is detected by a
-// NEW device, cached particles become useless (filtering is always based on
-// the readings of the two most recent devices), so a lookup whose
-// `current_device` differs from the cached one misses and evicts.
+// Invalidation rules:
+//  * Paper's rule: the moment an object is detected by a NEW device,
+//    cached particles become useless (filtering is always based on the
+//    readings of the two most recent devices), so a lookup whose current
+//    device differs from the cached one misses and evicts.
+//  * Stale-coast rule: a cached state may have coasted past readings it
+//    never saw — the run ended at `last_reading + max_coast_seconds`, and a
+//    newer same-device reading landed at or before that time. Resuming
+//    would silently drop that reading (Advance starts strictly after
+//    state.time), so such a lookup misses and evicts too.
+//
+// The cache is internally sharded by object with one mutex per shard, so
+// concurrent per-object inference (QueryEngine::InferBatch) can look up and
+// insert without a global lock.
 class ParticleCache {
  public:
   struct Stats {
     int64_t hits = 0;
     int64_t misses = 0;
-    int64_t invalidations = 0;
+    int64_t invalidations = 0;        // Device hand-offs (paper's rule).
+    int64_t stale_invalidations = 0;  // Coasted-past-a-reading evictions.
 
     double HitRate() const {
       const int64_t total = hits + misses;
@@ -33,13 +48,16 @@ class ParticleCache {
 
   ParticleCache() = default;
 
-  // Cached state for `object` if present and still keyed to
-  // `current_device`; otherwise evicts any stale entry and returns nullopt.
+  // Cached state for `object` if present, still keyed to the history's
+  // current device, and not stale-coasted; otherwise evicts any invalid
+  // entry and returns nullopt.
   std::optional<FilterResult> Lookup(ObjectId object,
-                                     ReaderId current_device);
+                                     const DataCollector::ObjectHistory& history);
 
-  // Stores `state` for `object`, keyed to the device of its latest reading.
-  void Insert(ObjectId object, ReaderId current_device, FilterResult state);
+  // Stores `state` for `object`, keyed to the device and last-reading time
+  // of the history it was computed from.
+  void Insert(ObjectId object, const DataCollector::ObjectHistory& history,
+              FilterResult state);
 
   // Drops entries older than `min_time` (aging, driven by the data
   // collector clock).
@@ -47,17 +65,29 @@ class ParticleCache {
 
   void Clear();
 
-  size_t size() const { return entries_.size(); }
-  const Stats& stats() const { return stats_; }
+  size_t size() const;
+  // Aggregated snapshot over all shards.
+  Stats stats() const;
 
  private:
   struct Entry {
     ReaderId device = kInvalidId;
+    int64_t last_reading = 0;  // History's LastTime() when cached.
     FilterResult state;
   };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<ObjectId, Entry> entries;
+    Stats stats;
+  };
 
-  std::unordered_map<ObjectId, Entry> entries_;
-  Stats stats_;
+  static constexpr size_t kNumShards = 16;
+
+  Shard& ShardFor(ObjectId object) {
+    return shards_[static_cast<uint32_t>(object) % kNumShards];
+  }
+
+  Shard shards_[kNumShards];
 };
 
 }  // namespace ipqs

@@ -1,5 +1,6 @@
 #include "query/query_engine.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
@@ -22,9 +23,9 @@ QueryEngine::QueryEngine(const WalkingGraph* graph, const FloorPlan* plan,
       symbolic_(anchors, anchor_graph, deployment, deployment_graph,
                 config.symbolic),
       range_eval_(plan, anchors),
-      knn_eval_(graph, anchors, anchor_graph),
-      rng_(config.seed) {
+      knn_eval_(graph, anchors, anchor_graph) {
   IPQS_CHECK(collector != nullptr);
+  IPQS_CHECK_GE(config.num_threads, 0);
 }
 
 void QueryEngine::SyncTableTo(int64_t now) {
@@ -34,22 +35,18 @@ void QueryEngine::SyncTableTo(int64_t now) {
   }
 }
 
-const AnchorDistribution* QueryEngine::InferObject(ObjectId object,
-                                                   int64_t now) {
-  SyncTableTo(now);
-  if (const AnchorDistribution* memo = table_.Distribution(object)) {
-    return memo;  // Already inferred for this timestamp.
-  }
+std::optional<AnchorDistribution> QueryEngine::ComputeInference(
+    ObjectId object, int64_t now) {
   const DataCollector::ObjectHistory* history = collector_->History(object);
   if (history == nullptr || history->entries.empty()) {
-    return nullptr;
+    return std::nullopt;
   }
-  ++stats_.candidates_inferred;
+  stats_.candidates_inferred.fetch_add(1, std::memory_order_relaxed);
 
-  AnchorDistribution dist;
   if (config_.method == InferenceMethod::kSymbolicModel) {
-    dist = symbolic_.Infer(*history, now);
-  } else if (config_.method == InferenceMethod::kLastReading) {
+    return symbolic_.Infer(*history, now);
+  }
+  if (config_.method == InferenceMethod::kLastReading) {
     // Uniform over the anchors covered by the last detecting reader.
     const Reader& last = deployment_->reader(history->current_device);
     std::vector<AnchorId> covered;
@@ -63,40 +60,111 @@ const AnchorDistribution* QueryEngine::InferObject(ObjectId object,
     if (covered.empty()) {
       covered.push_back(anchors_->NearestToPoint(last.pos));
     }
-    dist = AnchorDistribution::Uniform(std::move(covered));
-  } else {
-    const ReaderId current_device = history->current_device;
-    FilterResult state;
-    bool resumed = false;
-    int seconds_before = 0;
-    if (config_.use_cache) {
-      if (auto cached = cache_.Lookup(object, current_device)) {
-        seconds_before = cached->seconds_processed;
-        state = filter_.Resume(std::move(*cached), *history, now, rng_);
-        resumed = true;
-      }
-    }
-    if (!resumed) {
-      state = filter_.Run(*history, now, rng_);
-      ++stats_.filter_runs;
-    } else {
-      ++stats_.filter_resumes;
-    }
-    // Only the seconds filtered by THIS call count as work (a resumed
-    // state carries its lifetime total in seconds_processed).
-    stats_.filter_seconds += state.seconds_processed - seconds_before;
-    dist = AnchorDistribution::FromParticles(*anchors_, state.particles);
-    if (config_.use_cache) {
-      cache_.Insert(object, current_device, std::move(state));
+    return AnchorDistribution::Uniform(std::move(covered));
+  }
+
+  // Particle filter: all randomness comes from this object's own
+  // (seed, object, now) stream, so the result cannot depend on which
+  // other objects were inferred before it or on what thread runs it.
+  Rng rng = Rng::ForStream(config_.seed, static_cast<uint64_t>(object),
+                           static_cast<uint64_t>(now));
+  FilterResult state;
+  bool resumed = false;
+  int seconds_before = 0;
+  if (config_.use_cache) {
+    if (auto cached = cache_.Lookup(object, *history)) {
+      seconds_before = cached->seconds_processed;
+      state = filter_.Resume(std::move(*cached), *history, now, rng);
+      resumed = true;
     }
   }
-  table_.Set(object, std::move(dist));
+  if (!resumed) {
+    state = filter_.Run(*history, now, rng);
+    stats_.filter_runs.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_.filter_resumes.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Only the seconds filtered by THIS call count as work (a resumed
+  // state carries its lifetime total in seconds_processed).
+  stats_.filter_seconds.fetch_add(state.seconds_processed - seconds_before,
+                                  std::memory_order_relaxed);
+  AnchorDistribution dist =
+      AnchorDistribution::FromParticles(*anchors_, state.particles);
+  if (config_.use_cache) {
+    cache_.Insert(object, *history, std::move(state));
+  }
+  return dist;
+}
+
+const AnchorDistribution* QueryEngine::InferObject(ObjectId object,
+                                                   int64_t now) {
+  SyncTableTo(now);
+  if (const AnchorDistribution* memo = table_.Distribution(object)) {
+    return memo;  // Already inferred for this timestamp.
+  }
+  std::optional<AnchorDistribution> dist = ComputeInference(object, now);
+  if (!dist.has_value()) {
+    return nullptr;
+  }
+  table_.Set(object, std::move(*dist));
   return table_.Distribution(object);
+}
+
+void QueryEngine::InferBatch(const std::vector<ObjectId>& candidates,
+                             int64_t now) {
+  SyncTableTo(now);
+
+  // Canonicalize the batch: ascending, unique, not yet memoized, known.
+  // Sorting fixes the table merge order (and thereby every downstream
+  // floating-point accumulation), so shuffled candidate lists and any
+  // thread interleaving produce byte-identical query answers.
+  std::vector<ObjectId> todo;
+  todo.reserve(candidates.size());
+  for (ObjectId object : candidates) {
+    const DataCollector::ObjectHistory* history = collector_->History(object);
+    if (history == nullptr || history->entries.empty()) {
+      continue;
+    }
+    if (table_.Distribution(object) != nullptr) {
+      continue;
+    }
+    todo.push_back(object);
+  }
+  std::sort(todo.begin(), todo.end());
+  todo.erase(std::unique(todo.begin(), todo.end()), todo.end());
+  if (todo.empty()) {
+    return;
+  }
+
+  std::vector<std::optional<AnchorDistribution>> results(todo.size());
+  auto infer_one = [&](size_t i) {
+    results[i] = ComputeInference(todo[i], now);
+  };
+
+  if (config_.num_threads > 1 && todo.size() > 1) {
+    if (pool_ == nullptr) {
+      // The calling thread steals while it waits, so it counts toward the
+      // configured width.
+      pool_ = std::make_unique<ThreadPool>(config_.num_threads - 1);
+    }
+    pool_->ParallelFor(todo.size(), infer_one);
+  } else {
+    for (size_t i = 0; i < todo.size(); ++i) {
+      infer_one(i);
+    }
+  }
+
+  // Single-threaded merge into the APtoObjHT, in ascending object order.
+  for (size_t i = 0; i < todo.size(); ++i) {
+    if (results[i].has_value()) {
+      table_.Set(todo[i], std::move(*results[i]));
+    }
+  }
 }
 
 QueryResult QueryEngine::EvaluateRange(const Rect& window, int64_t now) {
   SyncTableTo(now);
-  ++stats_.queries;
+  stats_.queries.fetch_add(1, std::memory_order_relaxed);
 
   std::vector<ObjectId> candidates;
   if (config_.use_pruning) {
@@ -105,18 +173,17 @@ QueryResult QueryEngine::EvaluateRange(const Rect& window, int64_t now) {
   } else {
     candidates = collector_->KnownObjects();
   }
-  stats_.objects_considered +=
-      static_cast<int64_t>(collector_->KnownObjects().size());
+  stats_.objects_considered.fetch_add(
+      static_cast<int64_t>(collector_->KnownObjects().size()),
+      std::memory_order_relaxed);
 
-  for (ObjectId object : candidates) {
-    InferObject(object, now);
-  }
+  InferBatch(candidates, now);
   return range_eval_.Evaluate(table_, window);
 }
 
 KnnResult QueryEngine::EvaluateKnn(const Point& query, int k, int64_t now) {
   SyncTableTo(now);
-  ++stats_.queries;
+  stats_.queries.fetch_add(1, std::memory_order_relaxed);
 
   const GraphLocation q =
       graph_->NearestLocation(query, /*prefer_hallways=*/true);
@@ -127,15 +194,34 @@ KnnResult QueryEngine::EvaluateKnn(const Point& query, int k, int64_t now) {
   } else {
     candidates = collector_->KnownObjects();
   }
-  stats_.objects_considered +=
-      static_cast<int64_t>(collector_->KnownObjects().size());
+  stats_.objects_considered.fetch_add(
+      static_cast<int64_t>(collector_->KnownObjects().size()),
+      std::memory_order_relaxed);
 
-  for (ObjectId object : candidates) {
-    InferObject(object, now);
-  }
+  InferBatch(candidates, now);
   return knn_eval_.Evaluate(table_, q, k);
 }
 
-void QueryEngine::ResetStats() { stats_ = EngineStats{}; }
+EngineStats QueryEngine::stats() const {
+  EngineStats out;
+  out.queries = stats_.queries.load(std::memory_order_relaxed);
+  out.objects_considered =
+      stats_.objects_considered.load(std::memory_order_relaxed);
+  out.candidates_inferred =
+      stats_.candidates_inferred.load(std::memory_order_relaxed);
+  out.filter_runs = stats_.filter_runs.load(std::memory_order_relaxed);
+  out.filter_resumes = stats_.filter_resumes.load(std::memory_order_relaxed);
+  out.filter_seconds = stats_.filter_seconds.load(std::memory_order_relaxed);
+  return out;
+}
+
+void QueryEngine::ResetStats() {
+  stats_.queries.store(0, std::memory_order_relaxed);
+  stats_.objects_considered.store(0, std::memory_order_relaxed);
+  stats_.candidates_inferred.store(0, std::memory_order_relaxed);
+  stats_.filter_runs.store(0, std::memory_order_relaxed);
+  stats_.filter_resumes.store(0, std::memory_order_relaxed);
+  stats_.filter_seconds.store(0, std::memory_order_relaxed);
+}
 
 }  // namespace ipqs

@@ -1,10 +1,14 @@
 #ifndef IPQS_QUERY_QUERY_ENGINE_H_
 #define IPQS_QUERY_QUERY_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "filter/particle_cache.h"
 #include "filter/particle_filter.h"
 #include "query/knn_query.h"
@@ -34,6 +38,12 @@ struct EngineConfig {
   bool use_pruning = true;  // Query aware optimization module on/off.
   bool use_cache = true;    // Cache management module on/off (PF only).
   uint64_t seed = 7;
+  // Fan-out width for batch inference (EvaluateRange / EvaluateKnn /
+  // InferBatch): per-object filter runs are spread over this many worker
+  // threads. 1 = serial. Answers are identical at any setting — every
+  // object's inference draws from its own (seed, object, timestamp)
+  // stream (Rng::ForStream) and results merge in ascending object order.
+  int num_threads = 1;
 };
 
 struct EngineStats {
@@ -52,6 +62,14 @@ struct EngineStats {
 // The engine owns no simulation state; it reads the shared DataCollector
 // and lazily infers location distributions for candidate objects at query
 // time, memoizing them in the APtoObjHT for the duration of one timestamp.
+//
+// Determinism guarantee: the distribution inferred for an object at a
+// timestamp is a pure function of (engine seed, that object's history,
+// timestamp) — independent of candidate order, of which other objects were
+// inferred before it, of pruning, and of num_threads. With the cache
+// enabled the filter resumes from the cached state instead of replaying
+// the whole history, so the (identical-across-threads) answer additionally
+// depends on which timestamps were previously queried.
 class QueryEngine {
  public:
   QueryEngine(const WalkingGraph* graph, const FloorPlan* plan,
@@ -70,17 +88,41 @@ class QueryEngine {
   // nullptr when the object has never been detected.
   const AnchorDistribution* InferObject(ObjectId object, int64_t now);
 
+  // Infers every not-yet-memoized candidate at `now`, fanning per-object
+  // filter runs across the thread pool (config.num_threads workers) and
+  // merging the resulting distributions into the APtoObjHT in ascending
+  // object order on the calling thread. Duplicate, unknown, and already
+  // memoized candidates are skipped.
+  void InferBatch(const std::vector<ObjectId>& candidates, int64_t now);
+
   const EngineConfig& config() const { return config_; }
-  const EngineStats& stats() const { return stats_; }
-  const ParticleCache::Stats& cache_stats() const { return cache_.stats(); }
+  EngineStats stats() const;
+  ParticleCache::Stats cache_stats() const { return cache_.stats(); }
   void ResetStats();
 
   // The current APtoObjHT (valid for the last queried timestamp).
   const AnchorObjectTable& table() const { return table_; }
 
  private:
+  // Thread-safe accumulators behind the EngineStats snapshot.
+  struct AtomicStats {
+    std::atomic<int64_t> queries{0};
+    std::atomic<int64_t> objects_considered{0};
+    std::atomic<int64_t> candidates_inferred{0};
+    std::atomic<int64_t> filter_runs{0};
+    std::atomic<int64_t> filter_resumes{0};
+    std::atomic<int64_t> filter_seconds{0};
+  };
+
   // Drops memoized distributions when the query timestamp moves.
   void SyncTableTo(int64_t now);
+
+  // The pure per-object inference: draws only from the (seed, object, now)
+  // stream and touches no engine state besides the (sharded, locked)
+  // particle cache and the atomic stats. Safe to call concurrently for
+  // distinct objects. Returns nullopt for an empty history.
+  std::optional<AnchorDistribution> ComputeInference(ObjectId object,
+                                                     int64_t now);
 
   const WalkingGraph* graph_;
   const AnchorPointIndex* anchors_;
@@ -96,8 +138,9 @@ class QueryEngine {
 
   AnchorObjectTable table_;
   int64_t table_time_ = -1;
-  EngineStats stats_;
-  Rng rng_;
+  AtomicStats stats_;
+  // Lazily created on first batch when num_threads > 1.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace ipqs

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/check.h"
 #include "rfid/reader.h"
 
 namespace ipqs {
@@ -39,8 +40,16 @@ class DataCollector {
     ReaderId current_device = kInvalidId;
     ReaderId previous_device = kInvalidId;
 
-    int64_t FirstTime() const { return entries.front().time; }
-    int64_t LastTime() const { return entries.back().time; }
+    // Both require a non-empty history: an object with no detections has
+    // no first/last reading (callers must check before asking).
+    int64_t FirstTime() const {
+      IPQS_CHECK(!entries.empty());
+      return entries.front().time;
+    }
+    int64_t LastTime() const {
+      IPQS_CHECK(!entries.empty());
+      return entries.back().time;
+    }
   };
 
   DataCollector() = default;

@@ -56,6 +56,7 @@ Status Simulation::Init() {
   pf_config.max_speed = config_.max_speed;
   pf_config.use_pruning = config_.use_pruning;
   pf_config.use_cache = config_.use_cache;
+  pf_config.num_threads = config_.num_threads;
   pf_config.seed = config_.seed + 2;
   pf_engine_ = std::make_unique<QueryEngine>(
       &graph_, &plan_, anchors_.get(), anchor_graph_.get(), &deployment_,

@@ -40,6 +40,9 @@ struct SimulationConfig {
   double max_speed = 1.5;         // u_max for pruning & symbolic model.
   bool use_pruning = true;
   bool use_cache = true;
+  // Fan-out width for per-object inference in both engines (see
+  // EngineConfig::num_threads); answers are independent of this knob.
+  int num_threads = 1;
   // Method the comparison engine (`sm_engine()`) runs; the paper compares
   // against kSymbolicModel, kLastReading is the naive sanity floor.
   InferenceMethod baseline_method = InferenceMethod::kSymbolicModel;

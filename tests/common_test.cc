@@ -1,5 +1,7 @@
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -8,6 +10,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/statusor.h"
+#include "common/thread_pool.h"
 
 namespace ipqs {
 namespace {
@@ -202,6 +205,107 @@ TEST(RngTest, ForkProducesIndependentStream) {
   for (int i = 0; i < 10; ++i) {
     EXPECT_DOUBLE_EQ(child.Uniform01(), child2.Uniform01());
   }
+}
+
+TEST(RngTest, ForStreamIsPureFunctionOfArguments) {
+  Rng a = Rng::ForStream(7, 12, 345);
+  Rng b = Rng::ForStream(7, 12, 345);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform01(), b.Uniform01());
+  }
+}
+
+TEST(RngTest, ForStreamUnaffectedByOtherStreamsConsumption) {
+  // Draw a reference sequence, then re-derive the same stream after
+  // heavily consuming a sibling stream: identical (no shared state).
+  Rng reference = Rng::ForStream(7, 1, 100);
+  std::vector<double> expected;
+  for (int i = 0; i < 10; ++i) {
+    expected.push_back(reference.Uniform01());
+  }
+  Rng sibling = Rng::ForStream(7, 2, 100);
+  for (int i = 0; i < 1000; ++i) {
+    sibling.Uniform01();
+  }
+  Rng again = Rng::ForStream(7, 1, 100);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(again.Uniform01(), expected[i]);
+  }
+}
+
+TEST(RngTest, ForStreamSeparatesCoordinates) {
+  // Streams differing in any one coordinate (or swapping two) must not
+  // collide. Compare first draws of the raw engines.
+  auto first = [](Rng rng) { return rng(); };
+  const auto base = first(Rng::ForStream(7, 1, 2));
+  EXPECT_NE(base, first(Rng::ForStream(8, 1, 2)));
+  EXPECT_NE(base, first(Rng::ForStream(7, 2, 2)));
+  EXPECT_NE(base, first(Rng::ForStream(7, 1, 3)));
+  EXPECT_NE(base, first(Rng::ForStream(7, 2, 1)));
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(),
+                   [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEdgeSizes) {
+  ThreadPool pool(2);
+  int zero_calls = 0;
+  pool.ParallelFor(0, [&](size_t) { ++zero_calls; });
+  EXPECT_EQ(zero_calls, 0);
+
+  std::atomic<int> one_calls{0};
+  pool.ParallelFor(1, [&](size_t) { one_calls.fetch_add(1); });
+  EXPECT_EQ(one_calls.load(), 1);
+
+  // More workers than items.
+  ThreadPool wide(8);
+  std::vector<std::atomic<int>> hits(3);
+  wide.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, SubmittedTasksAllRun) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&] { ran.fetch_add(1); });
+    }
+    // Back-to-back ParallelFor drains and completes alongside the
+    // submitted tasks.
+    pool.ParallelFor(50, [&](size_t) { ran.fetch_add(1); });
+    // Destructor note: Submit gives no completion signal; sleep-free
+    // drain is guaranteed only for ParallelFor, so wait via a second
+    // barrier batch.
+    pool.ParallelFor(1, [](size_t) {});
+  }
+  EXPECT_GE(ran.load(), 250);
+}
+
+TEST(ThreadPoolTest, UnevenWorkRebalances) {
+  // One shard is 100x heavier; stealing keeps total wall-clock bounded.
+  // (Correctness assertion only — timing is not asserted on 1-core CI.)
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(64, [&](size_t i) {
+    int64_t local = 0;
+    const int spins = i == 0 ? 200000 : 2000;
+    for (int s = 0; s < spins; ++s) {
+      local += s;
+    }
+    total.fetch_add(local);
+  });
+  EXPECT_GT(total.load(), 0);
 }
 
 TEST(RngTest, UniformIndexCoversRange) {

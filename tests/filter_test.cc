@@ -575,46 +575,122 @@ TEST(AnchorObjectTableTest, EraseAndClear) {
 
 TEST(ParticleCacheTest, HitMissInvalidate) {
   ParticleCache cache;
-  EXPECT_EQ(cache.Lookup(1, 0), std::nullopt);
+  const auto history = MakeHistory({{90, 0}, {95, 0}});
+  EXPECT_EQ(cache.Lookup(1, history), std::nullopt);
   EXPECT_EQ(cache.stats().misses, 1);
 
   FilterResult state;
   state.time = 100;
-  cache.Insert(1, 0, state);
+  cache.Insert(1, history, state);
   EXPECT_EQ(cache.size(), 1u);
 
-  const auto hit = cache.Lookup(1, 0);
+  const auto hit = cache.Lookup(1, history);
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->time, 100);
   EXPECT_EQ(cache.stats().hits, 1);
 
   // New device -> stale.
-  EXPECT_EQ(cache.Lookup(1, 5), std::nullopt);
+  const auto moved = MakeHistory({{90, 0}, {95, 0}, {98, 5}});
+  EXPECT_EQ(cache.Lookup(1, moved), std::nullopt);
   EXPECT_EQ(cache.stats().invalidations, 1);
   EXPECT_EQ(cache.size(), 0u);
 }
 
 TEST(ParticleCacheTest, EvictOlderThan) {
   ParticleCache cache;
+  const auto history = MakeHistory({{40, 0}, {45, 0}});
   FilterResult old_state;
   old_state.time = 50;
   FilterResult new_state;
   new_state.time = 150;
-  cache.Insert(1, 0, old_state);
-  cache.Insert(2, 0, new_state);
+  cache.Insert(1, history, old_state);
+  cache.Insert(2, history, new_state);
   cache.EvictOlderThan(100);
   EXPECT_EQ(cache.size(), 1u);
-  EXPECT_TRUE(cache.Lookup(2, 0).has_value());
+  EXPECT_TRUE(cache.Lookup(2, history).has_value());
 }
 
 TEST(ParticleCacheTest, HitRateStat) {
   ParticleCache cache;
+  const auto history = MakeHistory({{90, 0}});
   FilterResult state;
-  cache.Insert(1, 0, state);
-  cache.Lookup(1, 0);
-  cache.Lookup(1, 0);
-  cache.Lookup(9, 0);
+  state.time = 95;
+  cache.Insert(1, history, state);
+  cache.Lookup(1, history);
+  cache.Lookup(1, history);
+  cache.Lookup(9, history);
   EXPECT_NEAR(cache.stats().HitRate(), 2.0 / 3.0, 1e-12);
+}
+
+// Regression (PR 1): a cached state that coasted to last_reading + 60
+// used to silently ignore a newer same-device reading that landed INSIDE
+// that coasted horizon — ParticleFilter::Resume only advances strictly
+// past state.time, so the reading was dropped without any trace. The
+// cache must detect this and miss (forcing a full Run).
+TEST(ParticleCacheTest, StaleCoastedStateInvalidates) {
+  ParticleCache cache;
+  const auto cached_against = MakeHistory({{100, 0}, {101, 0}});
+  FilterResult state;
+  state.time = 161;  // Coasted to last reading (101) + 60.
+  cache.Insert(1, cached_against, state);
+
+  // A new same-device reading at t=130 <= 161: resuming would drop it.
+  const auto with_late_reading =
+      MakeHistory({{100, 0}, {101, 0}, {130, 0}});
+  EXPECT_EQ(cache.Lookup(1, with_late_reading), std::nullopt);
+  EXPECT_EQ(cache.stats().stale_invalidations, 1);
+  EXPECT_EQ(cache.size(), 0u);  // Evicted, not just skipped.
+}
+
+TEST(ParticleCacheTest, ReadingBeyondCoastHorizonStillHits) {
+  // A new reading STRICTLY past state.time is fine: Resume advances
+  // through it. The cache must keep such entries (they are the whole
+  // point of the cache).
+  ParticleCache cache;
+  const auto cached_against = MakeHistory({{100, 0}, {101, 0}});
+  FilterResult state;
+  state.time = 161;
+  cache.Insert(1, cached_against, state);
+
+  const auto with_future_reading =
+      MakeHistory({{100, 0}, {101, 0}, {170, 0}});
+  EXPECT_TRUE(cache.Lookup(1, with_future_reading).has_value());
+  EXPECT_EQ(cache.stats().stale_invalidations, 0);
+}
+
+TEST_F(FilterFixture, ResumeAfterStaleLookupMatchesFullRun) {
+  // End-to-end shape of the bug: run, cache, observe a same-device
+  // reading inside the coast horizon, re-query. The stale-coast rule
+  // must route the second query to a full Run whose result matches a
+  // from-scratch filter run on the complete history.
+  const ParticleFilter filter(&graph_, &deployment_, FilterConfig{});
+  ParticleCache cache;
+
+  const auto before = MakeHistory({{100, 0}, {101, 0}});
+  Rng rng_initial = Rng::ForStream(7, 1, 200);
+  cache.Insert(1, before, filter.Run(before, 200, rng_initial));
+
+  const auto after = MakeHistory({{100, 0}, {101, 0}, {130, 0}});
+  Rng rng_requery = Rng::ForStream(7, 1, 250);
+  FilterResult requeried;
+  if (auto cached = cache.Lookup(1, after)) {
+    requeried = filter.Resume(std::move(*cached), after, 250, rng_requery);
+  } else {
+    requeried = filter.Run(after, 250, rng_requery);
+  }
+
+  Rng rng_fresh = Rng::ForStream(7, 1, 250);
+  const FilterResult fresh = filter.Run(after, 250, rng_fresh);
+  ASSERT_EQ(requeried.particles.size(), fresh.particles.size());
+  EXPECT_EQ(requeried.time, fresh.time);
+  EXPECT_EQ(requeried.seconds_processed, fresh.seconds_processed);
+  for (size_t i = 0; i < fresh.particles.size(); ++i) {
+    EXPECT_EQ(requeried.particles[i].loc.edge, fresh.particles[i].loc.edge);
+    EXPECT_DOUBLE_EQ(requeried.particles[i].loc.offset,
+                     fresh.particles[i].loc.offset);
+    EXPECT_DOUBLE_EQ(requeried.particles[i].weight,
+                     fresh.particles[i].weight);
+  }
 }
 
 }  // namespace

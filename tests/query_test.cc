@@ -331,6 +331,72 @@ TEST_F(QueryFixture, EngineCacheResumesAcrossTimestamps) {
   EXPECT_EQ(engine.stats().filter_resumes, 1);
 }
 
+TEST_F(QueryFixture, EngineCacheFallsBackOnReadingInsideCoastHorizon) {
+  // Regression (PR 1): a cached state coasted to last_reading + 60; a new
+  // reading from the SAME device then arrives inside that horizon. The
+  // engine must detect that resuming would drop the reading and fall back
+  // to a full run — and the answer must equal a cache-less engine's.
+  DataCollector collector;
+  collector.Observe({1, 5, 100});
+  collector.Observe({1, 5, 101});
+
+  EngineConfig config;
+  config.use_pruning = false;
+  config.use_cache = true;
+  QueryEngine engine(&graph_, &plan_, anchors_.get(), anchor_graph_.get(),
+                     &deployment_, dg_.get(), &collector, config);
+  engine.InferObject(1, 200);  // Caches a state coasted to 101 + 60 = 161.
+  EXPECT_EQ(engine.stats().filter_runs, 1);
+
+  collector.Observe({1, 5, 130});  // Same device, inside the horizon.
+  const AnchorDistribution* dist = engine.InferObject(1, 250);
+  ASSERT_NE(dist, nullptr);
+  EXPECT_EQ(engine.stats().filter_runs, 2);  // Full run, not a resume.
+  EXPECT_EQ(engine.stats().filter_resumes, 0);
+  EXPECT_EQ(engine.cache_stats().stale_invalidations, 1);
+
+  // Byte-identical to an engine that never cached anything.
+  EngineConfig no_cache = config;
+  no_cache.use_cache = false;
+  QueryEngine fresh(&graph_, &plan_, anchors_.get(), anchor_graph_.get(),
+                    &deployment_, dg_.get(), &collector, no_cache);
+  const AnchorDistribution* expected = fresh.InferObject(1, 250);
+  ASSERT_NE(expected, nullptr);
+  EXPECT_EQ(dist->entries(), expected->entries());
+}
+
+TEST_F(QueryFixture, InferBatchMatchesSerialInferObject) {
+  DataCollector collector;
+  collector.Observe({1, 5, 100});
+  collector.Observe({2, 7, 100});
+  collector.Observe({3, 9, 101});
+
+  EngineConfig config;
+  config.use_pruning = false;
+  QueryEngine batch_engine(&graph_, &plan_, anchors_.get(),
+                           anchor_graph_.get(), &deployment_, dg_.get(),
+                           &collector, config);
+  QueryEngine serial_engine(&graph_, &plan_, anchors_.get(),
+                            anchor_graph_.get(), &deployment_, dg_.get(),
+                            &collector, config);
+
+  // Batch in one (shuffled, duplicated) call vs. one-by-one in reverse
+  // order: per-object streams make the results identical.
+  batch_engine.InferBatch({3, 1, 2, 1, 42}, 120);  // 42 = unknown, skipped.
+  for (ObjectId object : {3, 2, 1}) {
+    serial_engine.InferObject(object, 120);
+  }
+  for (ObjectId object : {1, 2, 3}) {
+    const AnchorDistribution* a = batch_engine.table().Distribution(object);
+    const AnchorDistribution* b = serial_engine.table().Distribution(object);
+    ASSERT_NE(a, nullptr) << "object " << object;
+    ASSERT_NE(b, nullptr) << "object " << object;
+    EXPECT_EQ(a->entries(), b->entries()) << "object " << object;
+  }
+  EXPECT_EQ(batch_engine.table().Distribution(42), nullptr);
+  EXPECT_EQ(batch_engine.stats().candidates_inferred, 3);
+}
+
 TEST_F(QueryFixture, EngineWithoutCacheRerunsFilter) {
   DataCollector collector;
   collector.Observe({1, 5, 100});

@@ -6,9 +6,14 @@
 //   run_experiment [--objects=200] [--particles=64] [--readers=19]
 //                  [--range=2.0] [--window_pct=2] [--k=3]
 //                  [--timestamps=50] [--windows=100] [--knn_points=30]
-//                  [--warmup=240] [--seed=42]
+//                  [--warmup=240] [--seed=42] [--threads=1]
 //                  [--pruning=true] [--cache=true] [--neg_info=false]
 //                  [--hallway_stops=0.0] [--building=<file>]
+//
+// --threads=N fans per-object filter runs across N worker threads.
+// Query answers are byte-identical at any thread count (each object's
+// inference draws from its own (seed, object, timestamp) random stream);
+// only the wall-clock time changes.
 //
 // With --building, the floor plan (and any `reader` lines) come from a
 // text file in the floorplan/io.h format instead of the generated office.
@@ -35,6 +40,12 @@ int main(int argc, char** argv) {
   config.knn_query_points = flags.GetInt("knn_points", 30);
   config.warmup_seconds = flags.GetInt("warmup", 240);
   config.sim.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  config.sim.num_threads = flags.GetInt("threads", 1);
+  if (config.sim.num_threads < 0) {
+    std::fprintf(stderr, "--threads must be >= 0 (got %d)\n",
+                 config.sim.num_threads);
+    return 1;
+  }
   config.sim.use_pruning = flags.GetBool("pruning", true);
   config.sim.use_cache = flags.GetBool("cache", true);
   config.sim.filter.measurement.use_negative_information =
