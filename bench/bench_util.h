@@ -30,6 +30,13 @@ struct SweepRow {
 // Pretty-prints a figure reproduction: the header (figure id + title), one
 // row per sweep point with the chosen metric columns, and the qualitative
 // shape the paper reports for comparison.
+//
+// When the environment variable IPQS_BENCH_JSON names a directory, the
+// trio additionally records the section into BENCH_<figure>.json there
+// (one file per PrintHeader..PrintShapeNote section, rows with their
+// printed values plus the wall-clock milliseconds the MustRun calls since
+// the previous row took). Machine-readable twin of the stdout tables for
+// CI artifacts and regression tracking.
 void PrintHeader(const std::string& figure, const std::string& title,
                  const std::string& xlabel,
                  const std::vector<std::string>& columns);

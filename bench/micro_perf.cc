@@ -2,26 +2,50 @@
 // runs, query evaluation, shortest paths, resampling, and world
 // construction. These back the paper's efficiency claims (Section 5 runs
 // everything on a single server) with concrete per-operation costs.
+//
+// Custom main (google-benchmark rejects flags it doesn't know):
+//   --metrics_json=FILE  wire the shared world into a MetricsRegistry and
+//                        dump every counter/gauge/latency histogram as JSON
+//                        after the benchmarks finish.
+// IPQS_FAST=1 shrinks the shared world for quick runs and CI.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_util.h"
 #include "filter/resampler.h"
+#include "obs/metrics.h"
 #include "sim/experiment.h"
 #include "sim/simulation.h"
 
 namespace ipqs {
 namespace {
 
+// Shared registry for the world's engines; only populated when
+// --metrics_json was passed (set before any benchmark builds the world).
+obs::MetricsRegistry& Registry() {
+  static obs::MetricsRegistry registry;
+  return registry;
+}
+bool g_metrics_enabled = false;
+
 // One shared world, built once: benchmarks measure steady-state costs.
 Simulation& World() {
   static Simulation* world = [] {
     SimulationConfig config;
-    config.trace.num_objects = 200;
+    config.trace.num_objects = bench::FastMode() ? 80 : 200;
     config.seed = 7;
+    if (g_metrics_enabled) {
+      config.metrics = &Registry();
+    }
     auto sim = Simulation::Create(config);
     IPQS_CHECK(sim.ok());
     Simulation* raw = sim->release();
-    raw->Run(300);
+    raw->Run(bench::FastMode() ? 180 : 300);
     return raw;
   }();
   return *world;
@@ -164,3 +188,40 @@ BENCHMARK(BM_SimulationStep)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace ipqs
+
+int main(int argc, char** argv) {
+  // Peel off our own flags before google-benchmark sees (and rejects)
+  // them; everything else passes through untouched.
+  std::string metrics_json;
+  std::vector<char*> passthrough;
+  passthrough.reserve(static_cast<size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    constexpr std::string_view kMetricsFlag = "--metrics_json=";
+    if (arg.substr(0, kMetricsFlag.size()) == kMetricsFlag) {
+      metrics_json = arg.substr(kMetricsFlag.size());
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  ipqs::g_metrics_enabled = !metrics_json.empty();
+
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!metrics_json.empty()) {
+    if (!ipqs::Registry().WriteJsonFile(metrics_json)) {
+      std::fprintf(stderr, "cannot write metrics to %s\n",
+                   metrics_json.c_str());
+      return 1;
+    }
+    std::printf("metrics written: %s\n", metrics_json.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Guards the observability layer's overhead.
+
+Runs micro_perf twice per arm -- metrics disabled and metrics enabled
+(--metrics_json) -- interleaved to absorb machine drift, and asserts the
+best metrics-enabled wall time stays within --tolerance (default 5%) of
+the best disabled wall time, plus a small absolute slack so very fast
+IPQS_FAST=1 runs don't fail on scheduler noise.
+
+Usage:
+  IPQS_FAST=1 python3 scripts/check_overhead.py --binary build/bench/micro_perf
+"""
+
+import argparse
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+
+def timed_run(cmd):
+    start = time.monotonic()
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+    return time.monotonic() - start
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", default="build/bench/micro_perf",
+                        help="path to the micro_perf binary")
+    parser.add_argument("--metrics-json", default="out/metrics_micro_perf.json",
+                        help="where the metrics-enabled arm writes its JSON")
+    parser.add_argument("--filter", default=".",
+                        help="google-benchmark --benchmark_filter regex")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="runs per arm (best-of)")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="allowed relative overhead (0.05 = 5%%)")
+    parser.add_argument("--slack-seconds", type=float, default=0.75,
+                        help="absolute slack added to the bound")
+    args = parser.parse_args()
+
+    pathlib.Path(args.metrics_json).parent.mkdir(parents=True, exist_ok=True)
+    base_cmd = [args.binary, f"--benchmark_filter={args.filter}"]
+    on_cmd = base_cmd + [f"--metrics_json={args.metrics_json}"]
+
+    off_times, on_times = [], []
+    for i in range(args.repeats):
+        off_times.append(timed_run(base_cmd))
+        on_times.append(timed_run(on_cmd))
+        print(f"round {i + 1}: metrics off {off_times[-1]:.3f}s, "
+              f"on {on_times[-1]:.3f}s", flush=True)
+
+    best_off, best_on = min(off_times), min(on_times)
+    bound = best_off * (1.0 + args.tolerance) + args.slack_seconds
+    overhead = (best_on / best_off - 1.0) * 100.0 if best_off > 0 else 0.0
+    print(f"best: metrics off {best_off:.3f}s, on {best_on:.3f}s "
+          f"({overhead:+.1f}%), bound {bound:.3f}s")
+
+    if not os.path.exists(args.metrics_json):
+        print(f"FAIL: metrics-enabled run did not write {args.metrics_json}")
+        return 1
+    if best_on > bound:
+        print(f"FAIL: metrics overhead exceeds "
+              f"{args.tolerance * 100:.0f}% + {args.slack_seconds}s slack")
+        return 1
+    print("OK: observability overhead within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

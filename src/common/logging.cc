@@ -1,9 +1,13 @@
 #include "common/logging.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+
 namespace ipqs {
 namespace {
 
-LogLevel g_log_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -21,8 +25,24 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_log_level = level; }
-LogLevel GetLogLevel() { return g_log_level; }
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() {
+  return g_log_level.load(std::memory_order_relaxed);
+}
+
+std::optional<LogLevel> ParseLogLevel(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warning" || lower == "warn") return LogLevel::kWarning;
+  if (lower == "error") return LogLevel::kError;
+  return std::nullopt;
+}
 
 namespace internal {
 

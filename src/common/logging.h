@@ -2,6 +2,7 @@
 #define IPQS_COMMON_LOGGING_H_
 
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -15,9 +16,14 @@ enum class LogLevel {
 };
 
 // Process-wide minimum level; messages below it are discarded.
-// Defaults to kInfo. Not thread-safe by design: set once at startup.
+// Defaults to kInfo. Both are atomic (relaxed), so the level can be read
+// from log statements on worker threads and changed at any time.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Parses a level name ("debug", "info", "warning"/"warn", "error",
+// case-insensitive); nullopt for anything else.
+std::optional<LogLevel> ParseLogLevel(const std::string& name);
 
 namespace internal {
 

@@ -38,6 +38,21 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   IPQS_CHECK(task != nullptr);
+  if (metrics_.tasks != nullptr) {
+    metrics_.tasks->Increment();
+  }
+  if (metrics_.queue_depth != nullptr) {
+    metrics_.queue_depth->Add(1);
+  }
+  if (metrics_.wait_ns != nullptr) {
+    // Wrap the task so its dequeue records the time it sat in the queue.
+    const int64_t enqueue_ns = obs::MonotonicNanos();
+    obs::Histogram* wait_ns = metrics_.wait_ns;
+    task = [wait_ns, enqueue_ns, inner = std::move(task)] {
+      wait_ns->Observe(obs::MonotonicNanos() - enqueue_ns);
+      inner();
+    };
+  }
   const size_t q = next_queue_.fetch_add(1, std::memory_order_relaxed) %
                    workers_.size();
   {
@@ -60,16 +75,24 @@ bool ThreadPool::RunOneTask(size_t self) {
     }
   }
   // ... then steal a sibling's oldest task.
+  bool stolen = false;
   for (size_t i = 1; task == nullptr && i <= n; ++i) {
     Worker& victim = *workers_[(self + i) % n];
     std::lock_guard<std::mutex> lock(victim.mu);
     if (!victim.tasks.empty()) {
       task = std::move(victim.tasks.front());
       victim.tasks.pop_front();
+      stolen = true;
     }
   }
   if (task == nullptr) {
     return false;
+  }
+  if (metrics_.queue_depth != nullptr) {
+    metrics_.queue_depth->Add(-1);
+  }
+  if (stolen && metrics_.steals != nullptr) {
+    metrics_.steals->Increment();
   }
   task();
   return true;

@@ -11,7 +11,19 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace ipqs {
+
+// Optional observability hooks for a ThreadPool; any member may be null.
+// `wait_ns` measures submit-to-start latency, which costs one clock read
+// per Submit and per task start — only paid when it is wired.
+struct PoolMetrics {
+  obs::Counter* tasks = nullptr;        // Tasks submitted.
+  obs::Counter* steals = nullptr;       // Tasks taken from a sibling deque.
+  obs::Gauge* queue_depth = nullptr;    // Tasks currently queued.
+  obs::Histogram* wait_ns = nullptr;    // Submit-to-start latency.
+};
 
 // A small work-stealing thread pool for fanning independent per-object
 // work (filter runs) across cores.
@@ -40,6 +52,10 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
+  // Installs observability hooks. Not thread-safe: call before the first
+  // Submit (the hooks are read without synchronization afterwards).
+  void SetMetrics(const PoolMetrics& metrics) { metrics_ = metrics; }
+
   // Enqueues one task. Tasks must not themselves block on the pool.
   void Submit(std::function<void()> task);
 
@@ -64,6 +80,7 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
+  PoolMetrics metrics_;
 
   // Sleep/wake machinery: workers block on wake_cv_ when all deques are
   // empty; Submit notifies.

@@ -5,6 +5,15 @@
 #include "common/check.h"
 
 namespace ipqs {
+namespace {
+
+inline void Bump(obs::Counter* counter) {
+  if (counter != nullptr) {
+    counter->Increment();
+  }
+}
+
+}  // namespace
 
 std::optional<FilterResult> ParticleCache::Lookup(
     ObjectId object, const DataCollector::ObjectHistory& history) {
@@ -14,6 +23,7 @@ std::optional<FilterResult> ParticleCache::Lookup(
   const auto it = shard.entries.find(object);
   if (it == shard.entries.end()) {
     ++shard.stats.misses;
+    Bump(metrics_.misses);
     return std::nullopt;
   }
   const Entry& entry = it->second;
@@ -22,6 +32,8 @@ std::optional<FilterResult> ParticleCache::Lookup(
     shard.entries.erase(it);
     ++shard.stats.misses;
     ++shard.stats.invalidations;
+    Bump(metrics_.misses);
+    Bump(metrics_.invalidations);
     return std::nullopt;
   }
   // Stale-coast check: a reading the cached run never processed, at or
@@ -36,9 +48,12 @@ std::optional<FilterResult> ParticleCache::Lookup(
     shard.entries.erase(it);
     ++shard.stats.misses;
     ++shard.stats.stale_invalidations;
+    Bump(metrics_.misses);
+    Bump(metrics_.stale_invalidations);
     return std::nullopt;
   }
   ++shard.stats.hits;
+  Bump(metrics_.hits);
   return entry.state;
 }
 
@@ -55,9 +70,13 @@ void ParticleCache::Insert(ObjectId object,
 void ParticleCache::EvictOlderThan(int64_t min_time) {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
-    std::erase_if(shard.entries, [min_time](const auto& kv) {
-      return kv.second.state.time < min_time;
-    });
+    const size_t evicted =
+        std::erase_if(shard.entries, [min_time](const auto& kv) {
+          return kv.second.state.time < min_time;
+        });
+    if (metrics_.evictions != nullptr && evicted > 0) {
+      metrics_.evictions->Increment(static_cast<int64_t>(evicted));
+    }
   }
 }
 

@@ -9,10 +9,22 @@
 #include <vector>
 
 #include "filter/particle_filter.h"
+#include "obs/metrics.h"
 #include "rfid/data_collector.h"
 #include "rfid/reader.h"
 
 namespace ipqs {
+
+// Optional observability hooks for a ParticleCache; any member may be
+// null. These mirror the per-shard Stats into a MetricsRegistry so cache
+// behavior shows up in exported metrics without polling.
+struct CacheMetrics {
+  obs::Counter* hits = nullptr;
+  obs::Counter* misses = nullptr;
+  obs::Counter* invalidations = nullptr;        // Device hand-offs.
+  obs::Counter* stale_invalidations = nullptr;  // Stale-coast evictions.
+  obs::Counter* evictions = nullptr;            // Aged out by EvictOlderThan.
+};
 
 // Cache management module (Section 4.5): stores the particle state an
 // object's filter run ended in, so a follow-up query resumes filtering from
@@ -47,6 +59,10 @@ class ParticleCache {
   };
 
   ParticleCache() = default;
+
+  // Installs observability hooks. Not thread-safe: call before the cache
+  // is shared across threads (the hooks are read without synchronization).
+  void SetMetrics(const CacheMetrics& metrics) { metrics_ = metrics; }
 
   // Cached state for `object` if present, still keyed to the history's
   // current device, and not stale-coasted; otherwise evicts any invalid
@@ -88,6 +104,7 @@ class ParticleCache {
   }
 
   Shard shards_[kNumShards];
+  CacheMetrics metrics_;
 };
 
 }  // namespace ipqs

@@ -77,11 +77,22 @@ void ParticleFilter::Advance(std::vector<Particle>* particles,
   }
 
   for (int64_t tj = from_time + 1; tj <= to_time; ++tj) {
+    // Stage timing samples every 4th simulated second (keyed to the
+    // absolute timestamp, so it is deterministic and identical across
+    // runs); see FilterMetrics.
+    const bool timed = metrics_.predict_ns != nullptr && (tj & 3) == 0;
+    int64_t stage_start = timed ? obs::MonotonicNanos() : 0;
+
     // Predict: every particle walks for one second.
     for (Particle& p : *particles) {
       motion_.Step(*graph_, &p, 1.0, rng);
     }
     ++*seconds;
+    if (timed) {
+      const int64_t now_ns = obs::MonotonicNanos();
+      metrics_.predict_ns->Observe(now_ns - stage_start);
+      stage_start = now_ns;
+    }
 
     // Update: reweight against the observation of second tj, if any.
     const auto it = reading_at.find(tj);
@@ -120,6 +131,12 @@ void ParticleFilter::Advance(std::vector<Particle>* particles,
       }
     }
 
+    if (timed && reweighted && metrics_.weight_ns != nullptr) {
+      const int64_t now_ns = obs::MonotonicNanos();
+      metrics_.weight_ns->Observe(now_ns - stage_start);
+      stage_start = now_ns;
+    }
+
     if (reweighted) {
       // SIR: resample at the observation (weights come out uniform), then
       // roughen so replicated particles diverge again. With adaptive
@@ -133,6 +150,9 @@ void ParticleFilter::Advance(std::vector<Particle>* particles,
           motion_.Roughen(*graph_, &p, rng);
         }
       }
+      if (timed && metrics_.resample_ns != nullptr) {
+        metrics_.resample_ns->Observe(obs::MonotonicNanos() - stage_start);
+      }
     }
   }
 }
@@ -140,6 +160,10 @@ void ParticleFilter::Advance(std::vector<Particle>* particles,
 FilterResult ParticleFilter::Run(const DataCollector::ObjectHistory& history,
                                  int64_t now, Rng& rng) const {
   IPQS_CHECK(!history.entries.empty());
+  const obs::ScopedTimer timer(metrics_.run_ns);
+  if (metrics_.particles != nullptr) {
+    metrics_.particles->Set(config_.num_particles);
+  }
   const int64_t t0 = history.FirstTime();
   const int64_t td = history.LastTime();
   const int64_t tmin = std::min(td + config_.max_coast_seconds, now);
@@ -157,6 +181,7 @@ FilterResult ParticleFilter::Resume(FilterResult state,
                                     const DataCollector::ObjectHistory& history,
                                     int64_t now, Rng& rng) const {
   IPQS_CHECK(!history.entries.empty());
+  const obs::ScopedTimer timer(metrics_.resume_ns);
   const int64_t td = history.LastTime();
   const int64_t tmin = std::min(td + config_.max_coast_seconds, now);
   if (tmin <= state.time) {

@@ -1,0 +1,236 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <vector>
+
+namespace ipqs {
+namespace obs {
+namespace {
+
+// Doubles print with enough digits to round-trip typical latency values
+// while keeping integers free of a trailing ".0" (stable golden output).
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+// Metric names are plain identifiers, but escape the JSON specials anyway
+// so no name can produce invalid output.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+size_t Histogram::BucketIndex(int64_t value) {
+  if (value < 0) {
+    value = 0;
+  }
+  if (value < 2 * kSubBuckets) {
+    return static_cast<size_t>(value);  // Exact buckets for 0..15.
+  }
+  const int octave =
+      std::bit_width(static_cast<uint64_t>(value)) - 1;  // 2^o <= v.
+  const int sub = static_cast<int>(
+      (static_cast<uint64_t>(value) >> (octave - kSubBucketBits)) -
+      kSubBuckets);
+  return static_cast<size_t>(2 * kSubBuckets + (octave - 4) * kSubBuckets +
+                             sub);
+}
+
+int64_t Histogram::BucketLowerBound(size_t bucket) {
+  if (bucket < 2 * kSubBuckets) {
+    return static_cast<int64_t>(bucket);
+  }
+  const size_t i = bucket - 2 * kSubBuckets;
+  const int octave = 4 + static_cast<int>(i / kSubBuckets);
+  const int sub = static_cast<int>(i % kSubBuckets);
+  const uint64_t lb = static_cast<uint64_t>(kSubBuckets + sub)
+                      << (octave - kSubBucketBits);
+  if (lb > static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  return static_cast<int64_t>(lb);
+}
+
+int64_t Histogram::BucketUpperBound(size_t bucket) {
+  if (bucket + 1 >= kNumBuckets) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  return BucketLowerBound(bucket + 1);
+}
+
+void Histogram::Observe(int64_t value) {
+  if (value < 0) {
+    value = 0;
+  }
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  // min/max maintained with CAS loops; the first observation initializes
+  // both (count_ is bumped last so a racing snapshot may briefly miss the
+  // newest value, never see a bogus one).
+  if (count_.load(std::memory_order_relaxed) == 0) {
+    int64_t expected = 0;
+    min_.compare_exchange_strong(expected, value, std::memory_order_relaxed);
+  }
+  int64_t cur = min_.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::Quantile(const int64_t* buckets, int64_t count, int64_t min,
+                           int64_t max, double q) {
+  if (count <= 0) {
+    return 0.0;
+  }
+  // Nearest-rank with in-bucket interpolation: find the bucket holding the
+  // ceil(q * count)-th observation.
+  int64_t target = static_cast<int64_t>(q * static_cast<double>(count));
+  target = std::clamp<int64_t>(target, 1, count);
+  int64_t cum = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    if (buckets[b] == 0) {
+      continue;
+    }
+    if (cum + buckets[b] >= target) {
+      const double lo = static_cast<double>(BucketLowerBound(b));
+      const double hi = static_cast<double>(BucketUpperBound(b));
+      const double frac = static_cast<double>(target - cum) /
+                          static_cast<double>(buckets[b]);
+      const double v = lo + (hi - lo) * frac;
+      return std::clamp(v, static_cast<double>(min), static_cast<double>(max));
+    }
+    cum += buckets[b];
+  }
+  return static_cast<double>(max);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  if (s.count == 0) {
+    return s;
+  }
+  std::vector<int64_t> buckets(kNumBuckets);
+  int64_t total = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += buckets[b];
+  }
+  // Quantiles rank against what the buckets actually hold right now (a
+  // racing Observe may have bumped count_ but not its bucket yet, or vice
+  // versa).
+  s.p50 = Quantile(buckets.data(), total, s.min, s.max, 0.50);
+  s.p90 = Quantile(buckets.data(), total, s.min, s.max, 0.90);
+  s.p99 = Quantile(buckets.data(), total, s.min, s.max, 0.99);
+  return s;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+  }
+  return slot.get();
+}
+
+void MetricsRegistry::WriteText(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    os << "counter " << name << " = " << c->Value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << "gauge " << name << " = " << g->Value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot s = h->snapshot();
+    os << "histogram " << name << ": count=" << s.count << " sum=" << s.sum
+       << " min=" << s.min << " max=" << s.max
+       << " p50=" << FormatDouble(s.p50) << " p90=" << FormatDouble(s.p90)
+       << " p99=" << FormatDouble(s.p99) << "\n";
+  }
+}
+
+void MetricsRegistry::WriteJson(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+       << "\": " << c->Value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+       << "\": " << g->Value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot s = h->snapshot();
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name) << "\": {"
+       << "\"count\": " << s.count << ", \"sum\": " << s.sum
+       << ", \"min\": " << s.min << ", \"max\": " << s.max
+       << ", \"p50\": " << FormatDouble(s.p50)
+       << ", \"p90\": " << FormatDouble(s.p90)
+       << ", \"p99\": " << FormatDouble(s.p99) << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+bool MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return false;
+  }
+  WriteJson(out);
+  return out.good();
+}
+
+}  // namespace obs
+}  // namespace ipqs

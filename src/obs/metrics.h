@@ -1,0 +1,157 @@
+#ifndef IPQS_OBS_METRICS_H_
+#define IPQS_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace ipqs {
+namespace obs {
+
+// Monotonic nanoseconds since an arbitrary process-local epoch. The one
+// clock every timer in the observability layer reads.
+inline int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Monotonically increasing event count. Increment is one relaxed atomic
+// add; safe from any thread.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// A value that goes up and down (queue depth, particle count, ...).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Log-bucketed latency histogram (HdrHistogram-style log-linear layout):
+// values 0..15 each get an exact bucket; above that every power-of-two
+// octave splits into 8 linear sub-buckets, so a bucket spans at most 1/8
+// of its value and quantile estimates carry <= 12.5% relative error.
+//
+// Observe is a handful of relaxed atomic operations — safe and cheap from
+// any thread. snapshot() is approximate under concurrent writers (the
+// buckets are read without a barrier), which is fine for reporting.
+class Histogram {
+ public:
+  struct Snapshot {
+    int64_t count = 0;
+    int64_t sum = 0;
+    int64_t min = 0;
+    int64_t max = 0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+  };
+
+  // Records one value; negative values clamp to 0.
+  void Observe(int64_t value);
+
+  Snapshot snapshot() const;
+
+  // Bucket layout, exposed for tests: the index a value lands in and the
+  // smallest/one-past-largest values of a bucket.
+  static size_t BucketIndex(int64_t value);
+  static int64_t BucketLowerBound(size_t bucket);
+  static int64_t BucketUpperBound(size_t bucket);
+
+  static constexpr int kSubBucketBits = 3;  // 8 sub-buckets per octave.
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  // Values < 2^4 are exact; octaves 4..62 cover the rest of int64.
+  static constexpr size_t kNumBuckets =
+      2 * kSubBuckets + (62 - 4) * kSubBuckets + kSubBuckets;
+
+ private:
+  // Estimated value at quantile q in [0, 1] via linear interpolation
+  // inside the covering bucket, clamped to the observed [min, max].
+  static double Quantile(const int64_t* buckets, int64_t count, int64_t min,
+                         int64_t max, double q);
+
+  std::atomic<int64_t> buckets_[kNumBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+// Named metric registry. Get* registers on first use and returns a stable
+// pointer (the same pointer for the same name, forever); lookups take a
+// mutex but the returned handles are lock-free, so callers resolve names
+// once at construction time and touch only atomics on the hot path.
+// A metric that is never touched costs nothing but its registration.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  // Human-readable dump, one metric per line, sorted by name.
+  void WriteText(std::ostream& os) const;
+
+  // Stable JSON export: {"counters":{...},"gauges":{...},
+  // "histograms":{name:{count,sum,min,max,p50,p90,p99}}}, keys sorted.
+  void WriteJson(std::ostream& os) const;
+
+  // WriteJson to `path`; false when the file cannot be opened.
+  bool WriteJsonFile(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// RAII stage timer: records the scope's wall time (nanoseconds) into a
+// histogram on destruction. A null histogram makes it a true no-op — the
+// clock is never read — so instrumented code pays nothing when
+// observability is not wired up.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist)
+      : hist_(hist), start_ns_(hist == nullptr ? 0 : MonotonicNanos()) {}
+  ~ScopedTimer() {
+    if (hist_ != nullptr) {
+      hist_->Observe(MonotonicNanos() - start_ns_);
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  int64_t start_ns_;
+};
+
+}  // namespace obs
+}  // namespace ipqs
+
+#endif  // IPQS_OBS_METRICS_H_

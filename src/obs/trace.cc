@@ -1,0 +1,65 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace ipqs {
+namespace obs {
+namespace {
+
+std::string Micros(int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+void TraceRecorder::AddSpan(const char* name, int64_t start_ns, int64_t end_ns,
+                            const char* arg_key, int64_t arg_value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, _] = thread_ids_.try_emplace(
+      std::this_thread::get_id(), static_cast<int>(thread_ids_.size()));
+  Event e;
+  e.name = name;
+  e.start_ns = start_ns;
+  e.dur_ns = end_ns < start_ns ? 0 : end_ns - start_ns;
+  e.tid = it->second;
+  e.arg_key = arg_key;
+  e.arg_value = arg_value;
+  events_.push_back(std::move(e));
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceRecorder::WriteJson(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events_) {
+    os << (first ? "" : ",") << "\n{\"name\":\"" << e.name
+       << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << e.tid
+       << ",\"ts\":" << Micros(e.start_ns) << ",\"dur\":" << Micros(e.dur_ns);
+    if (e.arg_key != nullptr) {
+      os << ",\"args\":{\"" << e.arg_key << "\":" << e.arg_value << "}";
+    }
+    os << "}";
+    first = false;
+  }
+  os << "\n]}\n";
+}
+
+bool TraceRecorder::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return false;
+  }
+  WriteJson(out);
+  return out.good();
+}
+
+}  // namespace obs
+}  // namespace ipqs

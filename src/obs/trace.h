@@ -1,0 +1,94 @@
+#ifndef IPQS_OBS_TRACE_H_
+#define IPQS_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ipqs {
+namespace obs {
+
+// Per-query trace recorder: collects named spans (start + duration, tagged
+// with a dense thread id) and serializes them as Chrome-tracing "complete"
+// events — the JSON loads directly in chrome://tracing and in Perfetto.
+//
+// Recording a span takes one mutex; tracing is an opt-in diagnosis mode
+// (--trace_out), not a hot-path facility. All methods are thread-safe.
+class TraceRecorder {
+ public:
+  TraceRecorder() : epoch_ns_(MonotonicNanos()) {}
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Nanoseconds since this recorder was created; span timestamps are
+  // expressed on this clock.
+  int64_t NowNs() const { return MonotonicNanos() - epoch_ns_; }
+
+  // Records a span on the calling thread. `arg_key`, when non-null, adds
+  // one integer argument to the event (e.g. the object id of a per-object
+  // inference span).
+  void AddSpan(const char* name, int64_t start_ns, int64_t end_ns,
+               const char* arg_key = nullptr, int64_t arg_value = 0);
+
+  size_t size() const;
+
+  // {"traceEvents":[...]} with ph:"X" complete events, ts/dur in
+  // microseconds.
+  void WriteJson(std::ostream& os) const;
+  bool WriteJsonFile(const std::string& path) const;
+
+ private:
+  struct Event {
+    std::string name;
+    int64_t start_ns = 0;
+    int64_t dur_ns = 0;
+    int tid = 0;
+    const char* arg_key = nullptr;  // Static strings only.
+    int64_t arg_value = 0;
+  };
+
+  const int64_t epoch_ns_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::map<std::thread::id, int> thread_ids_;
+};
+
+// RAII span: records [construction, destruction) into a recorder. A null
+// recorder makes it a no-op (the clock is never read).
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder* recorder, const char* name,
+            const char* arg_key = nullptr, int64_t arg_value = 0)
+      : recorder_(recorder),
+        name_(name),
+        arg_key_(arg_key),
+        arg_value_(arg_value),
+        start_ns_(recorder == nullptr ? 0 : recorder->NowNs()) {}
+  ~TraceSpan() {
+    if (recorder_ != nullptr) {
+      recorder_->AddSpan(name_, start_ns_, recorder_->NowNs(), arg_key_,
+                         arg_value_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  const char* name_;
+  const char* arg_key_;
+  int64_t arg_value_;
+  int64_t start_ns_;
+};
+
+}  // namespace obs
+}  // namespace ipqs
+
+#endif  // IPQS_OBS_TRACE_H_

@@ -26,6 +26,57 @@ QueryEngine::QueryEngine(const WalkingGraph* graph, const FloorPlan* plan,
       knn_eval_(graph, anchors, anchor_graph) {
   IPQS_CHECK(collector != nullptr);
   IPQS_CHECK_GE(config.num_threads, 0);
+  InitObservability();
+}
+
+void QueryEngine::InitObservability() {
+  if (config_.metrics == nullptr) {
+    own_registry_ = std::make_unique<obs::MetricsRegistry>();
+  }
+  metrics_ = config_.metrics != nullptr ? config_.metrics : own_registry_.get();
+  trace_ = config_.trace;
+
+  const std::string& p = config_.metrics_prefix;
+  counters_.queries = metrics_->GetCounter(p + ".engine.queries");
+  counters_.objects_considered =
+      metrics_->GetCounter(p + ".engine.objects_considered");
+  counters_.candidates_inferred =
+      metrics_->GetCounter(p + ".engine.candidates_inferred");
+  counters_.filter_runs = metrics_->GetCounter(p + ".engine.filter_runs");
+  counters_.filter_resumes = metrics_->GetCounter(p + ".engine.filter_resumes");
+  counters_.filter_seconds = metrics_->GetCounter(p + ".engine.filter_seconds");
+
+  if (config_.metrics == nullptr) {
+    return;  // No external registry: counters only, no timers anywhere.
+  }
+  timers_.range_latency_ns =
+      metrics_->GetHistogram(p + ".query.range_latency_ns");
+  timers_.knn_latency_ns = metrics_->GetHistogram(p + ".query.knn_latency_ns");
+  timers_.prune_ns = metrics_->GetHistogram(p + ".stage.prune_ns");
+  timers_.infer_ns = metrics_->GetHistogram(p + ".stage.infer_ns");
+  timers_.merge_ns = metrics_->GetHistogram(p + ".stage.merge_ns");
+  timers_.evaluate_ns = metrics_->GetHistogram(p + ".stage.evaluate_ns");
+  timers_.snap_ns = metrics_->GetHistogram(p + ".filter.snap_ns");
+
+  FilterMetrics filter_metrics;
+  filter_metrics.run_ns = metrics_->GetHistogram(p + ".filter.run_ns");
+  filter_metrics.resume_ns = metrics_->GetHistogram(p + ".filter.resume_ns");
+  filter_metrics.predict_ns = metrics_->GetHistogram(p + ".filter.predict_ns");
+  filter_metrics.weight_ns = metrics_->GetHistogram(p + ".filter.weight_ns");
+  filter_metrics.resample_ns =
+      metrics_->GetHistogram(p + ".filter.resample_ns");
+  filter_metrics.particles = metrics_->GetGauge(p + ".filter.particles");
+  filter_.SetMetrics(filter_metrics);
+
+  CacheMetrics cache_metrics;
+  cache_metrics.hits = metrics_->GetCounter(p + ".cache.hits");
+  cache_metrics.misses = metrics_->GetCounter(p + ".cache.misses");
+  cache_metrics.invalidations =
+      metrics_->GetCounter(p + ".cache.invalidations");
+  cache_metrics.stale_invalidations =
+      metrics_->GetCounter(p + ".cache.stale_invalidations");
+  cache_metrics.evictions = metrics_->GetCounter(p + ".cache.evictions");
+  cache_.SetMetrics(cache_metrics);
 }
 
 void QueryEngine::SyncTableTo(int64_t now) {
@@ -41,7 +92,9 @@ std::optional<AnchorDistribution> QueryEngine::ComputeInference(
   if (history == nullptr || history->entries.empty()) {
     return std::nullopt;
   }
-  stats_.candidates_inferred.fetch_add(1, std::memory_order_relaxed);
+  const obs::TraceSpan span(trace_, "infer", "object",
+                            static_cast<int64_t>(object));
+  counters_.candidates_inferred->Increment();
 
   if (config_.method == InferenceMethod::kSymbolicModel) {
     return symbolic_.Infer(*history, now);
@@ -80,16 +133,20 @@ std::optional<AnchorDistribution> QueryEngine::ComputeInference(
   }
   if (!resumed) {
     state = filter_.Run(*history, now, rng);
-    stats_.filter_runs.fetch_add(1, std::memory_order_relaxed);
+    counters_.filter_runs->Increment();
   } else {
-    stats_.filter_resumes.fetch_add(1, std::memory_order_relaxed);
+    counters_.filter_resumes->Increment();
   }
   // Only the seconds filtered by THIS call count as work (a resumed
   // state carries its lifetime total in seconds_processed).
-  stats_.filter_seconds.fetch_add(state.seconds_processed - seconds_before,
-                                  std::memory_order_relaxed);
-  AnchorDistribution dist =
-      AnchorDistribution::FromParticles(*anchors_, state.particles);
+  counters_.filter_seconds->Increment(state.seconds_processed -
+                                      seconds_before);
+  std::optional<AnchorDistribution> snapped;
+  {
+    const obs::ScopedTimer snap_timer(timers_.snap_ns);
+    snapped = AnchorDistribution::FromParticles(*anchors_, state.particles);
+  }
+  AnchorDistribution dist = std::move(*snapped);
   if (config_.use_cache) {
     cache_.Insert(object, *history, std::move(state));
   }
@@ -113,6 +170,7 @@ const AnchorDistribution* QueryEngine::InferObject(ObjectId object,
 void QueryEngine::InferBatch(const std::vector<ObjectId>& candidates,
                              int64_t now) {
   SyncTableTo(now);
+  const obs::TraceSpan span(trace_, "infer_batch");
 
   // Canonicalize the batch: ascending, unique, not yet memoized, known.
   // Sorting fixes the table merge order (and thereby every downstream
@@ -141,20 +199,35 @@ void QueryEngine::InferBatch(const std::vector<ObjectId>& candidates,
     results[i] = ComputeInference(todo[i], now);
   };
 
-  if (config_.num_threads > 1 && todo.size() > 1) {
-    if (pool_ == nullptr) {
-      // The calling thread steals while it waits, so it counts toward the
-      // configured width.
-      pool_ = std::make_unique<ThreadPool>(config_.num_threads - 1);
-    }
-    pool_->ParallelFor(todo.size(), infer_one);
-  } else {
-    for (size_t i = 0; i < todo.size(); ++i) {
-      infer_one(i);
+  {
+    const obs::ScopedTimer infer_timer(timers_.infer_ns);
+    if (config_.num_threads > 1 && todo.size() > 1) {
+      if (pool_ == nullptr) {
+        // The calling thread steals while it waits, so it counts toward
+        // the configured width.
+        pool_ = std::make_unique<ThreadPool>(config_.num_threads - 1);
+        if (config_.metrics != nullptr) {
+          const std::string& p = config_.metrics_prefix;
+          PoolMetrics pool_metrics;
+          pool_metrics.tasks = metrics_->GetCounter(p + ".pool.tasks");
+          pool_metrics.steals = metrics_->GetCounter(p + ".pool.steals");
+          pool_metrics.queue_depth =
+              metrics_->GetGauge(p + ".pool.queue_depth");
+          pool_metrics.wait_ns = metrics_->GetHistogram(p + ".pool.wait_ns");
+          pool_->SetMetrics(pool_metrics);
+        }
+      }
+      pool_->ParallelFor(todo.size(), infer_one);
+    } else {
+      for (size_t i = 0; i < todo.size(); ++i) {
+        infer_one(i);
+      }
     }
   }
 
   // Single-threaded merge into the APtoObjHT, in ascending object order.
+  const obs::TraceSpan merge_span(trace_, "merge");
+  const obs::ScopedTimer merge_timer(timers_.merge_ns);
   for (size_t i = 0; i < todo.size(); ++i) {
     if (results[i].has_value()) {
       table_.Set(todo[i], std::move(*results[i]));
@@ -164,64 +237,76 @@ void QueryEngine::InferBatch(const std::vector<ObjectId>& candidates,
 
 QueryResult QueryEngine::EvaluateRange(const Rect& window, int64_t now) {
   SyncTableTo(now);
-  stats_.queries.fetch_add(1, std::memory_order_relaxed);
+  const obs::TraceSpan span(trace_, "range_query");
+  const obs::ScopedTimer latency(timers_.range_latency_ns);
+  counters_.queries->Increment();
 
   std::vector<ObjectId> candidates;
-  if (config_.use_pruning) {
-    candidates = FilterRangeCandidates(*collector_, *deployment_, {window},
-                                       now, config_.max_speed);
-  } else {
-    candidates = collector_->KnownObjects();
+  {
+    const obs::TraceSpan prune_span(trace_, "prune");
+    const obs::ScopedTimer prune_timer(timers_.prune_ns);
+    if (config_.use_pruning) {
+      candidates = FilterRangeCandidates(*collector_, *deployment_, {window},
+                                         now, config_.max_speed);
+    } else {
+      candidates = collector_->KnownObjects();
+    }
   }
-  stats_.objects_considered.fetch_add(
-      static_cast<int64_t>(collector_->KnownObjects().size()),
-      std::memory_order_relaxed);
+  counters_.objects_considered->Increment(
+      static_cast<int64_t>(collector_->KnownObjects().size()));
 
   InferBatch(candidates, now);
+  const obs::TraceSpan eval_span(trace_, "evaluate");
+  const obs::ScopedTimer eval_timer(timers_.evaluate_ns);
   return range_eval_.Evaluate(table_, window);
 }
 
 KnnResult QueryEngine::EvaluateKnn(const Point& query, int k, int64_t now) {
   SyncTableTo(now);
-  stats_.queries.fetch_add(1, std::memory_order_relaxed);
+  const obs::TraceSpan span(trace_, "knn_query");
+  const obs::ScopedTimer latency(timers_.knn_latency_ns);
+  counters_.queries->Increment();
 
   const GraphLocation q =
       graph_->NearestLocation(query, /*prefer_hallways=*/true);
   std::vector<ObjectId> candidates;
-  if (config_.use_pruning) {
-    candidates = FilterKnnCandidates(*graph_, *collector_, *deployment_, q, k,
-                                     now, config_.max_speed);
-  } else {
-    candidates = collector_->KnownObjects();
+  {
+    const obs::TraceSpan prune_span(trace_, "prune");
+    const obs::ScopedTimer prune_timer(timers_.prune_ns);
+    if (config_.use_pruning) {
+      candidates = FilterKnnCandidates(*graph_, *collector_, *deployment_, q,
+                                       k, now, config_.max_speed);
+    } else {
+      candidates = collector_->KnownObjects();
+    }
   }
-  stats_.objects_considered.fetch_add(
-      static_cast<int64_t>(collector_->KnownObjects().size()),
-      std::memory_order_relaxed);
+  counters_.objects_considered->Increment(
+      static_cast<int64_t>(collector_->KnownObjects().size()));
 
   InferBatch(candidates, now);
+  const obs::TraceSpan eval_span(trace_, "evaluate");
+  const obs::ScopedTimer eval_timer(timers_.evaluate_ns);
   return knn_eval_.Evaluate(table_, q, k);
 }
 
 EngineStats QueryEngine::stats() const {
   EngineStats out;
-  out.queries = stats_.queries.load(std::memory_order_relaxed);
-  out.objects_considered =
-      stats_.objects_considered.load(std::memory_order_relaxed);
-  out.candidates_inferred =
-      stats_.candidates_inferred.load(std::memory_order_relaxed);
-  out.filter_runs = stats_.filter_runs.load(std::memory_order_relaxed);
-  out.filter_resumes = stats_.filter_resumes.load(std::memory_order_relaxed);
-  out.filter_seconds = stats_.filter_seconds.load(std::memory_order_relaxed);
+  out.queries = counters_.queries->Value();
+  out.objects_considered = counters_.objects_considered->Value();
+  out.candidates_inferred = counters_.candidates_inferred->Value();
+  out.filter_runs = counters_.filter_runs->Value();
+  out.filter_resumes = counters_.filter_resumes->Value();
+  out.filter_seconds = counters_.filter_seconds->Value();
   return out;
 }
 
 void QueryEngine::ResetStats() {
-  stats_.queries.store(0, std::memory_order_relaxed);
-  stats_.objects_considered.store(0, std::memory_order_relaxed);
-  stats_.candidates_inferred.store(0, std::memory_order_relaxed);
-  stats_.filter_runs.store(0, std::memory_order_relaxed);
-  stats_.filter_resumes.store(0, std::memory_order_relaxed);
-  stats_.filter_seconds.store(0, std::memory_order_relaxed);
+  counters_.queries->Reset();
+  counters_.objects_considered->Reset();
+  counters_.candidates_inferred->Reset();
+  counters_.filter_runs->Reset();
+  counters_.filter_resumes->Reset();
+  counters_.filter_seconds->Reset();
 }
 
 }  // namespace ipqs

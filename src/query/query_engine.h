@@ -1,16 +1,18 @@
 #ifndef IPQS_QUERY_QUERY_ENGINE_H_
 #define IPQS_QUERY_QUERY_ENGINE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "filter/particle_cache.h"
 #include "filter/particle_filter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/knn_query.h"
 #include "query/range_query.h"
 #include "query/uncertain_region.h"
@@ -44,6 +46,19 @@ struct EngineConfig {
   // object's inference draws from its own (seed, object, timestamp)
   // stream (Rng::ForStream) and results merge in ascending object order.
   int num_threads = 1;
+  // Observability. With `metrics` set, the engine registers per-stage
+  // latency histograms, cache/pool counters, and the EngineStats counters
+  // under `metrics_prefix` in that registry (engines sharing a registry
+  // need distinct prefixes, or they share counters). With `metrics` null
+  // the engine keeps a private registry for its EngineStats counters and
+  // skips every timer — no clock is ever read, so the untouched cost is
+  // zero. Neither knob perturbs query answers (metrics never feed RNG).
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string metrics_prefix = "engine";
+  // When set, every query emits Chrome-tracing spans (whole query, prune /
+  // infer / merge / evaluate stages, and one span per inferred object)
+  // into this recorder; load the JSON in chrome://tracing or Perfetto.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 struct EngineStats {
@@ -104,15 +119,31 @@ class QueryEngine {
   const AnchorObjectTable& table() const { return table_; }
 
  private:
-  // Thread-safe accumulators behind the EngineStats snapshot.
-  struct AtomicStats {
-    std::atomic<int64_t> queries{0};
-    std::atomic<int64_t> objects_considered{0};
-    std::atomic<int64_t> candidates_inferred{0};
-    std::atomic<int64_t> filter_runs{0};
-    std::atomic<int64_t> filter_resumes{0};
-    std::atomic<int64_t> filter_seconds{0};
+  // The registry counters backing the EngineStats snapshot (always
+  // non-null: they live in config.metrics or in own_registry_).
+  struct StatCounters {
+    obs::Counter* queries = nullptr;
+    obs::Counter* objects_considered = nullptr;
+    obs::Counter* candidates_inferred = nullptr;
+    obs::Counter* filter_runs = nullptr;
+    obs::Counter* filter_resumes = nullptr;
+    obs::Counter* filter_seconds = nullptr;
   };
+  // Per-stage latency histograms; all null when config.metrics is null
+  // (ScopedTimer on a null histogram never reads the clock).
+  struct StageTimers {
+    obs::Histogram* range_latency_ns = nullptr;
+    obs::Histogram* knn_latency_ns = nullptr;
+    obs::Histogram* prune_ns = nullptr;
+    obs::Histogram* infer_ns = nullptr;
+    obs::Histogram* merge_ns = nullptr;
+    obs::Histogram* evaluate_ns = nullptr;
+    obs::Histogram* snap_ns = nullptr;
+  };
+
+  // Registers every metric under config.metrics_prefix and wires the
+  // filter, cache, and (lazily) the thread pool.
+  void InitObservability();
 
   // Drops memoized distributions when the query timestamp moves.
   void SyncTableTo(int64_t now);
@@ -138,7 +169,15 @@ class QueryEngine {
 
   AnchorObjectTable table_;
   int64_t table_time_ = -1;
-  AtomicStats stats_;
+
+  // Observability (see EngineConfig::metrics). own_registry_ backs the
+  // EngineStats counters when no external registry was configured.
+  std::unique_ptr<obs::MetricsRegistry> own_registry_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  StatCounters counters_;
+  StageTimers timers_;
+  obs::TraceRecorder* trace_ = nullptr;
+
   // Lazily created on first batch when num_threads > 1.
   std::unique_ptr<ThreadPool> pool_;
 };

@@ -9,7 +9,14 @@ namespace ipqs {
 void DataCollector::Observe(const RawReading& reading) {
   IPQS_CHECK_NE(reading.object, kInvalidId);
   IPQS_CHECK_NE(reading.reader, kInvalidId);
+  if (metrics_.readings != nullptr) {
+    metrics_.readings->Increment();
+  }
+  const bool new_object = histories_.count(reading.object) == 0;
   ObjectHistory& h = histories_[reading.object];
+  if (new_object && metrics_.objects != nullptr) {
+    metrics_.objects->Set(static_cast<int64_t>(histories_.size()));
+  }
 
   if (!h.entries.empty()) {
     IPQS_CHECK_GE(reading.time, h.entries.back().time)
@@ -19,13 +26,22 @@ void DataCollector::Observe(const RawReading& reading) {
   if (reading.reader != h.current_device) {
     // Device hand-off: LEAVE the old device, ENTER the new one, and drop
     // entries from the device that just aged out of the 2-device window.
+    if (metrics_.handoffs != nullptr && h.current_device != kInvalidId) {
+      metrics_.handoffs->Increment();
+    }
     if (record_events_ && h.current_device != kInvalidId) {
       events_.push_back({reading.object, h.current_device,
                          h.entries.back().time, /*enter=*/false});
+      if (metrics_.events != nullptr) {
+        metrics_.events->Increment();
+      }
     }
     if (record_events_) {
       events_.push_back(
           {reading.object, reading.reader, reading.time, /*enter=*/true});
+      if (metrics_.events != nullptr) {
+        metrics_.events->Increment();
+      }
     }
     if (h.previous_device != kInvalidId) {
       const ReaderId drop = h.previous_device;
@@ -43,6 +59,9 @@ void DataCollector::Observe(const RawReading& reading) {
     return;
   }
   h.entries.push_back({reading.time, reading.reader});
+  if (metrics_.entries != nullptr) {
+    metrics_.entries->Increment();
+  }
 }
 
 const DataCollector::ObjectHistory* DataCollector::History(

@@ -7,9 +7,21 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 #include "rfid/reader.h"
 
 namespace ipqs {
+
+// Optional observability hooks for a DataCollector; any member may be
+// null. Observe() runs on the (single-threaded) ingest path, so these are
+// plain counter bumps.
+struct CollectorMetrics {
+  obs::Counter* readings = nullptr;   // Raw readings ingested.
+  obs::Counter* entries = nullptr;    // Aggregated entries appended.
+  obs::Counter* handoffs = nullptr;   // Device transitions per object.
+  obs::Counter* events = nullptr;     // ENTER/LEAVE events emitted.
+  obs::Gauge* objects = nullptr;      // Objects with at least one reading.
+};
 
 // One aggregated detection: `reader` saw the object at least once during
 // second `time`.
@@ -54,6 +66,9 @@ class DataCollector {
 
   DataCollector() = default;
 
+  // Installs observability hooks; call before the ingest loop starts.
+  void SetMetrics(const CollectorMetrics& metrics) { metrics_ = metrics; }
+
   // Ingests one raw reading. Readings must arrive in non-decreasing time
   // order per object (the stream is naturally ordered).
   void Observe(const RawReading& reading);
@@ -79,6 +94,7 @@ class DataCollector {
   std::unordered_map<ObjectId, ObjectHistory> histories_;
   std::vector<ReaderEvent> events_;
   bool record_events_ = false;
+  CollectorMetrics metrics_;
 };
 
 }  // namespace ipqs

@@ -43,6 +43,17 @@ Status Simulation::Init() {
   deployment_graph_ = std::make_unique<DeploymentGraph>(
       DeploymentGraph::Build(*anchors_, *anchor_graph_, deployment_));
 
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *config_.metrics;
+    CollectorMetrics cm;
+    cm.readings = reg.GetCounter("collector.readings");
+    cm.entries = reg.GetCounter("collector.entries");
+    cm.handoffs = reg.GetCounter("collector.handoffs");
+    cm.events = reg.GetCounter("collector.events");
+    cm.objects = reg.GetGauge("collector.objects");
+    collector_.SetMetrics(cm);
+  }
+
   trace_ = std::make_unique<TraceGenerator>(&graph_, &plan_, config_.trace,
                                             &world_rng_);
   readings_ = std::make_unique<ReadingGenerator>(
@@ -58,6 +69,9 @@ Status Simulation::Init() {
   pf_config.use_cache = config_.use_cache;
   pf_config.num_threads = config_.num_threads;
   pf_config.seed = config_.seed + 2;
+  pf_config.metrics = config_.metrics;
+  pf_config.metrics_prefix = "pf";
+  pf_config.trace = config_.trace_recorder;
   pf_engine_ = std::make_unique<QueryEngine>(
       &graph_, &plan_, anchors_.get(), anchor_graph_.get(), &deployment_,
       deployment_graph_.get(), &collector_, pf_config);
@@ -65,6 +79,7 @@ Status Simulation::Init() {
   EngineConfig sm_config = pf_config;
   sm_config.method = config_.baseline_method;
   sm_config.seed = config_.seed + 3;
+  sm_config.metrics_prefix = "sm";
   sm_engine_ = std::make_unique<QueryEngine>(
       &graph_, &plan_, anchors_.get(), anchor_graph_.get(), &deployment_,
       deployment_graph_.get(), &collector_, sm_config);

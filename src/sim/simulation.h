@@ -47,6 +47,12 @@ struct SimulationConfig {
   // against kSymbolicModel, kLastReading is the naive sanity floor.
   InferenceMethod baseline_method = InferenceMethod::kSymbolicModel;
   uint64_t seed = 42;
+  // Observability (both optional; see EngineConfig). With `metrics` set,
+  // the PF engine registers under "pf", the baseline under "sm", and the
+  // data collector under "collector". Neither perturbs simulation state or
+  // query answers.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace_recorder = nullptr;
 };
 
 // Owns the complete simulated world and keeps the particle-filter engine

@@ -177,6 +177,56 @@ TEST_F(DeterminismTest, CacheOffInferenceIndependentOfQueryHistory) {
   ExpectSameResult(from_fresh, from_veteran, "query history independence");
 }
 
+TEST_F(DeterminismTest, MetricsAndTracingDoNotPerturbAnswers) {
+  // Observability must be a pure observer: with a registry and a trace
+  // recorder wired in, every answer stays byte-identical to the bare
+  // engine's, at any thread count (metrics never feed the random streams).
+  const int64_t now = sim_->now();
+  const Rect window = Window();
+  const Point q = sim_->deployment().reader(5).pos;
+
+  QueryEngine bare = MakeEngine(1, /*use_cache=*/true, /*use_pruning=*/true);
+  const QueryResult expected_range = bare.EvaluateRange(window, now);
+  const KnnResult expected_knn = bare.EvaluateKnn(q, 3, now);
+  EXPECT_FALSE(expected_range.objects.empty());
+
+  for (const int threads : {1, 8}) {
+    obs::MetricsRegistry registry;
+    obs::TraceRecorder recorder;
+    EngineConfig config;
+    config.num_threads = threads;
+    config.use_cache = true;
+    config.use_pruning = true;
+    config.seed = 99;
+    config.metrics = &registry;
+    config.metrics_prefix = "t";
+    config.trace = &recorder;
+    QueryEngine observed(&sim_->graph(), &sim_->plan(), &sim_->anchors(),
+                         &sim_->anchor_graph(), &sim_->deployment(),
+                         &sim_->deployment_graph(), &sim_->collector(),
+                         config);
+
+    const QueryResult got_range = observed.EvaluateRange(window, now);
+    ExpectSameResult(expected_range, got_range, "metrics on, range");
+    const KnnResult got_knn = observed.EvaluateKnn(q, 3, now);
+    ExpectSameResult(expected_knn.result, got_knn.result, "metrics on, knn");
+    EXPECT_EQ(expected_knn.total_probability, got_knn.total_probability);
+
+    // The observer actually observed: stage histograms filled and spans
+    // recorded.
+    EXPECT_EQ(registry.GetHistogram("t.query.range_latency_ns")
+                  ->snapshot()
+                  .count,
+              1);
+    EXPECT_EQ(registry.GetHistogram("t.query.knn_latency_ns")
+                  ->snapshot()
+                  .count,
+              1);
+    EXPECT_GT(registry.GetHistogram("t.filter.run_ns")->snapshot().count, 0);
+    EXPECT_GT(recorder.size(), 0u);
+  }
+}
+
 TEST_F(DeterminismTest, CachedEngineDeterministicGivenSameQuerySequence) {
   // With the cache ON the answer legitimately depends on the sequence of
   // queried timestamps (resume vs. full run) — but two engines fed the

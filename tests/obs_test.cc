@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "filter/particle_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/reading_generator.h"
+
+namespace ipqs {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::MetricsRegistry;
+using obs::ScopedTimer;
+using obs::TraceRecorder;
+using obs::TraceSpan;
+
+TEST(HistogramTest, ValuesBelow16GetExactBuckets) {
+  for (int64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(Histogram::BucketIndex(v), static_cast<size_t>(v));
+    EXPECT_EQ(Histogram::BucketLowerBound(static_cast<size_t>(v)), v);
+    EXPECT_EQ(Histogram::BucketUpperBound(static_cast<size_t>(v)), v + 1);
+  }
+}
+
+TEST(HistogramTest, EveryValueLandsInsideItsBucket) {
+  const std::vector<int64_t> values = {
+      0,    1,    15,   16,      17,      31,        32,       33,
+      100,  1000, 4095, 4096,    4097,    123456789, 1 << 30,
+      (int64_t{1} << 40) + 12345, std::numeric_limits<int64_t>::max() / 2};
+  for (const int64_t v : values) {
+    const size_t b = Histogram::BucketIndex(v);
+    ASSERT_LT(b, Histogram::kNumBuckets) << "value " << v;
+    EXPECT_LE(Histogram::BucketLowerBound(b), v) << "value " << v;
+    EXPECT_GT(Histogram::BucketUpperBound(b), v) << "value " << v;
+  }
+  // The top bucket saturates: int64 max is representable but its upper
+  // bound clamps to int64 max (inclusive rather than one-past).
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  const size_t top = Histogram::BucketIndex(kMax);
+  ASSERT_LT(top, Histogram::kNumBuckets);
+  EXPECT_LE(Histogram::BucketLowerBound(top), kMax);
+  EXPECT_EQ(Histogram::BucketUpperBound(top), kMax);
+}
+
+TEST(HistogramTest, BucketBoundariesAreContiguousAndMonotone) {
+  for (size_t b = 0; b + 1 < Histogram::kNumBuckets; ++b) {
+    EXPECT_EQ(Histogram::BucketUpperBound(b), Histogram::BucketLowerBound(b + 1))
+        << "bucket " << b;
+    EXPECT_LT(Histogram::BucketLowerBound(b), Histogram::BucketLowerBound(b + 1))
+        << "bucket " << b;
+  }
+}
+
+TEST(HistogramTest, BucketWidthKeepsRelativeErrorUnderOneEighth) {
+  // The log-linear layout promise: above the exact range a bucket spans at
+  // most 1/8 of its lower bound.
+  for (size_t b = 16; b + 1 < Histogram::kNumBuckets; ++b) {
+    const int64_t lo = Histogram::BucketLowerBound(b);
+    const int64_t width = Histogram::BucketUpperBound(b) - lo;
+    EXPECT_LE(width * 8, lo) << "bucket " << b;
+  }
+}
+
+TEST(HistogramTest, EmptySnapshotIsAllZero) {
+  Histogram h;
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0);
+  EXPECT_EQ(s.sum, 0);
+  EXPECT_EQ(s.min, 0);
+  EXPECT_EQ(s.max, 0);
+  EXPECT_EQ(s.p50, 0.0);
+  EXPECT_EQ(s.p90, 0.0);
+  EXPECT_EQ(s.p99, 0.0);
+}
+
+TEST(HistogramTest, SingleValueSnapshotIsExact) {
+  Histogram h;
+  h.Observe(12345);
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1);
+  EXPECT_EQ(s.sum, 12345);
+  EXPECT_EQ(s.min, 12345);
+  EXPECT_EQ(s.max, 12345);
+  // Quantiles clamp to the observed range, so one value is recovered
+  // exactly despite the coarse bucket.
+  EXPECT_EQ(s.p50, 12345.0);
+  EXPECT_EQ(s.p90, 12345.0);
+  EXPECT_EQ(s.p99, 12345.0);
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  Histogram h;
+  h.Observe(-5);
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1);
+  EXPECT_EQ(s.sum, 0);
+  EXPECT_EQ(s.min, 0);
+  EXPECT_EQ(s.max, 0);
+}
+
+TEST(HistogramTest, PercentilesWithinDocumentedError) {
+  Histogram h;
+  for (int64_t v = 1; v <= 1000; ++v) {
+    h.Observe(v);
+  }
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1000);
+  EXPECT_EQ(s.sum, 1000 * 1001 / 2);
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.max, 1000);
+  // <= 12.5% relative quantile error from the 8-sub-bucket layout.
+  EXPECT_NEAR(s.p50, 500.0, 500.0 * 0.125);
+  EXPECT_NEAR(s.p90, 900.0, 900.0 * 0.125);
+  EXPECT_NEAR(s.p99, 990.0, 990.0 * 0.125);
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p99);
+}
+
+TEST(HistogramTest, ConcurrentObservesKeepExactCountAndSum) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(7);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, int64_t{kThreads} * kPerThread);
+  EXPECT_EQ(s.sum, int64_t{kThreads} * kPerThread * 7);
+  EXPECT_EQ(s.min, 7);
+  EXPECT_EQ(s.max, 7);
+}
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Increment();
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(c.Value(), int64_t{kThreads} * kPerThread);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0);
+}
+
+TEST(CounterTest, IncrementWithDelta) {
+  Counter c;
+  c.Increment(5);
+  c.Increment();
+  EXPECT_EQ(c.Value(), 6);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0);
+  g.Set(42);
+  EXPECT_EQ(g.Value(), 42);
+  g.Add(-10);
+  EXPECT_EQ(g.Value(), 32);
+}
+
+TEST(RegistryTest, SameNameReturnsSamePointer) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("x");
+  Counter* b = reg.GetCounter("x");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(reg.GetCounter("y"), a);
+  EXPECT_EQ(reg.GetHistogram("h"), reg.GetHistogram("h"));
+  EXPECT_EQ(reg.GetGauge("g"), reg.GetGauge("g"));
+}
+
+TEST(RegistryTest, EmptyJsonGolden) {
+  MetricsRegistry reg;
+  std::ostringstream os;
+  reg.WriteJson(os);
+  EXPECT_EQ(os.str(),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n"
+            "  \"histograms\": {}\n}\n");
+}
+
+TEST(RegistryTest, JsonGolden) {
+  MetricsRegistry reg;
+  reg.GetCounter("pf.queries")->Increment(3);
+  reg.GetGauge("particles")->Set(64);
+  reg.GetHistogram("latency_ns")->Observe(10);
+  std::ostringstream os;
+  reg.WriteJson(os);
+  EXPECT_EQ(os.str(),
+            "{\n"
+            "  \"counters\": {\n"
+            "    \"pf.queries\": 3\n"
+            "  },\n"
+            "  \"gauges\": {\n"
+            "    \"particles\": 64\n"
+            "  },\n"
+            "  \"histograms\": {\n"
+            "    \"latency_ns\": {\"count\": 1, \"sum\": 10, \"min\": 10, "
+            "\"max\": 10, \"p50\": 10, \"p90\": 10, \"p99\": 10}\n"
+            "  }\n"
+            "}\n");
+}
+
+TEST(RegistryTest, JsonKeysAreSorted) {
+  MetricsRegistry reg;
+  reg.GetCounter("zeta")->Increment();
+  reg.GetCounter("alpha")->Increment();
+  std::ostringstream os;
+  reg.WriteJson(os);
+  const std::string json = os.str();
+  EXPECT_LT(json.find("alpha"), json.find("zeta"));
+}
+
+TEST(RegistryTest, TextExportListsEveryMetric) {
+  MetricsRegistry reg;
+  reg.GetCounter("c")->Increment(2);
+  reg.GetGauge("g")->Set(-1);
+  reg.GetHistogram("h")->Observe(100);
+  std::ostringstream os;
+  reg.WriteText(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("counter c = 2"), std::string::npos);
+  EXPECT_NE(text.find("gauge g = -1"), std::string::npos);
+  EXPECT_NE(text.find("histogram h: count=1"), std::string::npos);
+}
+
+TEST(ScopedTimerTest, NullHistogramIsANoop) {
+  { const ScopedTimer timer(nullptr); }  // Must not crash or read a clock.
+}
+
+TEST(ScopedTimerTest, RecordsOneNonNegativeSample) {
+  Histogram h;
+  { const ScopedTimer timer(&h); }
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1);
+  EXPECT_GE(s.min, 0);
+}
+
+TEST(TraceTest, NullRecorderSpanIsANoop) {
+  { const TraceSpan span(nullptr, "nothing"); }
+}
+
+TEST(TraceTest, RecordsSpansWithArgs) {
+  TraceRecorder rec;
+  {
+    const TraceSpan outer(&rec, "query");
+    const TraceSpan inner(&rec, "infer", "object", 17);
+  }
+  EXPECT_EQ(rec.size(), 2u);
+  std::ostringstream os;
+  rec.WriteJson(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"query\""), std::string::npos);
+  EXPECT_NE(json.find("\"infer\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"object\":17}"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(LogLevelTest, ParseAcceptsAllLevels) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("Warning"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("verbose"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel(""), std::nullopt);
+}
+
+TEST(LogLevelTest, SetAndGetRoundTrip) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(before);
+  EXPECT_EQ(GetLogLevel(), before);
+}
+
+// Satellite: rate helpers must not divide by zero on empty stats.
+TEST(RateGuardTest, CacheHitRateZeroWhenNeverTouched) {
+  const ParticleCache::Stats stats;
+  EXPECT_EQ(stats.HitRate(), 0.0);
+}
+
+TEST(RateGuardTest, CacheHitRateNormalCase) {
+  ParticleCache::Stats stats;
+  stats.hits = 3;
+  stats.misses = 1;
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.75);
+}
+
+TEST(RateGuardTest, ReadingMissRateZeroWhenNoOpportunities) {
+  const ReadingGenerator::Stats stats;
+  EXPECT_EQ(stats.MissRate(), 0.0);
+}
+
+TEST(RateGuardTest, ReadingMissRateNormalCase) {
+  ReadingGenerator::Stats stats;
+  stats.opportunities = 10;
+  stats.false_negatives = 2;
+  EXPECT_DOUBLE_EQ(stats.MissRate(), 0.2);
+}
+
+}  // namespace
+}  // namespace ipqs
