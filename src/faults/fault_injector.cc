@@ -1,0 +1,203 @@
+#include "faults/fault_injector.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ipqs {
+namespace {
+
+// Channel tags mixed into the plan seed so no two channels ever share a
+// random stream even when keyed on the same (reader, second).
+constexpr uint64_t kDropoutStream = 0x1;
+constexpr uint64_t kReadingStream = 0x2;  // Per-reading dup/reorder draws.
+constexpr uint64_t kBatchStream = 0x3;
+constexpr uint64_t kNoiseStream = 0x4;
+constexpr uint64_t kGhostStream = 0x5;
+constexpr uint64_t kSkewStream = 0x6;
+
+bool CanonicalLess(const RawReading& a, const RawReading& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.reader != b.reader) return a.reader < b.reader;
+  return a.object < b.object;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultPlan& plan, int num_readers)
+    : plan_(plan), num_readers_(num_readers) {
+  IPQS_CHECK_GE(num_readers, 0);
+  IPQS_CHECK_GE(plan.dropout_epoch_seconds, 1);
+  IPQS_CHECK_GE(plan.max_clock_skew_seconds, 0);
+  skew_.resize(num_readers_, 0);
+  if (plan_.max_clock_skew_seconds > 0) {
+    for (ReaderId r = 0; r < num_readers_; ++r) {
+      Rng rng = Rng::ForStream(plan_.seed + kSkewStream,
+                               static_cast<uint64_t>(r), 0);
+      skew_[r] = rng.UniformInt(-plan_.max_clock_skew_seconds,
+                                plan_.max_clock_skew_seconds);
+    }
+  }
+}
+
+void FaultInjector::Count(obs::Counter* hook, int64_t* stat, int64_t delta) {
+  *stat += delta;
+  if (hook != nullptr) {
+    hook->Increment(delta);
+  }
+}
+
+bool FaultInjector::ReaderDown(ReaderId reader, int64_t time) const {
+  if (plan_.dropout_rate <= 0.0) {
+    return false;
+  }
+  const int64_t epoch = time / plan_.dropout_epoch_seconds;
+  Rng rng = Rng::ForStream(plan_.seed + kDropoutStream,
+                           static_cast<uint64_t>(reader),
+                           static_cast<uint64_t>(epoch));
+  return rng.Bernoulli(plan_.dropout_rate);
+}
+
+int64_t FaultInjector::SkewFor(ReaderId reader) const {
+  IPQS_CHECK_GE(reader, 0);
+  IPQS_CHECK_LT(static_cast<size_t>(reader), skew_.size());
+  return skew_[reader];
+}
+
+std::vector<RawReading> FaultInjector::Deliver(std::vector<RawReading> batch,
+                                               int64_t time) {
+  std::vector<RawReading> out;
+  out.reserve(batch.size() + 4);
+
+  // Release everything that came due. Due seconds strictly before `time`
+  // can only appear if the caller skipped seconds; deliver them too rather
+  // than hold them forever.
+  for (auto it = held_.begin(); it != held_.end() && it->first <= time;) {
+    out.insert(out.end(), it->second.begin(), it->second.end());
+    it = held_.erase(it);
+  }
+
+  // Per-reading draws (duplicate, reorder) all come from one stream keyed
+  // on the second, consumed in batch order — the clean batch is itself a
+  // deterministic function of the simulation seed, so so are these.
+  Rng reading_rng = Rng::ForStream(plan_.seed + kReadingStream,
+                                   static_cast<uint64_t>(time), 0);
+  // Batch-delay decisions are per (reader, second); memoized so every
+  // reading of the batch agrees.
+  std::map<ReaderId, bool> batch_held;
+
+  for (const RawReading& clean : batch) {
+    if (seen_set_.insert(clean.object).second) {
+      seen_objects_.push_back(clean.object);
+    }
+    if (ReaderDown(clean.reader, time)) {
+      Count(metrics_.dropped, &stats_.dropped);
+      Count(metrics_.injected, &stats_.injected);
+      continue;
+    }
+
+    RawReading r = clean;
+    const int64_t skew = SkewFor(r.reader);
+    if (skew != 0) {
+      r.time += skew;
+      Count(metrics_.skewed, &stats_.skewed);
+      Count(metrics_.injected, &stats_.injected);
+    }
+
+    const bool duplicated =
+        plan_.duplicate_rate > 0.0 &&
+        reading_rng.Bernoulli(plan_.duplicate_rate);
+    const int duplicate_delay =
+        duplicated && plan_.duplicate_max_delay_seconds > 0
+            ? reading_rng.UniformInt(0, plan_.duplicate_max_delay_seconds)
+            : 0;
+    const bool reordered =
+        plan_.reorder_rate > 0.0 && reading_rng.Bernoulli(plan_.reorder_rate);
+    const int reorder_delay =
+        reordered
+            ? reading_rng.UniformInt(
+                  1, std::max(1, plan_.reorder_max_delay_seconds))
+            : 0;
+
+    bool batch_delayed = false;
+    if (plan_.batch_delay_rate > 0.0) {
+      auto [it, inserted] = batch_held.try_emplace(r.reader, false);
+      if (inserted) {
+        Rng rng = Rng::ForStream(plan_.seed + kBatchStream,
+                                 static_cast<uint64_t>(r.reader),
+                                 static_cast<uint64_t>(time));
+        it->second = rng.Bernoulli(plan_.batch_delay_rate);
+      }
+      batch_delayed = it->second;
+    }
+
+    const int delay = batch_delayed ? std::max(1, plan_.batch_delay_seconds)
+                                    : reorder_delay;
+    if (delay > 0) {
+      held_[time + delay].push_back(r);
+      Count(metrics_.delayed, &stats_.delayed);
+      Count(metrics_.injected, &stats_.injected);
+    } else {
+      out.push_back(r);
+    }
+
+    if (duplicated) {
+      Count(metrics_.duplicated, &stats_.duplicated);
+      Count(metrics_.injected, &stats_.injected);
+      if (duplicate_delay > 0) {
+        held_[time + duplicate_delay].push_back(r);
+      } else {
+        out.push_back(r);
+      }
+    }
+  }
+
+  // Ghost reads: bursty readers report a tag they cannot actually see. A
+  // reader that is down emits nothing, ghosts included.
+  if (plan_.noise_burst_rate > 0.0 && !seen_objects_.empty()) {
+    const int64_t epoch = time / plan_.dropout_epoch_seconds;
+    for (ReaderId r = 0; r < num_readers_; ++r) {
+      if (ReaderDown(r, time)) {
+        continue;
+      }
+      Rng burst_rng = Rng::ForStream(plan_.seed + kNoiseStream,
+                                     static_cast<uint64_t>(r),
+                                     static_cast<uint64_t>(epoch));
+      if (!burst_rng.Bernoulli(plan_.noise_burst_rate)) {
+        continue;
+      }
+      Rng ghost_rng = Rng::ForStream(plan_.seed + kGhostStream,
+                                     static_cast<uint64_t>(r),
+                                     static_cast<uint64_t>(time));
+      const ObjectId object =
+          seen_objects_[ghost_rng.UniformIndex(seen_objects_.size())];
+      out.push_back(RawReading{object, r, time + SkewFor(r)});
+      Count(metrics_.ghosts, &stats_.ghosts);
+      Count(metrics_.injected, &stats_.injected);
+    }
+  }
+
+  // Canonical delivery order: downstream consumers see one deterministic
+  // sequence no matter which channels fired.
+  std::stable_sort(out.begin(), out.end(), CanonicalLess);
+  return out;
+}
+
+std::vector<RawReading> FaultInjector::Pending() const {
+  std::vector<RawReading> out;
+  for (const auto& [_, readings] : held_) {
+    out.insert(out.end(), readings.begin(), readings.end());
+  }
+  return out;
+}
+
+size_t FaultInjector::pending_size() const {
+  size_t total = 0;
+  for (const auto& [_, readings] : held_) {
+    total += readings.size();
+  }
+  return total;
+}
+
+}  // namespace ipqs

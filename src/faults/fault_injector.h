@@ -1,0 +1,92 @@
+#ifndef IPQS_FAULTS_FAULT_INJECTOR_H_
+#define IPQS_FAULTS_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "obs/metrics.h"
+#include "rfid/reader.h"
+
+namespace ipqs {
+
+// Optional observability hooks for a FaultInjector; any member may be
+// null. Deliver() runs on the (single-threaded) ingest path, so these are
+// plain counter bumps.
+struct FaultMetrics {
+  obs::Counter* injected = nullptr;    // Total fault events, all channels.
+  obs::Counter* dropped = nullptr;     // Readings lost to dropout windows.
+  obs::Counter* duplicated = nullptr;  // Extra copies delivered.
+  obs::Counter* delayed = nullptr;     // Deliveries held (reorder + batch).
+  obs::Counter* ghosts = nullptr;      // Spurious noise-burst readings.
+  obs::Counter* skewed = nullptr;      // Timestamps shifted by clock skew.
+};
+
+// Applies a FaultPlan to the per-second batches of the clean reading
+// stream. Stateless with respect to the world: the only state is the
+// delivery queue of held readings and the set of tag ids ever seen (ghost
+// reads must name real tags). Given the same plan and the same sequence of
+// clean batches, the delivered sequence is byte-identical — all draws come
+// from counter-based streams keyed on (plan.seed, channel, reader/second),
+// never from shared mutable generators.
+class FaultInjector {
+ public:
+  struct Stats {
+    int64_t injected = 0;
+    int64_t dropped = 0;
+    int64_t duplicated = 0;
+    int64_t delayed = 0;
+    int64_t ghosts = 0;
+    int64_t skewed = 0;
+  };
+
+  FaultInjector(const FaultPlan& plan, int num_readers);
+
+  // Installs observability hooks; call before the ingest loop starts.
+  void SetMetrics(const FaultMetrics& metrics) { metrics_ = metrics; }
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // Transforms the clean batch of simulation second `time` into the batch
+  // the ingestion path receives at that second: the clean readings minus
+  // dropout losses and held deliveries, plus everything previously held
+  // that comes due now, duplicates, and ghost reads — timestamps already
+  // skewed. Output is sorted by (time, reader, object) so downstream
+  // consumption order is canonical.
+  std::vector<RawReading> Deliver(std::vector<RawReading> batch,
+                                  int64_t time);
+
+  // Everything still in flight (delivery due after the last Deliver call),
+  // in delivery order. Draining does not clear the queue.
+  std::vector<RawReading> Pending() const;
+  size_t pending_size() const;
+
+  const Stats& stats() const { return stats_; }
+
+  // Exposed for tests: channel decisions as pure functions of the plan.
+  bool ReaderDown(ReaderId reader, int64_t time) const;
+  int64_t SkewFor(ReaderId reader) const;
+
+ private:
+  void Count(obs::Counter* hook, int64_t* stat, int64_t delta = 1);
+
+  FaultPlan plan_;
+  int num_readers_ = 0;
+  std::vector<int64_t> skew_;  // Per-reader constant clock offset.
+
+  // Held deliveries keyed by due second (ordered so release order is
+  // deterministic), and the tags ever seen (insertion-ordered for
+  // deterministic ghost draws).
+  std::map<int64_t, std::vector<RawReading>> held_;
+  std::vector<ObjectId> seen_objects_;
+  std::unordered_set<ObjectId> seen_set_;
+
+  Stats stats_;
+  FaultMetrics metrics_;
+};
+
+}  // namespace ipqs
+
+#endif  // IPQS_FAULTS_FAULT_INJECTOR_H_

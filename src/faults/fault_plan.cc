@@ -1,0 +1,27 @@
+#include "faults/fault_plan.h"
+
+#include <cstdio>
+
+namespace ipqs {
+
+bool FaultPlan::Enabled() const {
+  return dropout_rate > 0.0 || duplicate_rate > 0.0 || reorder_rate > 0.0 ||
+         batch_delay_rate > 0.0 || noise_burst_rate > 0.0 ||
+         max_clock_skew_seconds > 0;
+}
+
+std::string FaultPlan::ToString() const {
+  if (!Enabled()) {
+    return "faults{off}";
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "faults{seed=%llu drop=%.2f dup=%.2f reorder=%.2f "
+                "batch=%.2f noise=%.2f skew=%d}",
+                static_cast<unsigned long long>(seed), dropout_rate,
+                duplicate_rate, reorder_rate, batch_delay_rate,
+                noise_burst_rate, max_clock_skew_seconds);
+  return buf;
+}
+
+}  // namespace ipqs

@@ -1,0 +1,83 @@
+#ifndef IPQS_FAULTS_FAULT_PLAN_H_
+#define IPQS_FAULTS_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ipqs {
+
+// Declarative description of the failure modes injected into the raw RFID
+// stream, applied as a pure transform between ReadingGenerator and
+// DataCollector. Real deployments see all of these: readers power-cycle
+// (dropout), middleware retries deliver the same tag read twice
+// (duplicates), network queues re-order and batch deliveries (out-of-order
+// and delayed batches), RF multipath produces ghost reads (noise bursts),
+// and reader clocks drift (skew).
+//
+// Every channel is off by default; any combination composes. Every random
+// draw the injector makes comes from a counter-based stream keyed on
+// (seed, channel, reader/second), so the same (seed, FaultPlan) over the
+// same clean stream always produces the same faulted stream — fault runs
+// are exactly as reproducible as clean ones, at any thread count.
+struct FaultPlan {
+  // Stream seed for every channel. Independent of the simulation seed so
+  // the same world can be replayed under different fault realizations.
+  uint64_t seed = 0;
+
+  // --- Reader dropout windows -------------------------------------------
+  // Time is divided into epochs of `dropout_epoch_seconds`; each (reader,
+  // epoch) is down with probability `dropout_rate` and drops every reading
+  // it would have produced for the whole epoch. The expected fraction of
+  // lost readings equals dropout_rate, but losses arrive in contiguous
+  // windows — the hard case for a filter that must coast across the gap.
+  double dropout_rate = 0.0;
+  int dropout_epoch_seconds = 10;
+
+  // --- Duplicated readings ----------------------------------------------
+  // Each surviving reading is re-delivered once with probability
+  // `duplicate_rate`. The copy keeps its original timestamp and arrives
+  // 0..`duplicate_max_delay_seconds` seconds later — a delay of 0 is an
+  // adjacent duplicate, anything later exercises idempotent suppression in
+  // the ingestion path.
+  double duplicate_rate = 0.0;
+  int duplicate_max_delay_seconds = 2;
+
+  // --- Bounded out-of-order delivery ------------------------------------
+  // Each reading's *delivery* (not its timestamp) is delayed by
+  // 1..`reorder_max_delay_seconds` seconds with probability
+  // `reorder_rate`, so readings cross each other in flight but never by
+  // more than the bound — the contract a reorder buffer can be sized to.
+  double reorder_rate = 0.0;
+  int reorder_max_delay_seconds = 2;
+
+  // --- Delayed batches ---------------------------------------------------
+  // A whole (reader, second) batch is held and delivered
+  // `batch_delay_seconds` later with probability `batch_delay_rate`
+  // (middleware flushing its queue after a stall).
+  double batch_delay_rate = 0.0;
+  int batch_delay_seconds = 2;
+
+  // --- Tag-detection noise bursts ----------------------------------------
+  // Each (reader, epoch) — same epoch grid as dropout — is "bursty" with
+  // probability `noise_burst_rate`; during a bursty epoch the reader emits
+  // one ghost read per second of a previously-seen tag it cannot actually
+  // see (RF multipath, tag cross-talk).
+  double noise_burst_rate = 0.0;
+
+  // --- Per-reader clock skew ---------------------------------------------
+  // Each reader timestamps with a constant offset drawn uniformly from
+  // [-max_clock_skew_seconds, +max_clock_skew_seconds], fixed for the run.
+  // Skew shifts timestamps (not deliveries), so readings from differently
+  // skewed readers arrive mutually out of order forever.
+  int max_clock_skew_seconds = 0;
+
+  // True when any channel can alter the stream.
+  bool Enabled() const;
+
+  // One-line summary of the enabled channels (for logs and bench tables).
+  std::string ToString() const;
+};
+
+}  // namespace ipqs
+
+#endif  // IPQS_FAULTS_FAULT_PLAN_H_

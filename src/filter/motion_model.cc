@@ -37,6 +37,16 @@ void MotionModel::Roughen(const WalkingGraph& graph, Particle* p,
   }
 }
 
+void MotionModel::WidenPosition(const WalkingGraph& graph, Particle* p,
+                                double sigma, Rng& rng) const {
+  if (sigma <= 0.0 || p->in_room) {
+    return;
+  }
+  const Edge& e = graph.edge(p->loc.edge);
+  p->loc.offset =
+      std::clamp(p->loc.offset + rng.Gaussian(0.0, sigma), 0.0, e.length);
+}
+
 EdgeId MotionModel::ChooseNextEdge(const WalkingGraph& graph, NodeId node,
                                    EdgeId incoming, Rng& rng) const {
   std::vector<EdgeId> stubs;

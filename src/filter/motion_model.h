@@ -55,6 +55,15 @@ class MotionModel {
   // particles explore slightly different futures.
   void Roughen(const WalkingGraph& graph, Particle* p, Rng& rng) const;
 
+  // Gap widening (fault tolerance): extra Gaussian positional diffusion of
+  // `sigma` meters along the particle's current edge, applied while the
+  // filter coasts across a reading gap so the cloud's spread reflects the
+  // growing uncertainty instead of staying overconfident. Parked (in-room)
+  // particles are left alone — dwelling is already the likeliest
+  // explanation for silence.
+  void WidenPosition(const WalkingGraph& graph, Particle* p, double sigma,
+                     Rng& rng) const;
+
   // Picks the edge a particle leaves `node` on, having arrived via
   // `incoming` (kInvalidId when the particle has no history, e.g. right
   // after initialization at a node). U-turns happen only at dead ends.

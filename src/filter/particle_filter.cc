@@ -1,6 +1,7 @@
 #include "filter/particle_filter.h"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_map>
 
 #include "common/check.h"
@@ -72,8 +73,18 @@ void ParticleFilter::Advance(std::vector<Particle>* particles,
                              Rng& rng) const {
   std::unordered_map<int64_t, ReaderId> reading_at;
   reading_at.reserve(history.entries.size());
+  // The newest observation at or before from_time anchors the gap clock;
+  // computed from the history (not from from_time) so a cache Resume sees
+  // the same gap a full Run would.
+  int64_t last_obs = std::numeric_limits<int64_t>::min();
   for (const AggregatedEntry& e : history.entries) {
     reading_at[e.time] = e.reader;
+    if (e.time <= from_time) {
+      last_obs = std::max(last_obs, e.time);
+    }
+  }
+  if (last_obs == std::numeric_limits<int64_t>::min()) {
+    last_obs = from_time;
   }
 
   for (int64_t tj = from_time + 1; tj <= to_time; ++tj) {
@@ -94,10 +105,21 @@ void ParticleFilter::Advance(std::vector<Particle>* particles,
       stage_start = now_ns;
     }
 
+    // Gap widening (see FilterConfig): while coasting across a reading
+    // gap, diffuse positions a little extra so the cloud honestly reports
+    // the accumulated uncertainty. Off by default (jitter 0.0).
+    if (config_.gap_position_jitter > 0.0 &&
+        tj - last_obs > config_.gap_widen_after_seconds) {
+      for (Particle& p : *particles) {
+        motion_.WidenPosition(*graph_, &p, config_.gap_position_jitter, rng);
+      }
+    }
+
     // Update: reweight against the observation of second tj, if any.
     const auto it = reading_at.find(tj);
     bool reweighted = false;
     if (it != reading_at.end()) {
+      last_obs = tj;
       const Reader& detector = deployment_->reader(it->second);
       bool any_consistent = false;
       for (const Particle& p : *particles) {

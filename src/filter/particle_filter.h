@@ -48,6 +48,15 @@ struct FilterConfig {
   // effective sample size drops below ess_fraction * Ns.
   ResamplingScheme resampling = ResamplingScheme::kSystematic;
   double resample_ess_fraction = 1.0;
+  // Reading-gap degradation (fault tolerance): once the filter has coasted
+  // more than `gap_widen_after_seconds` past the last observation — a
+  // dropout window, not the sub-second cadence of a healthy stream — every
+  // further predict step adds `gap_position_jitter` meters of positional
+  // diffusion, so the cloud widens to match the real uncertainty instead
+  // of staying confidently wrong. 0.0 disables (the default: clean-stream
+  // results stay byte-identical to the pre-fault-framework filter).
+  int gap_widen_after_seconds = 10;
+  double gap_position_jitter = 0.0;
 };
 
 // The state a filter run ends in; cacheable and resumable.

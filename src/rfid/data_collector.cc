@@ -12,15 +12,110 @@ void DataCollector::Observe(const RawReading& reading) {
   if (metrics_.readings != nullptr) {
     metrics_.readings->Increment();
   }
-  const bool new_object = histories_.count(reading.object) == 0;
+
+  if (config_.reorder_window_seconds <= 0) {
+    Ingest(reading);
+    return;
+  }
+
+  // Reorder buffer: stage until the watermark passes the reading. Anything
+  // at or behind the watermark missed its window — dropping it (counted)
+  // is the only way to keep already-released history monotone.
+  if (reading.time <= watermark_) {
+    ++ingest_stats_.late_dropped;
+    if (metrics_.late_dropped != nullptr) {
+      metrics_.late_dropped->Increment();
+    }
+    return;
+  }
+  if (max_seen_time_ != std::numeric_limits<int64_t>::min() &&
+      reading.time < max_seen_time_) {
+    // Arrived behind a newer reading: the buffer will repair the order.
+    ++ingest_stats_.reordered;
+    if (metrics_.reordered != nullptr) {
+      metrics_.reordered->Increment();
+    }
+  }
+  max_seen_time_ = std::max(max_seen_time_, reading.time);
+  staged_.push_back(reading);
+}
+
+void DataCollector::Flush(int64_t now) {
+  if (config_.reorder_window_seconds <= 0) {
+    return;
+  }
+  FlushStagedUpTo(now - config_.reorder_window_seconds);
+}
+
+void DataCollector::FlushAll() {
+  FlushStagedUpTo(std::numeric_limits<int64_t>::max());
+}
+
+void DataCollector::FlushStagedUpTo(int64_t up_to) {
+  if (up_to <= watermark_) {
+    return;  // Watermark never regresses.
+  }
+  // Split off everything due, sort it into canonical (time, reader,
+  // object) order, suppress exact duplicates, and apply.
+  auto due_end = std::stable_partition(
+      staged_.begin(), staged_.end(),
+      [up_to](const RawReading& r) { return r.time <= up_to; });
+  std::vector<RawReading> due(staged_.begin(), due_end);
+  staged_.erase(staged_.begin(), due_end);
+  std::sort(due.begin(), due.end(),
+            [](const RawReading& a, const RawReading& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.reader != b.reader) return a.reader < b.reader;
+              return a.object < b.object;
+            });
+  for (size_t i = 0; i < due.size(); ++i) {
+    if (i > 0 && due[i].time == due[i - 1].time &&
+        due[i].reader == due[i - 1].reader &&
+        due[i].object == due[i - 1].object) {
+      // Idempotent duplicate suppression: a re-delivered reading is
+      // byte-identical to one already applied this flush.
+      ++ingest_stats_.duplicates_dropped;
+      if (metrics_.duplicates_dropped != nullptr) {
+        metrics_.duplicates_dropped->Increment();
+      }
+      continue;
+    }
+    Ingest(due[i]);
+  }
+  watermark_ = up_to;
+}
+
+void DataCollector::Ingest(const RawReading& reading) {
+  // Monotonicity guard: a reading that would rewind this object's
+  // aggregated history (late delivery beyond the reorder window, or a
+  // skewed clock) is dropped and counted — applying it would corrupt the
+  // time-ordered entry list every downstream consumer relies on.
+  const auto existing = histories_.find(reading.object);
+  if (existing != histories_.end() && !existing->second.entries.empty() &&
+      reading.time < existing->second.entries.back().time) {
+    ++ingest_stats_.late_dropped;
+    if (metrics_.late_dropped != nullptr) {
+      metrics_.late_dropped->Increment();
+    }
+    return;
+  }
+
+  const bool new_object = existing == histories_.end();
   ObjectHistory& h = histories_[reading.object];
   if (new_object && metrics_.objects != nullptr) {
     metrics_.objects->Set(static_cast<int64_t>(histories_.size()));
   }
 
-  if (!h.entries.empty()) {
-    IPQS_CHECK_GE(reading.time, h.entries.back().time)
-        << "raw readings must arrive in time order per object";
+  // Aggregation: at most one entry per (second, reader). Checked before
+  // the hand-off branch so a re-delivered duplicate of the newest entry is
+  // recognized as such instead of toggling devices.
+  if (!h.entries.empty() && h.entries.back().time == reading.time &&
+      h.entries.back().reader == reading.reader) {
+    ++ingest_stats_.duplicates_dropped;
+    if (metrics_.duplicates_dropped != nullptr) {
+      metrics_.duplicates_dropped->Increment();
+    }
+    return;
   }
 
   if (reading.reader != h.current_device) {
@@ -53,11 +148,6 @@ void DataCollector::Observe(const RawReading& reading) {
     h.current_device = reading.reader;
   }
 
-  // Aggregation: at most one entry per (second, reader).
-  if (!h.entries.empty() && h.entries.back().time == reading.time &&
-      h.entries.back().reader == reading.reader) {
-    return;
-  }
   h.entries.push_back({reading.time, reading.reader});
   if (metrics_.entries != nullptr) {
     metrics_.entries->Increment();

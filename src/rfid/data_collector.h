@@ -2,6 +2,7 @@
 #define IPQS_RFID_DATA_COLLECTOR_H_
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -21,6 +22,26 @@ struct CollectorMetrics {
   obs::Counter* handoffs = nullptr;   // Device transitions per object.
   obs::Counter* events = nullptr;     // ENTER/LEAVE events emitted.
   obs::Gauge* objects = nullptr;      // Objects with at least one reading.
+  // Ingestion-hardening counters (fault tolerance).
+  obs::Counter* reordered = nullptr;           // Out-of-order arrivals fixed
+                                               // by the reorder buffer.
+  obs::Counter* duplicates_dropped = nullptr;  // Idempotent suppression.
+  obs::Counter* late_dropped = nullptr;        // Arrived behind the
+                                               // watermark / object clock.
+};
+
+// Ingestion-hardening knobs. The zero-value config reproduces the original
+// trusting collector byte for byte (readings apply immediately, in arrival
+// order).
+struct CollectorConfig {
+  // With a positive window, arriving readings are staged and applied only
+  // once the watermark — the maximum reading timestamp seen so far minus
+  // this window — passes them, in (time, reader, object) order. Any
+  // delivery reordered by at most this many seconds is repaired exactly;
+  // readings arriving behind the watermark are dropped (and counted) so
+  // per-object histories stay monotone. The price is that queries do not
+  // see the last `reorder_window_seconds` of readings until they flush.
+  int reorder_window_seconds = 0;
 };
 
 // One aggregated detection: `reader` saw the object at least once during
@@ -43,6 +64,12 @@ struct ReaderEvent {
 // raw readings to one entry per second and, per object, retains only the
 // readings of the two most recent detecting devices — exactly the window
 // the particle filter consumes (snapshot queries need no longer history).
+//
+// Hardened against a faulty delivery layer (src/faults/): an optional
+// reorder buffer repairs bounded out-of-order delivery, exact duplicates
+// are suppressed idempotently, and a monotonicity guard drops (and counts)
+// any reading that would rewind an object's aggregated history instead of
+// corrupting it or aborting.
 class DataCollector {
  public:
   struct ObjectHistory {
@@ -64,14 +91,43 @@ class DataCollector {
     }
   };
 
+  // Plain tallies of the hardening guards, available without a metrics
+  // registry (mirrored into CollectorMetrics when one is wired).
+  struct IngestStats {
+    int64_t reordered = 0;
+    int64_t duplicates_dropped = 0;
+    int64_t late_dropped = 0;
+  };
+
   DataCollector() = default;
+  explicit DataCollector(const CollectorConfig& config) : config_(config) {}
 
   // Installs observability hooks; call before the ingest loop starts.
   void SetMetrics(const CollectorMetrics& metrics) { metrics_ = metrics; }
 
-  // Ingests one raw reading. Readings must arrive in non-decreasing time
-  // order per object (the stream is naturally ordered).
+  // Reconfigures the hardening knobs; call before the ingest loop starts.
+  void SetConfig(const CollectorConfig& config) { config_ = config; }
+  const CollectorConfig& config() const { return config_; }
+
+  // Ingests one raw reading. With no reorder buffer configured it applies
+  // immediately; otherwise it is staged until the watermark passes it (see
+  // CollectorConfig). Readings that would rewind an object's history are
+  // dropped and counted, never applied.
   void Observe(const RawReading& reading);
+
+  // Releases every staged reading with time <= now - reorder_window (in
+  // canonical order) into the aggregated histories. Call once per
+  // simulation second, after the second's arrivals. No-op without a
+  // reorder buffer.
+  void Flush(int64_t now);
+
+  // Drains the reorder buffer completely (end of stream / shutdown).
+  void FlushAll();
+
+  // Readings currently staged in the reorder buffer.
+  size_t staged_size() const { return staged_.size(); }
+
+  const IngestStats& ingest_stats() const { return ingest_stats_; }
 
   // History for `object`; nullptr when the object has never been detected.
   const ObjectHistory* History(ObjectId object) const;
@@ -91,10 +147,26 @@ class DataCollector {
   size_t TotalEntriesRetained() const;
 
  private:
+  // Applies one reading to the aggregated histories (the original
+  // event-driven path, plus the monotonicity and duplicate guards).
+  void Ingest(const RawReading& reading);
+
+  // Releases staged readings with time <= `up_to` in canonical order.
+  void FlushStagedUpTo(int64_t up_to);
+
+  CollectorConfig config_;
   std::unordered_map<ObjectId, ObjectHistory> histories_;
   std::vector<ReaderEvent> events_;
   bool record_events_ = false;
   CollectorMetrics metrics_;
+  IngestStats ingest_stats_;
+
+  // Reorder buffer state: staged readings, the newest timestamp seen, and
+  // the watermark every released reading has passed (arrivals at or behind
+  // it are late and dropped).
+  std::vector<RawReading> staged_;
+  int64_t max_seen_time_ = std::numeric_limits<int64_t>::min();
+  int64_t watermark_ = std::numeric_limits<int64_t>::min();
 };
 
 }  // namespace ipqs

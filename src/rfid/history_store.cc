@@ -11,8 +11,12 @@ void HistoryStore::Observe(const RawReading& reading) {
   IPQS_CHECK_NE(reading.reader, kInvalidId);
   std::vector<AggregatedEntry>& log = entries_[reading.object];
   if (!log.empty()) {
-    IPQS_CHECK_GE(reading.time, log.back().time)
-        << "raw readings must arrive in time order per object";
+    if (reading.time < log.back().time) {
+      // Late delivery (fault-injected reorder beyond any buffering, or a
+      // skewed reader clock): dropping keeps the per-object log monotone,
+      // which SnapshotAt's binary search depends on.
+      return;
+    }
     if (log.back().time == reading.time &&
         log.back().reader == reading.reader) {
       return;  // Aggregated duplicate within the same second.

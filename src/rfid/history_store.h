@@ -22,8 +22,9 @@ class HistoryStore {
   HistoryStore() = default;
 
   // Ingests one raw reading (same aggregation semantics as DataCollector:
-  // at most one entry per (object, second, reader); time-ordered per
-  // object).
+  // at most one entry per (object, second, reader)). Readings older than
+  // the object's newest entry are dropped silently, keeping each log
+  // time-ordered even when the delivery layer reorders (src/faults/).
   void Observe(const RawReading& reading);
 
   // The collector-equivalent history as of `time` (inclusive): entries of

@@ -53,6 +53,10 @@ struct ExperimentResult {
   EngineStats pf_stats;
   EngineStats sm_stats;
   ParticleCache::Stats cache_stats;
+
+  // Fault-injection tallies (all zero when the FaultPlan is off).
+  FaultInjector::Stats fault_stats;
+  DataCollector::IngestStats ingest_stats;
 };
 
 class Experiment {

@@ -43,6 +43,12 @@ Status Simulation::Init() {
   deployment_graph_ = std::make_unique<DeploymentGraph>(
       DeploymentGraph::Build(*anchors_, *anchor_graph_, deployment_));
 
+  collector_.SetConfig(config_.collector);
+  if (config_.faults.Enabled()) {
+    injector_ = std::make_unique<FaultInjector>(config_.faults,
+                                                deployment_.num_readers());
+  }
+
   if (config_.metrics != nullptr) {
     obs::MetricsRegistry& reg = *config_.metrics;
     CollectorMetrics cm;
@@ -51,7 +57,20 @@ Status Simulation::Init() {
     cm.handoffs = reg.GetCounter("collector.handoffs");
     cm.events = reg.GetCounter("collector.events");
     cm.objects = reg.GetGauge("collector.objects");
+    cm.reordered = reg.GetCounter("collector.reordered");
+    cm.duplicates_dropped = reg.GetCounter("collector.duplicates_dropped");
+    cm.late_dropped = reg.GetCounter("collector.late_dropped");
     collector_.SetMetrics(cm);
+    if (injector_ != nullptr) {
+      FaultMetrics fm;
+      fm.injected = reg.GetCounter("faults.injected");
+      fm.dropped = reg.GetCounter("faults.dropped");
+      fm.duplicated = reg.GetCounter("faults.duplicated");
+      fm.delayed = reg.GetCounter("faults.delayed");
+      fm.ghosts = reg.GetCounter("faults.ghosts");
+      fm.skewed = reg.GetCounter("faults.skewed");
+      injector_->SetMetrics(fm);
+    }
   }
 
   trace_ = std::make_unique<TraceGenerator>(&graph_, &plan_, config_.trace,
@@ -90,10 +109,15 @@ Status Simulation::Init() {
 void Simulation::Step() {
   ++now_;
   trace_->Tick();
-  for (const RawReading& r : readings_->Generate(trace_->states(), now_)) {
+  std::vector<RawReading> batch = readings_->Generate(trace_->states(), now_);
+  if (injector_ != nullptr) {
+    batch = injector_->Deliver(std::move(batch), now_);
+  }
+  for (const RawReading& r : batch) {
     collector_.Observe(r);
     history_.Observe(r);
   }
+  collector_.Flush(now_);
 }
 
 void Simulation::Run(int seconds) {

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/statusor.h"
+#include "faults/fault_injector.h"
 #include "floorplan/io.h"
 #include "floorplan/office_generator.h"
 #include "graph/anchor_graph.h"
@@ -47,6 +48,13 @@ struct SimulationConfig {
   // against kSymbolicModel, kLastReading is the naive sanity floor.
   InferenceMethod baseline_method = InferenceMethod::kSymbolicModel;
   uint64_t seed = 42;
+  // Fault injection (src/faults/): when any channel is enabled the raw
+  // reading stream is degraded between ReadingGenerator and the ingestion
+  // path. The default plan is a no-op and costs nothing.
+  FaultPlan faults;
+  // Ingestion hardening (reorder buffer window etc.); the default is the
+  // original trusting pass-through collector.
+  CollectorConfig collector;
   // Observability (both optional; see EngineConfig). With `metrics` set,
   // the PF engine registers under "pf", the baseline under "sm", and the
   // data collector under "collector". Neither perturbs simulation state or
@@ -90,6 +98,11 @@ class Simulation {
   const ReadingGenerator::Stats& reading_stats() const {
     return readings_->stats();
   }
+  // Nullptr when the configured FaultPlan has every channel off.
+  const FaultInjector* fault_injector() const { return injector_.get(); }
+  FaultInjector::Stats fault_stats() const {
+    return injector_ == nullptr ? FaultInjector::Stats{} : injector_->stats();
+  }
 
   QueryEngine& pf_engine() { return *pf_engine_; }
   QueryEngine& sm_engine() { return *sm_engine_; }
@@ -116,6 +129,7 @@ class Simulation {
   Rng query_rng_;
   std::unique_ptr<TraceGenerator> trace_;
   std::unique_ptr<ReadingGenerator> readings_;
+  std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<GroundTruth> ground_truth_;
   std::unique_ptr<QueryEngine> pf_engine_;
   std::unique_ptr<QueryEngine> sm_engine_;

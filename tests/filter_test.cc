@@ -267,6 +267,104 @@ TEST_F(FilterFixture, RoomExitIsGeometric) {
   EXPECT_NEAR(exits / static_cast<double>(trials), 0.25, 0.03);
 }
 
+// Pearson chi-square statistic for observed counts against expected
+// probabilities (any bin with tiny expectation would destabilize the
+// statistic; callers keep expected mass per bin comfortably large).
+double ChiSquare(const std::vector<int>& observed,
+                 const std::vector<double>& expected_probability, int n) {
+  double stat = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    const double expected = n * expected_probability[i];
+    const double d = observed[i] - expected;
+    stat += d * d / expected;
+  }
+  return stat;
+}
+
+// P(Z <= z) for standard normal.
+double NormalCdf(double z) { return 0.5 * (1.0 + std::erf(z / std::sqrt(2.0))); }
+
+TEST_F(FilterFixture, SampleSpeedMatchesConfiguredGaussian) {
+  // The paper's objects walk at speeds drawn from N(1.0, 0.1) m/s. A
+  // chi-square goodness-of-fit test at a fixed seed pins SampleSpeed to
+  // that distribution (the min_speed truncation at 0.3 is 7 sigma out and
+  // contributes nothing measurable).
+  const MotionModel model{MotionConfig{}};
+  Rng rng(42);
+  const int n = 10000;
+  // Bins bounded by mu + k*sigma for k = -1.5, -1, -0.5, 0, 0.5, 1, 1.5.
+  const std::vector<double> ks = {-1.5, -1.0, -0.5, 0.0, 0.5, 1.0, 1.5};
+  std::vector<double> expected;
+  expected.push_back(NormalCdf(ks.front()));
+  for (size_t i = 1; i < ks.size(); ++i) {
+    expected.push_back(NormalCdf(ks[i]) - NormalCdf(ks[i - 1]));
+  }
+  expected.push_back(1.0 - NormalCdf(ks.back()));
+
+  std::vector<int> observed(expected.size(), 0);
+  for (int i = 0; i < n; ++i) {
+    const double z = (model.SampleSpeed(rng) - 1.0) / 0.1;
+    size_t bin = 0;
+    while (bin < ks.size() && z > ks[bin]) {
+      ++bin;
+    }
+    ++observed[bin];
+  }
+  // df = 7; the 99.9th percentile of chi-square(7) is 24.32. A fixed seed
+  // makes this exact, the generous threshold makes it robust to stdlib
+  // changes in std::normal_distribution's draw order.
+  EXPECT_LT(ChiSquare(observed, expected, n), 24.32);
+}
+
+TEST_F(FilterFixture, RoomDwellTimesAreGeometric) {
+  // Room dwell: each second a parked particle leaves with probability 0.1
+  // (the paper's default), so complete dwell durations must follow
+  // Geometric(0.1) — not just match the one-step exit rate.
+  const MotionConfig config;  // room_exit_probability = 0.1.
+  ASSERT_DOUBLE_EQ(config.room_exit_probability, 0.1);
+  const MotionModel model(config);
+  Rng rng(43);
+  const Edge* stub = nullptr;
+  for (const Edge& e : graph_.edges()) {
+    if (e.kind == EdgeKind::kRoomStub) {
+      stub = &e;
+      break;
+    }
+  }
+  ASSERT_NE(stub, nullptr);
+  const NodeId room_node = graph_.node(stub->a).kind == NodeKind::kRoomCenter
+                               ? stub->a
+                               : stub->b;
+
+  // Dwell durations binned at 1..12 seconds plus a tail bin.
+  const double p = 0.1;
+  const int tail_after = 12;
+  std::vector<double> expected;
+  for (int t = 1; t <= tail_after; ++t) {
+    expected.push_back(p * std::pow(1.0 - p, t - 1));
+  }
+  expected.push_back(std::pow(1.0 - p, tail_after));
+
+  const int trials = 5000;
+  std::vector<int> observed(expected.size(), 0);
+  for (int trial = 0; trial < trials; ++trial) {
+    Particle particle;
+    particle.loc =
+        GraphLocation{stub->id, graph_.OffsetOfNode(stub->id, room_node)};
+    particle.in_room = true;
+    particle.speed = 1.0;
+    particle.heading = room_node;
+    int dwell = 0;
+    while (particle.in_room && dwell < 10000) {
+      model.Step(graph_, &particle, 1.0, rng);
+      ++dwell;
+    }
+    observed[std::min(dwell, tail_after + 1) - 1] += 1;
+  }
+  // df = 12; the 99.9th percentile of chi-square(12) is 32.91.
+  EXPECT_LT(ChiSquare(observed, expected, trials), 32.91);
+}
+
 TEST_F(FilterFixture, ChooseNextEdgeNeverUturnsMidGraph) {
   const MotionModel model;
   Rng rng(9);

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "filter/resampler.h"
 #include "query/uncertain_region.h"
 #include "sim/experiment.h"
 #include "sim/simulation.h"
@@ -167,6 +168,124 @@ TEST_P(PropertyFixture, EngineAnswersAreReproducibleAcrossRuns) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PropertyFixture,
                          ::testing::Values(101, 202, 303, 404));
+
+// ---------------------------------------------------------------------------
+// Systematic resampling (Algorithm 1) as a mathematical object: the
+// low-variance guarantees that make it the paper's default scheme.
+
+// Particles tagged by edge id so survivors are traceable to their source.
+std::vector<Particle> TaggedParticles(const std::vector<double>& weights) {
+  std::vector<Particle> particles(weights.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    particles[i].loc = GraphLocation{static_cast<EdgeId>(i), 0.0};
+    particles[i].weight = weights[i];
+  }
+  return particles;
+}
+
+std::vector<int> SurvivorCounts(const std::vector<Particle>& resampled,
+                                size_t n) {
+  std::vector<int> counts(n, 0);
+  for (const Particle& p : resampled) {
+    ++counts[static_cast<size_t>(p.loc.edge)];
+  }
+  return counts;
+}
+
+TEST(SystematicResamplingProperty, CountsWithinOneOfProportional) {
+  // The defining guarantee of systematic resampling: particle i with
+  // normalized weight w_i receives either floor(N*w_i) or ceil(N*w_i)
+  // copies — never further from proportional than one particle. Checked
+  // across seeds and weight shapes.
+  const std::vector<std::vector<double>> shapes = {
+      {0.5, 0.3, 0.15, 0.05},
+      {0.01, 0.01, 0.01, 0.97},
+      {0.125, 0.125, 0.125, 0.125, 0.125, 0.125, 0.125, 0.125},
+      {0.4, 0.0, 0.6},
+  };
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    for (const std::vector<double>& weights : shapes) {
+      const int n = 64;
+      std::vector<Particle> particles;
+      for (int i = 0; i < n; ++i) {
+        // n particles cycling through the weight shape (renormalized by
+        // SystematicResample's CDF construction).
+        Particle p;
+        p.loc = GraphLocation{static_cast<EdgeId>(i), 0.0};
+        p.weight = weights[i % weights.size()];
+        particles.push_back(p);
+      }
+      double total = 0.0;
+      for (const Particle& p : particles) {
+        total += p.weight;
+      }
+      const std::vector<Particle> before = particles;
+      Rng rng(seed);
+      SystematicResample(&particles, rng);
+      const std::vector<int> counts = SurvivorCounts(particles, before.size());
+      for (size_t i = 0; i < before.size(); ++i) {
+        const double expected = n * before[i].weight / total;
+        EXPECT_GE(counts[i], static_cast<int>(std::floor(expected)))
+            << "seed " << seed << " particle " << i;
+        EXPECT_LE(counts[i], static_cast<int>(std::ceil(expected)))
+            << "seed " << seed << " particle " << i;
+      }
+    }
+  }
+}
+
+TEST(SystematicResamplingProperty, PermutedWeightsKeepCountsWithinOne) {
+  // Reordering the particle set must not change any particle's survival
+  // count by more than one: the count depends on where the weight lands in
+  // the CDF, and systematic selection pins it to floor/ceil of N*w either
+  // way. (Exact invariance is impossible — the single uniform draw lands
+  // differently in the shifted CDF.)
+  std::vector<double> weights;
+  Rng weight_rng(7);
+  for (int i = 0; i < 50; ++i) {
+    weights.push_back(weight_rng.Uniform(0.001, 1.0));
+  }
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    std::vector<Particle> forward = TaggedParticles(weights);
+    std::vector<Particle> reversed = TaggedParticles(weights);
+    std::reverse(reversed.begin(), reversed.end());
+
+    Rng rng_a(seed);
+    Rng rng_b(seed);
+    SystematicResample(&forward, rng_a);
+    SystematicResample(&reversed, rng_b);
+    const std::vector<int> ca = SurvivorCounts(forward, weights.size());
+    const std::vector<int> cb = SurvivorCounts(reversed, weights.size());
+    for (size_t i = 0; i < weights.size(); ++i) {
+      EXPECT_LE(std::abs(ca[i] - cb[i]), 1)
+          << "seed " << seed << " particle " << i;
+    }
+  }
+}
+
+TEST(SystematicResamplingProperty, ZeroWeightNeverSelectedAnyScheme) {
+  // A dead particle (weight zero) must never survive resampling, under any
+  // scheme and any seed.
+  for (const ResamplingScheme scheme :
+       {ResamplingScheme::kSystematic, ResamplingScheme::kStratified,
+        ResamplingScheme::kMultinomial, ResamplingScheme::kResidual}) {
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+      std::vector<double> weights(32, 0.0);
+      Rng weight_rng(seed);
+      for (size_t i = 0; i < weights.size(); i += 2) {
+        weights[i] = weight_rng.Uniform(0.01, 1.0);  // Odd indices stay 0.
+      }
+      std::vector<Particle> particles = TaggedParticles(weights);
+      Rng rng(seed * 31);
+      Resample(scheme, &particles, rng);
+      ASSERT_EQ(particles.size(), weights.size()) << ToString(scheme);
+      for (const Particle& p : particles) {
+        EXPECT_NE(static_cast<size_t>(p.loc.edge) % 2, 1u)
+            << ToString(scheme) << " resurrected a zero-weight particle";
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace ipqs

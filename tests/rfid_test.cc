@@ -8,6 +8,7 @@
 #include "graph/graph_builder.h"
 #include "rfid/data_collector.h"
 #include "rfid/deployment.h"
+#include "rfid/history_store.h"
 #include "rfid/sensing_model.h"
 
 namespace ipqs {
@@ -231,6 +232,143 @@ TEST(DataCollectorTest, EnterLeaveEvents) {
   EXPECT_TRUE(events[2].enter);
   EXPECT_EQ(events[2].reader, 1);
   EXPECT_EQ(events[2].time, 112);
+}
+
+// ---------------------------------------------------------------------------
+// Ingestion hardening: the guards that keep a faulty delivery layer
+// (src/faults/) from corrupting aggregated histories.
+
+TEST(DataCollectorHardening, LateReadingDroppedInsteadOfFatal) {
+  // Regression: a reading with a timestamp earlier than the object's last
+  // aggregated entry used to abort the process (IPQS_CHECK). It must be
+  // dropped and counted, leaving the history untouched.
+  DataCollector collector;
+  collector.Observe({1, 0, 100});
+  collector.Observe({1, 0, 90});  // Behind the object's clock.
+  const auto* h = collector.History(1);
+  ASSERT_NE(h, nullptr);
+  ASSERT_EQ(h->entries.size(), 1u);
+  EXPECT_EQ(h->entries[0].time, 100);
+  EXPECT_EQ(collector.ingest_stats().late_dropped, 1);
+}
+
+TEST(DataCollectorHardening, ExactDuplicateSecondSuppressedAndCounted) {
+  DataCollector collector;
+  collector.Observe({1, 0, 100});
+  collector.Observe({1, 0, 100});  // A faulted re-delivery.
+  const auto* h = collector.History(1);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->entries.size(), 1u);
+  EXPECT_EQ(collector.ingest_stats().duplicates_dropped, 1);
+}
+
+TEST(DataCollectorHardening, ReorderBufferRepairsWithinWindow) {
+  CollectorConfig config;
+  config.reorder_window_seconds = 2;
+  DataCollector collector(config);
+  collector.Observe({1, 0, 100});
+  collector.Observe({1, 0, 102});
+  collector.Observe({1, 0, 101});  // Late by one second: repairable.
+  EXPECT_EQ(collector.staged_size(), 3u);
+  EXPECT_EQ(collector.History(1), nullptr);  // Nothing applied yet.
+
+  collector.Flush(102);  // Watermark 100: only t=100 is safely old.
+  const auto* h = collector.History(1);
+  ASSERT_NE(h, nullptr);
+  ASSERT_EQ(h->entries.size(), 1u);
+  EXPECT_EQ(h->entries[0].time, 100);
+
+  collector.Flush(104);  // Watermark 102: releases 101 and 102, in order.
+  ASSERT_EQ(h->entries.size(), 3u);
+  EXPECT_EQ(h->entries[0].time, 100);
+  EXPECT_EQ(h->entries[1].time, 101);
+  EXPECT_EQ(h->entries[2].time, 102);
+  EXPECT_EQ(collector.ingest_stats().reordered, 1);
+  EXPECT_EQ(collector.ingest_stats().late_dropped, 0);
+  EXPECT_EQ(collector.staged_size(), 0u);
+}
+
+TEST(DataCollectorHardening, ArrivalBehindWatermarkDropped) {
+  CollectorConfig config;
+  config.reorder_window_seconds = 2;
+  DataCollector collector(config);
+  collector.Observe({1, 0, 100});
+  collector.Flush(105);  // Watermark 103.
+  collector.Observe({1, 0, 101});  // Beyond repair: behind the watermark.
+  EXPECT_EQ(collector.staged_size(), 0u);
+  EXPECT_EQ(collector.ingest_stats().late_dropped, 1);
+  const auto* h = collector.History(1);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->entries.size(), 1u);
+}
+
+TEST(DataCollectorHardening, StagedDuplicatesCollapseOnFlush) {
+  CollectorConfig config;
+  config.reorder_window_seconds = 1;
+  DataCollector collector(config);
+  collector.Observe({1, 0, 100});
+  collector.Observe({1, 0, 100});
+  collector.Observe({1, 0, 100});
+  collector.FlushAll();
+  const auto* h = collector.History(1);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->entries.size(), 1u);
+  EXPECT_EQ(collector.ingest_stats().duplicates_dropped, 2);
+}
+
+TEST(DataCollectorHardening, FlushAllDrainsTheBuffer) {
+  CollectorConfig config;
+  config.reorder_window_seconds = 10;
+  DataCollector collector(config);
+  collector.Observe({1, 0, 100});
+  collector.Observe({2, 1, 101});
+  collector.Observe({1, 0, 103});
+  EXPECT_EQ(collector.staged_size(), 3u);
+  collector.FlushAll();
+  EXPECT_EQ(collector.staged_size(), 0u);
+  ASSERT_NE(collector.History(1), nullptr);
+  ASSERT_NE(collector.History(2), nullptr);
+  EXPECT_EQ(collector.History(1)->entries.size(), 2u);
+  EXPECT_EQ(collector.History(2)->entries.size(), 1u);
+}
+
+TEST(DataCollectorHardening, PassthroughConfigMatchesOriginalSemantics) {
+  // The zero-value config must reproduce the trusting collector exactly:
+  // same histories, same devices, no staging.
+  DataCollector original;
+  DataCollector configured{CollectorConfig{}};
+  const RawReading stream[] = {
+      {1, 0, 100}, {1, 0, 101}, {2, 3, 101}, {1, 1, 110}, {2, 3, 112},
+  };
+  for (const RawReading& r : stream) {
+    original.Observe(r);
+    configured.Observe(r);
+    configured.Flush(r.time);
+  }
+  for (ObjectId id : {1, 2}) {
+    const auto* a = original.History(id);
+    const auto* b = configured.History(id);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->current_device, b->current_device);
+    ASSERT_EQ(a->entries.size(), b->entries.size());
+    for (size_t i = 0; i < a->entries.size(); ++i) {
+      EXPECT_EQ(a->entries[i].time, b->entries[i].time);
+      EXPECT_EQ(a->entries[i].reader, b->entries[i].reader);
+    }
+  }
+}
+
+TEST(HistoryStoreHardening, LateReadingDroppedKeepsLogMonotone) {
+  HistoryStore store;
+  store.Observe({1, 0, 100});
+  store.Observe({1, 0, 90});  // Late: dropped, not fatal.
+  store.Observe({1, 0, 101});
+  const auto* log = store.FullHistory(1);
+  ASSERT_NE(log, nullptr);
+  ASSERT_EQ(log->size(), 2u);
+  EXPECT_EQ((*log)[0].time, 100);
+  EXPECT_EQ((*log)[1].time, 101);
 }
 
 }  // namespace

@@ -9,6 +9,10 @@
 //                  [--warmup=240] [--seed=42] [--threads=1]
 //                  [--pruning=true] [--cache=true] [--neg_info=false]
 //                  [--hallway_stops=0.0] [--building=<file>]
+//                  [--fault_seed=0] [--dropout_rate=0.0] [--dup_rate=0.0]
+//                  [--reorder_rate=0.0] [--reorder_window=0]
+//                  [--batch_delay_rate=0.0] [--noise_rate=0.0]
+//                  [--clock_skew=0]
 //                  [--metrics_json=<file>] [--trace_out=<file>]
 //                  [--log_level=info]
 //
@@ -19,6 +23,13 @@
 //
 // With --building, the floor plan (and any `reader` lines) come from a
 // text file in the floorplan/io.h format instead of the generated office.
+//
+// Fault injection (src/faults/): the --dropout_rate / --dup_rate /
+// --reorder_rate / --batch_delay_rate / --noise_rate / --clock_skew knobs
+// degrade the reading stream deterministically under --fault_seed, and
+// --reorder_window=N arms the collector's reorder buffer to repair
+// deliveries late by at most N seconds. See EXPERIMENTS.md, "Fault
+// ablation".
 //
 // Observability: --metrics_json=FILE dumps every counter, gauge, and
 // per-stage latency histogram (p50/p90/p99) as stable JSON after the run;
@@ -63,6 +74,18 @@ int main(int argc, char** argv) {
       flags.GetBool("neg_info", false);
   config.sim.trace.hallway_stop_probability =
       flags.GetDouble("hallway_stops", 0.0);
+
+  config.sim.faults.seed =
+      static_cast<uint64_t>(flags.GetInt("fault_seed", 0));
+  config.sim.faults.dropout_rate = flags.GetDouble("dropout_rate", 0.0);
+  config.sim.faults.duplicate_rate = flags.GetDouble("dup_rate", 0.0);
+  config.sim.faults.reorder_rate = flags.GetDouble("reorder_rate", 0.0);
+  config.sim.faults.batch_delay_rate =
+      flags.GetDouble("batch_delay_rate", 0.0);
+  config.sim.faults.noise_burst_rate = flags.GetDouble("noise_rate", 0.0);
+  config.sim.faults.max_clock_skew_seconds = flags.GetInt("clock_skew", 0);
+  config.sim.collector.reorder_window_seconds =
+      flags.GetInt("reorder_window", 0);
 
   const std::string log_level = flags.GetString("log_level", "");
   if (!log_level.empty()) {
@@ -125,6 +148,25 @@ int main(int argc, char** argv) {
               static_cast<long long>(result->pf_stats.filter_resumes),
               static_cast<long long>(result->pf_stats.filter_seconds));
   std::printf("cache hit rate:       %.3f\n", result->cache_stats.HitRate());
+  if (config.sim.faults.Enabled()) {
+    std::printf("faults:               %s\n",
+                config.sim.faults.ToString().c_str());
+    std::printf(
+        "fault injections:     %lld total (%lld dropped, %lld dup, "
+        "%lld delayed, %lld ghosts, %lld skewed)\n",
+        static_cast<long long>(result->fault_stats.injected),
+        static_cast<long long>(result->fault_stats.dropped),
+        static_cast<long long>(result->fault_stats.duplicated),
+        static_cast<long long>(result->fault_stats.delayed),
+        static_cast<long long>(result->fault_stats.ghosts),
+        static_cast<long long>(result->fault_stats.skewed));
+    std::printf(
+        "collector repairs:    %lld reordered, %lld duplicates dropped, "
+        "%lld late dropped\n",
+        static_cast<long long>(result->ingest_stats.reordered),
+        static_cast<long long>(result->ingest_stats.duplicates_dropped),
+        static_cast<long long>(result->ingest_stats.late_dropped));
+  }
 
   if (!metrics_json.empty()) {
     if (!registry.WriteJsonFile(metrics_json)) {
