@@ -21,6 +21,8 @@ struct Particle {
   bool in_room = false;
 
   std::string ToString() const;
+
+  friend bool operator==(const Particle&, const Particle&) = default;
 };
 
 // Sum of weights; 0 for an empty set.

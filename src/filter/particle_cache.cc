@@ -57,6 +57,53 @@ std::optional<FilterResult> ParticleCache::Lookup(
   return entry.state;
 }
 
+std::optional<ParticleCache::ProbeResult> ParticleCache::Probe(
+    ObjectId object, const DataCollector::ObjectHistory& history,
+    int64_t now) const {
+  IPQS_CHECK(!history.entries.empty());
+  const Shard& shard = ShardFor(object);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.entries.find(object);
+  if (it == shard.entries.end() ||
+      it->second.device != history.current_device) {
+    return std::nullopt;
+  }
+  const Entry& entry = it->second;
+  ProbeResult probe;
+  probe.state_time = entry.state.time;
+  probe.age_seconds = now - entry.state.time;
+  const auto first_unseen = std::upper_bound(
+      history.entries.begin(), history.entries.end(), entry.last_reading,
+      [](int64_t t, const AggregatedEntry& e) { return t < e.time; });
+  probe.resumable = first_unseen == history.entries.end() ||
+                    first_unseen->time > entry.state.time;
+  return probe;
+}
+
+std::optional<FilterResult> ParticleCache::LookupStale(
+    ObjectId object, const DataCollector::ObjectHistory& history, int64_t now,
+    int64_t max_age_seconds, int64_t* age_seconds) {
+  IPQS_CHECK(!history.entries.empty());
+  Shard& shard = ShardFor(object);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.entries.find(object);
+  if (it == shard.entries.end() ||
+      it->second.device != history.current_device) {
+    return std::nullopt;
+  }
+  const Entry& entry = it->second;
+  const int64_t age = now - entry.state.time;
+  if (age > max_age_seconds) {
+    return std::nullopt;
+  }
+  if (age_seconds != nullptr) {
+    *age_seconds = age;
+  }
+  ++shard.stats.served_stale;
+  Bump(metrics_.served_stale);
+  return entry.state;
+}
+
 void ParticleCache::Insert(ObjectId object,
                            const DataCollector::ObjectHistory& history,
                            FilterResult state) {
@@ -104,8 +151,34 @@ ParticleCache::Stats ParticleCache::stats() const {
     total.misses += shard.stats.misses;
     total.invalidations += shard.stats.invalidations;
     total.stale_invalidations += shard.stats.stale_invalidations;
+    total.served_stale += shard.stats.served_stale;
   }
   return total;
+}
+
+std::vector<ParticleCache::PersistedEntry> ParticleCache::ExportEntries()
+    const {
+  std::vector<PersistedEntry> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [object, entry] : shard.entries) {
+      out.push_back({object, entry.device, entry.last_reading, entry.state});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.object < b.object;
+  });
+  return out;
+}
+
+void ParticleCache::RestoreEntries(std::vector<PersistedEntry> entries) {
+  Clear();
+  for (PersistedEntry& e : entries) {
+    Shard& shard = ShardFor(e.object);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.entries[e.object] =
+        Entry{e.device, e.last_reading, std::move(e.state)};
+  }
 }
 
 }  // namespace ipqs

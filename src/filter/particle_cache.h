@@ -24,6 +24,7 @@ struct CacheMetrics {
   obs::Counter* invalidations = nullptr;        // Device hand-offs.
   obs::Counter* stale_invalidations = nullptr;  // Stale-coast evictions.
   obs::Counter* evictions = nullptr;            // Aged out by EvictOlderThan.
+  obs::Counter* served_stale = nullptr;         // LookupStale servings.
 };
 
 // Cache management module (Section 4.5): stores the particle state an
@@ -51,6 +52,7 @@ class ParticleCache {
     int64_t misses = 0;
     int64_t invalidations = 0;        // Device hand-offs (paper's rule).
     int64_t stale_invalidations = 0;  // Coasted-past-a-reading evictions.
+    int64_t served_stale = 0;         // Entries served as-is by LookupStale.
 
     double HitRate() const {
       const int64_t total = hits + misses;
@@ -70,6 +72,31 @@ class ParticleCache {
   std::optional<FilterResult> Lookup(ObjectId object,
                                      const DataCollector::ObjectHistory& history);
 
+  // Non-mutating admission probe for the degradation policy: reports the
+  // cached entry's state time and age (now - state.time) without touching
+  // stats or evicting anything. nullopt when no entry exists or the entry
+  // is keyed to a different device than the history's current one (such an
+  // entry is useless at any staleness). `resumable` is whether a real
+  // Lookup would hit (i.e. the stale-coast rule also passes).
+  struct ProbeResult {
+    int64_t state_time = 0;
+    int64_t age_seconds = 0;
+    bool resumable = false;
+  };
+  std::optional<ProbeResult> Probe(ObjectId object,
+                                   const DataCollector::ObjectHistory& history,
+                                   int64_t now) const;
+
+  // Degraded-read path: returns a copy of the cached state as-is (no
+  // filter advance) when it is keyed to the current device and its age is
+  // within `max_age_seconds`. Serving is counted under `served_stale` and
+  // the entry's age is reported through `age_seconds` (when non-null), so
+  // callers can enforce and observe the staleness bound. Never evicts —
+  // the entry remains for a future full-quality resume.
+  std::optional<FilterResult> LookupStale(
+      ObjectId object, const DataCollector::ObjectHistory& history,
+      int64_t now, int64_t max_age_seconds, int64_t* age_seconds = nullptr);
+
   // Stores `state` for `object`, keyed to the device and last-reading time
   // of the history it was computed from.
   void Insert(ObjectId object, const DataCollector::ObjectHistory& history,
@@ -84,6 +111,22 @@ class ParticleCache {
   size_t size() const;
   // Aggregated snapshot over all shards.
   Stats stats() const;
+
+  // Every cached entry with its key metadata, ascending by object, for the
+  // persistence layer (src/persist/). Stats are process-local and are not
+  // exported.
+  struct PersistedEntry {
+    ObjectId object = kInvalidId;
+    ReaderId device = kInvalidId;
+    int64_t last_reading = 0;
+    FilterResult state;
+
+    friend bool operator==(const PersistedEntry&,
+                           const PersistedEntry&) = default;
+  };
+  std::vector<PersistedEntry> ExportEntries() const;
+  // Replaces the cache contents wholesale (recovery).
+  void RestoreEntries(std::vector<PersistedEntry> entries);
 
  private:
   struct Entry {
@@ -100,6 +143,9 @@ class ParticleCache {
   static constexpr size_t kNumShards = 16;
 
   Shard& ShardFor(ObjectId object) {
+    return shards_[static_cast<uint32_t>(object) % kNumShards];
+  }
+  const Shard& ShardFor(ObjectId object) const {
     return shards_[static_cast<uint32_t>(object) % kNumShards];
   }
 

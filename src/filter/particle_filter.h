@@ -64,6 +64,8 @@ struct FilterResult {
   std::vector<Particle> particles;
   int64_t time = 0;          // Simulation second the particles represent.
   int seconds_processed = 0; // Motion steps executed (work metric).
+
+  friend bool operator==(const FilterResult&, const FilterResult&) = default;
 };
 
 // SIR particle filter over the indoor walking graph (Section 4.4,

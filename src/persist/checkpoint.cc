@@ -1,0 +1,243 @@
+#include "persist/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+
+#include "persist/io_util.h"
+
+namespace ipqs {
+namespace persist {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Parses "<prefix><zero-padded digits>" -> seq; nullopt for other names.
+bool ParseSeq(const std::string& name, const std::string& prefix,
+              int64_t* seq) {
+  if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix)) {
+    return false;
+  }
+  const std::string digits = name.substr(prefix.size());
+  if (digits.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  *seq = std::strtoll(digits.c_str(), nullptr, 10);
+  return true;
+}
+
+std::string FormatSeq(const std::string& prefix, int64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%012lld", static_cast<long long>(seq));
+  return prefix + buf;
+}
+
+// Lists the seqs of files named <prefix><seq> in `dir`, ascending.
+std::vector<int64_t> ListSeqs(const std::string& dir,
+                              const std::string& prefix) {
+  std::vector<int64_t> seqs;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    int64_t seq = 0;
+    if (ParseSeq(entry.path().filename().string(), prefix, &seq)) {
+      seqs.push_back(seq);
+    }
+  }
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
+}  // namespace
+
+PersistMetrics PersistMetrics::FromRegistry(obs::MetricsRegistry* registry) {
+  PersistMetrics m;
+  if (registry == nullptr) {
+    return m;
+  }
+  m.snapshot_write_ns = registry->GetHistogram("persist.snapshot_write_ns");
+  m.wal_fsync_ns = registry->GetHistogram("persist.wal_fsync_ns");
+  m.recovery_replay_ns = registry->GetHistogram("persist.recovery_replay_ns");
+  m.snapshots_written = registry->GetCounter("persist.snapshots_written");
+  m.wal_records = registry->GetCounter("persist.wal_records_appended");
+  m.corrupt_snapshots_skipped =
+      registry->GetCounter("persist.corrupt_snapshots_skipped");
+  m.wal_tails_truncated = registry->GetCounter("persist.wal_tails_truncated");
+  return m;
+}
+
+std::string CheckpointManager::SnapshotPath(const std::string& dir,
+                                            int64_t seq) {
+  return dir + "/" + FormatSeq("snap-", seq);
+}
+
+std::string CheckpointManager::WalPath(const std::string& dir, int64_t seq) {
+  return dir + "/" + FormatSeq("wal-", seq);
+}
+
+Status CheckpointManager::OpenFresh(const PersistConfig& config,
+                                    const PersistMetrics& metrics,
+                                    int64_t initial_seq) {
+  if (wal_.is_open()) {
+    return Status::FailedPrecondition("checkpoint manager already open");
+  }
+  std::error_code ec;
+  fs::create_directories(config.dir, ec);
+  if (ec) {
+    return Status::Internal("mkdir " + config.dir + ": " + ec.message());
+  }
+  if (!ListSeqs(config.dir, "snap-").empty() ||
+      !ListSeqs(config.dir, "wal-").empty()) {
+    return Status::AlreadyExists(
+        "checkpoint dir " + config.dir +
+        " already holds state; pass recover to resume from it");
+  }
+  config_ = config;
+  metrics_ = metrics;
+  snapshot_seqs_.clear();
+  return OpenSegment(initial_seq);
+}
+
+Status CheckpointManager::OpenAfterRecover(const PersistConfig& config,
+                                           const PersistMetrics& metrics,
+                                           const Recovered& recovered) {
+  if (wal_.is_open()) {
+    return Status::FailedPrecondition("checkpoint manager already open");
+  }
+  config_ = config;
+  metrics_ = metrics;
+  snapshot_seqs_ = ListSeqs(config.dir, "snap-");
+  int64_t seq = recovered.last_segment_seq;
+  if (seq < 0) {
+    seq = std::max<int64_t>(recovered.snapshot_time, 0);
+  } else {
+    // Drop the torn tail so new appends extend a fully-valid prefix.
+    const std::string path = WalPath(config.dir, seq);
+    std::string bytes;
+    const Status read = ReadFileToString(path, &bytes);
+    if (read.ok() && bytes.size() > recovered.last_segment_valid_bytes) {
+      bytes.resize(recovered.last_segment_valid_bytes);
+      IPQS_RETURN_IF_ERROR(AtomicWriteFile(path, bytes));
+    }
+  }
+  return OpenSegment(seq);
+}
+
+Status CheckpointManager::OpenSegment(int64_t seq) {
+  segment_seq_ = seq;
+  return wal_.Open(WalPath(config_.dir, seq), config_.fsync_wal,
+                   metrics_.wal_fsync_ns);
+}
+
+Status CheckpointManager::AppendWal(const WalRecord& record) {
+  IPQS_RETURN_IF_ERROR(wal_.Append(record));
+  if (metrics_.wal_records != nullptr) {
+    metrics_.wal_records->Increment();
+  }
+  return Status::Ok();
+}
+
+Status CheckpointManager::WriteSnapshot(const SnapshotData& data) {
+  if (!wal_.is_open()) {
+    return Status::FailedPrecondition("checkpoint manager not open");
+  }
+  {
+    obs::ScopedTimer timer(metrics_.snapshot_write_ns);
+    IPQS_RETURN_IF_ERROR(
+        SnapshotWriter::Write(SnapshotPath(config_.dir, data.now), data));
+  }
+  if (metrics_.snapshots_written != nullptr) {
+    metrics_.snapshots_written->Increment();
+  }
+  snapshot_seqs_.push_back(data.now);
+  // Rotate: records after this snapshot land in wal-<now>, so a future
+  // replay over snap-<now> sees only post-snapshot records.
+  IPQS_RETURN_IF_ERROR(wal_.Close());
+  IPQS_RETURN_IF_ERROR(OpenSegment(data.now));
+  PruneOldFiles();
+  return Status::Ok();
+}
+
+void CheckpointManager::PruneOldFiles() {
+  if (config_.keep_snapshots < 1 ||
+      snapshot_seqs_.size() <= static_cast<size_t>(config_.keep_snapshots)) {
+    return;
+  }
+  const size_t drop = snapshot_seqs_.size() - config_.keep_snapshots;
+  const int64_t oldest_kept = snapshot_seqs_[drop];
+  std::error_code ec;
+  for (size_t i = 0; i < drop; ++i) {
+    fs::remove(SnapshotPath(config_.dir, snapshot_seqs_[i]), ec);
+  }
+  snapshot_seqs_.erase(snapshot_seqs_.begin(), snapshot_seqs_.begin() + drop);
+  // A segment wal-<S> with S < oldest_kept only feeds snapshots we just
+  // deleted; recovery now always starts at or after oldest_kept.
+  for (int64_t seq : ListSeqs(config_.dir, "wal-")) {
+    if (seq < oldest_kept) {
+      fs::remove(WalPath(config_.dir, seq), ec);
+    }
+  }
+}
+
+Status CheckpointManager::Close() { return wal_.Close(); }
+
+StatusOr<Recovered> CheckpointManager::Recover(const PersistConfig& config,
+                                               const PersistMetrics& metrics) {
+  std::error_code ec;
+  if (!fs::is_directory(config.dir, ec)) {
+    return Status::NotFound("checkpoint dir not found: " + config.dir);
+  }
+  Recovered out;
+
+  // Newest valid snapshot wins; corrupt or truncated ones are counted and
+  // skipped, falling back to the next-older snapshot (or a cold start).
+  std::vector<int64_t> snaps = ListSeqs(config.dir, "snap-");
+  for (auto it = snaps.rbegin(); it != snaps.rend(); ++it) {
+    StatusOr<SnapshotData> loaded =
+        SnapshotReader::Read(SnapshotPath(config.dir, *it));
+    if (loaded.ok()) {
+      out.have_snapshot = true;
+      out.snapshot = std::move(loaded).value();
+      out.snapshot_time = *it;
+      break;
+    }
+    ++out.corrupt_snapshots_skipped;
+    if (metrics.corrupt_snapshots_skipped != nullptr) {
+      metrics.corrupt_snapshots_skipped->Increment();
+    }
+  }
+
+  // Replay every segment at or past the chosen snapshot, oldest first,
+  // keeping only records newer than the snapshot. A torn segment ends the
+  // usable log: anything later was written after the tear and cannot be
+  // ordered against the lost records.
+  for (int64_t seq : ListSeqs(config.dir, "wal-")) {
+    if (out.have_snapshot && seq < out.snapshot_time) {
+      continue;
+    }
+    StatusOr<WalReadResult> read = ReadWalFile(WalPath(config.dir, seq));
+    if (!read.ok()) {
+      return std::move(read).status();
+    }
+    WalReadResult& segment = read.value();
+    for (WalRecord& record : segment.records) {
+      if (record.time > out.snapshot_time) {
+        out.wal_tail.push_back(std::move(record));
+      }
+    }
+    out.last_segment_seq = seq;
+    out.last_segment_valid_bytes = segment.valid_bytes;
+    if (segment.truncated_tail) {
+      ++out.wal_tails_truncated;
+      if (metrics.wal_tails_truncated != nullptr) {
+        metrics.wal_tails_truncated->Increment();
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace persist
+}  // namespace ipqs

@@ -1,0 +1,119 @@
+#ifndef IPQS_PERSIST_CHECKPOINT_H_
+#define IPQS_PERSIST_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "obs/metrics.h"
+#include "persist/snapshot.h"
+#include "persist/wal.h"
+
+namespace ipqs {
+namespace persist {
+
+// Durability knobs. A checkpoint directory holds zero-padded
+// `snap-<seq>` snapshots and `wal-<seq>` segments, where seq is the
+// simulation second the file's state is consistent as of. Segment
+// `wal-<S>` contains exactly the records appended after snapshot S
+// (times > S), so replaying it over snap-S never double-applies a
+// reading — replay stays safe even though ingest of same-second
+// readings from a second device is not idempotent.
+struct PersistConfig {
+  std::string dir;
+  // A snapshot is cut every this-many simulated seconds. Larger intervals
+  // cheapen steady state and lengthen the WAL tail replayed on recovery.
+  int snapshot_interval_seconds = 60;
+  // fsync every WAL append (the durable default). Off trades the tail of
+  // the last second for throughput.
+  bool fsync_wal = true;
+  // Newest snapshots retained after each checkpoint; older snapshots and
+  // the WAL segments only they need are pruned.
+  int keep_snapshots = 2;
+};
+
+// Observability hooks for the persistence layer; any member may be null.
+struct PersistMetrics {
+  obs::Histogram* snapshot_write_ns = nullptr;
+  obs::Histogram* wal_fsync_ns = nullptr;
+  obs::Histogram* recovery_replay_ns = nullptr;  // Observed by the replayer.
+  obs::Counter* snapshots_written = nullptr;
+  obs::Counter* wal_records = nullptr;
+  obs::Counter* corrupt_snapshots_skipped = nullptr;
+  obs::Counter* wal_tails_truncated = nullptr;
+
+  static PersistMetrics FromRegistry(obs::MetricsRegistry* registry);
+};
+
+// What Recover() salvaged from a checkpoint directory. With no valid
+// snapshot (`have_snapshot` false) the caller cold-starts and replays
+// `wal_tail` from scratch; otherwise it restores `snapshot` first. Either
+// way `wal_tail` holds only records with time > snapshot_time, in order.
+struct Recovered {
+  bool have_snapshot = false;
+  SnapshotData snapshot;
+  int64_t snapshot_time = -1;  // -1 when cold-starting.
+  std::vector<WalRecord> wal_tail;
+  int corrupt_snapshots_skipped = 0;
+  int wal_tails_truncated = 0;
+  // Where appends may resume: the newest segment and its valid length.
+  int64_t last_segment_seq = -1;
+  size_t last_segment_valid_bytes = 0;
+};
+
+// Owns the active WAL segment and the snapshot rotation for one
+// checkpoint directory. Not thread-safe; the simulation loop drives it
+// from one thread.
+class CheckpointManager {
+ public:
+  CheckpointManager() = default;
+
+  // Starts a fresh log at `initial_seq` (the simulation second before the
+  // first record). Creates `config.dir` if needed; refuses a directory
+  // that already holds snapshots or WAL segments — recovery must be an
+  // explicit choice, never an accidental overwrite.
+  Status OpenFresh(const PersistConfig& config, const PersistMetrics& metrics,
+                   int64_t initial_seq);
+
+  // Resumes appending after Recover(): truncates the torn tail of the
+  // newest segment (if any) and reopens it for append.
+  Status OpenAfterRecover(const PersistConfig& config,
+                          const PersistMetrics& metrics,
+                          const Recovered& recovered);
+
+  // Appends one second's batch to the active segment (fsync'd when
+  // configured so).
+  Status AppendWal(const WalRecord& record);
+
+  // Atomically writes snap-<data.now>, rotates to a fresh wal-<data.now>
+  // segment, and prunes snapshots/segments beyond keep_snapshots.
+  Status WriteSnapshot(const SnapshotData& data);
+
+  Status Close();
+
+  bool is_open() const { return wal_.is_open(); }
+
+  // Scans `config.dir` for the newest valid snapshot (corrupt ones are
+  // skipped and counted, never fatal) and the intact WAL records past it.
+  static StatusOr<Recovered> Recover(const PersistConfig& config,
+                                     const PersistMetrics& metrics = {});
+
+  static std::string SnapshotPath(const std::string& dir, int64_t seq);
+  static std::string WalPath(const std::string& dir, int64_t seq);
+
+ private:
+  Status OpenSegment(int64_t seq);
+  void PruneOldFiles();
+
+  PersistConfig config_;
+  PersistMetrics metrics_;
+  WalWriter wal_;
+  int64_t segment_seq_ = 0;
+  std::vector<int64_t> snapshot_seqs_;  // Ascending, snapshots on disk.
+};
+
+}  // namespace persist
+}  // namespace ipqs
+
+#endif  // IPQS_PERSIST_CHECKPOINT_H_

@@ -1,0 +1,24 @@
+#ifndef IPQS_PERSIST_CHECKSUM_H_
+#define IPQS_PERSIST_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ipqs {
+namespace persist {
+
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected). Every on-disk
+// artifact of the persistence layer — snapshot payloads and WAL records —
+// carries one of these so torn writes and bit rot are detected instead of
+// silently corrupting recovered state.
+uint32_t Crc32(const void* data, size_t size);
+
+inline uint32_t Crc32(std::string_view data) {
+  return Crc32(data.data(), data.size());
+}
+
+}  // namespace persist
+}  // namespace ipqs
+
+#endif  // IPQS_PERSIST_CHECKSUM_H_

@@ -1,0 +1,79 @@
+#include "persist/io_util.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace ipqs {
+namespace persist {
+namespace {
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::Internal(op + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return Errno("open", path);
+  }
+  out->clear();
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Errno("read", path);
+  }
+  return Status::Ok();
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Errno("open", tmp);
+  }
+  if (!bytes.empty() &&
+      std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Errno("write", tmp);
+  }
+  if (std::fflush(f) != 0) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Errno("flush", tmp);
+  }
+#ifndef _WIN32
+  if (fsync(fileno(f)) != 0) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Errno("fsync", tmp);
+  }
+#endif
+  if (std::fclose(f) != 0) {
+    std::remove(tmp.c_str());
+    return Errno("close", tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Errno("rename", tmp);
+  }
+  return Status::Ok();
+}
+
+}  // namespace persist
+}  // namespace ipqs

@@ -1,0 +1,23 @@
+#ifndef IPQS_PERSIST_IO_UTIL_H_
+#define IPQS_PERSIST_IO_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace ipqs {
+namespace persist {
+
+// Reads the whole file into `out`. Missing file -> NotFound.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+// Writes `bytes` to `path`.tmp, fsyncs, and renames over `path`, so readers
+// never observe a half-written file under the final name (the tear either
+// loses the whole write or none of it).
+Status AtomicWriteFile(const std::string& path, std::string_view bytes);
+
+}  // namespace persist
+}  // namespace ipqs
+
+#endif  // IPQS_PERSIST_IO_UTIL_H_

@@ -1,0 +1,119 @@
+#ifndef IPQS_PERSIST_SERDE_H_
+#define IPQS_PERSIST_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace ipqs {
+namespace persist {
+
+// Explicit little-endian byte packing for the persistence formats. All
+// multi-byte fields on disk are little-endian regardless of host order, and
+// doubles round-trip bit-exactly (IEEE-754 bits copied, never re-parsed) —
+// a requirement for byte-identical recovered query answers.
+class BufferWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void PutU32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+    }
+  }
+
+  void PutU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+    }
+  }
+
+  void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+
+  void PutDouble(double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  void PutBytes(const void* data, size_t size) {
+    buf_.append(static_cast<const char*>(data), size);
+  }
+
+  const std::string& data() const { return buf_; }
+  std::string&& Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+// Failure-latching reader over a byte span: the first short or malformed
+// read flips ok() to false and every later Get* returns a zero value, so
+// parsers can decode a whole struct and check ok() once at the end.
+class BufferReader {
+ public:
+  explicit BufferReader(std::string_view data) : data_(data) {}
+
+  uint8_t GetU8() {
+    if (!Require(1)) return 0;
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  uint32_t GetU32() {
+    if (!Require(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_++]))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  uint64_t GetU64() {
+    if (!Require(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_++]))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  int32_t GetI32() { return static_cast<int32_t>(GetU32()); }
+  int64_t GetI64() { return static_cast<int64_t>(GetU64()); }
+
+  double GetDouble() {
+    const uint64_t bits = GetU64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  bool GetBool() { return GetU8() != 0; }
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool Require(size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace persist
+}  // namespace ipqs
+
+#endif  // IPQS_PERSIST_SERDE_H_

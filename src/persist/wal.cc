@@ -1,0 +1,156 @@
+#include "persist/wal.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "persist/checksum.h"
+#include "persist/io_util.h"
+#include "persist/serde.h"
+
+namespace ipqs {
+namespace persist {
+namespace {
+
+constexpr size_t kFrameHeaderSize = 8;  // u32 length + u32 crc.
+
+std::string EncodePayload(const WalRecord& record) {
+  BufferWriter w;
+  w.PutI64(record.time);
+  w.PutU32(static_cast<uint32_t>(record.readings.size()));
+  for (const RawReading& reading : record.readings) {
+    w.PutI32(reading.object);
+    w.PutI32(reading.reader);
+    w.PutI64(reading.time);
+  }
+  return w.Take();
+}
+
+bool DecodePayload(std::string_view payload, WalRecord* record) {
+  BufferReader r(payload);
+  record->time = r.GetI64();
+  const uint32_t n = r.GetU32();
+  if (!r.ok() || static_cast<uint64_t>(n) * 16 != r.remaining()) {
+    return false;
+  }
+  record->readings.resize(n);
+  for (RawReading& reading : record->readings) {
+    reading.object = r.GetI32();
+    reading.reader = r.GetI32();
+    reading.time = r.GetI64();
+  }
+  return r.ok();
+}
+
+}  // namespace
+
+WalWriter::~WalWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+Status WalWriter::Open(const std::string& path, bool fsync_each_append,
+                       obs::Histogram* fsync_ns) {
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("WAL already open: " + path_);
+  }
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::Internal("open " + path + ": " + std::strerror(errno));
+  }
+  path_ = path;
+  fsync_each_append_ = fsync_each_append;
+  fsync_ns_ = fsync_ns;
+  return Status::Ok();
+}
+
+std::string WalWriter::Encode(const WalRecord& record) {
+  const std::string payload = EncodePayload(record);
+  BufferWriter frame;
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutU32(Crc32(payload));
+  std::string out = frame.Take();
+  out += payload;
+  return out;
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("WAL not open");
+  }
+  const std::string frame = Encode(record);
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    return Status::Internal("write " + path_ + ": " + std::strerror(errno));
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::Internal("flush " + path_ + ": " + std::strerror(errno));
+  }
+  if (fsync_each_append_) {
+#ifndef _WIN32
+    const auto start = std::chrono::steady_clock::now();
+    if (fsync(fileno(file_)) != 0) {
+      return Status::Internal("fsync " + path_ + ": " + std::strerror(errno));
+    }
+    if (fsync_ns_ != nullptr) {
+      fsync_ns_->Observe(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - start)
+                             .count());
+    }
+#endif
+  }
+  return Status::Ok();
+}
+
+Status WalWriter::Close() {
+  if (file_ == nullptr) {
+    return Status::Ok();
+  }
+  std::FILE* f = file_;
+  file_ = nullptr;
+  if (std::fclose(f) != 0) {
+    return Status::Internal("close " + path_ + ": " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+StatusOr<WalReadResult> ReadWalFile(const std::string& path) {
+  std::string bytes;
+  IPQS_RETURN_IF_ERROR(ReadFileToString(path, &bytes));
+
+  WalReadResult result;
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < kFrameHeaderSize) {
+      result.truncated_tail = true;
+      break;
+    }
+    BufferReader header(std::string_view(bytes).substr(pos, kFrameHeaderSize));
+    const uint32_t len = header.GetU32();
+    const uint32_t expected_crc = header.GetU32();
+    if (bytes.size() - pos - kFrameHeaderSize < len) {
+      result.truncated_tail = true;
+      break;
+    }
+    const std::string_view payload =
+        std::string_view(bytes).substr(pos + kFrameHeaderSize, len);
+    WalRecord record;
+    if (Crc32(payload) != expected_crc || !DecodePayload(payload, &record)) {
+      // A checksum-failing or malformed frame means the tail is garbage
+      // (torn write, bit rot); nothing after it can be trusted either.
+      result.truncated_tail = true;
+      break;
+    }
+    result.records.push_back(std::move(record));
+    pos += kFrameHeaderSize + len;
+    result.valid_bytes = pos;
+  }
+  return result;
+}
+
+}  // namespace persist
+}  // namespace ipqs

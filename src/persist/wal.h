@@ -1,0 +1,81 @@
+#ifndef IPQS_PERSIST_WAL_H_
+#define IPQS_PERSIST_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "obs/metrics.h"
+#include "rfid/reader.h"
+
+namespace ipqs {
+namespace persist {
+
+// One WAL record: the batch of raw readings delivered during one simulated
+// second, exactly as the DataCollector consumed them (post fault injection).
+// A record is appended for every second, including empty ones, so replay
+// re-drives the per-second Flush/watermark schedule and the recovered clock
+// lands on the exact second the writer last durably reached.
+struct WalRecord {
+  int64_t time = 0;
+  std::vector<RawReading> readings;
+
+  friend bool operator==(const WalRecord&, const WalRecord&) = default;
+};
+
+// On-disk record framing:
+//
+//   u32 LE  payload length
+//   u32 LE  CRC-32 of the payload
+//   payload: i64 time, u32 count, count x (i32 object, i32 reader, i64 time)
+//
+// A torn write (crash mid-append) leaves a short or checksum-failing tail;
+// readers keep the valid prefix and report the tear instead of erroring.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  // Opens `path` for appending (created if absent). `fsync_each_append`
+  // makes every Append durable before returning; `fsync_ns` (may be null)
+  // records the fsync latency of each append.
+  Status Open(const std::string& path, bool fsync_each_append,
+              obs::Histogram* fsync_ns = nullptr);
+
+  // Serializes, frames, and appends one record.
+  Status Append(const WalRecord& record);
+
+  Status Close();
+
+  bool is_open() const { return file_ != nullptr; }
+
+  // The framed bytes Append writes (exposed for torn-write tests).
+  static std::string Encode(const WalRecord& record);
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  bool fsync_each_append_ = false;
+  obs::Histogram* fsync_ns_ = nullptr;
+};
+
+struct WalReadResult {
+  std::vector<WalRecord> records;  // The valid prefix, in file order.
+  bool truncated_tail = false;     // True if trailing bytes were discarded.
+  size_t valid_bytes = 0;          // File offset the valid prefix ends at.
+};
+
+// Reads every intact record of a WAL file. A missing file is NotFound; a
+// torn or corrupt tail is NOT an error — the valid prefix is returned with
+// `truncated_tail` set so recovery can resume from the last durable second.
+StatusOr<WalReadResult> ReadWalFile(const std::string& path);
+
+}  // namespace persist
+}  // namespace ipqs
+
+#endif  // IPQS_PERSIST_WAL_H_

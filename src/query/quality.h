@@ -1,0 +1,44 @@
+#ifndef IPQS_QUERY_QUALITY_H_
+#define IPQS_QUERY_QUALITY_H_
+
+#include <string_view>
+
+namespace ipqs {
+
+// How much fidelity a query answer was computed with. Under deadline
+// pressure the engine walks DOWN this ladder one rung at a time until the
+// estimated inference work fits the budget; every answer is tagged with
+// the rung it was served from so callers can tell a degraded answer from a
+// full-fidelity one.
+enum class QualityLevel {
+  // Normal path: every candidate freshly inferred (resume or full run).
+  kFull = 0,
+  // Candidates with a device-matching cached state within the staleness
+  // bound are served that state as-is (no filter advance); the rest are
+  // inferred at full fidelity.
+  kCachedStale = 1,
+  // Like kCachedStale, but the remaining inferences run with the policy's
+  // reduced particle count; such states never enter the cache.
+  kReducedParticles = 2,
+  // No inference at all: answers come from the max-speed uncertain-region
+  // geometry alone (the same bound the pruning stage trusts).
+  kPruneOnly = 3,
+};
+
+constexpr std::string_view ToString(QualityLevel level) {
+  switch (level) {
+    case QualityLevel::kFull:
+      return "full";
+    case QualityLevel::kCachedStale:
+      return "cached_stale";
+    case QualityLevel::kReducedParticles:
+      return "reduced_particles";
+    case QualityLevel::kPruneOnly:
+      return "prune_only";
+  }
+  return "unknown";
+}
+
+}  // namespace ipqs
+
+#endif  // IPQS_QUERY_QUALITY_H_

@@ -4,6 +4,22 @@
 #include <utility>
 
 #include "common/check.h"
+#include "graph/shortest_path.h"
+
+namespace {
+
+// Canonical candidate order for the degraded paths: ascending and unique,
+// so plan lists and prune-only accumulation never depend on the order the
+// pruning stage emitted candidates in.
+std::vector<ipqs::ObjectId> Canonicalize(
+    const std::vector<ipqs::ObjectId>& candidates) {
+  std::vector<ipqs::ObjectId> sorted = candidates;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  return sorted;
+}
+
+}  // namespace
 
 namespace ipqs {
 
@@ -26,6 +42,12 @@ QueryEngine::QueryEngine(const WalkingGraph* graph, const FloorPlan* plan,
       knn_eval_(graph, anchors, anchor_graph) {
   IPQS_CHECK(collector != nullptr);
   IPQS_CHECK_GE(config.num_threads, 0);
+  if (config.degrade.reduced_particles >= 1) {
+    FilterConfig reduced = config.filter;
+    reduced.num_particles = config.degrade.reduced_particles;
+    degraded_filter_ =
+        std::make_unique<ParticleFilter>(graph, deployment, reduced);
+  }
   InitObservability();
 }
 
@@ -45,6 +67,14 @@ void QueryEngine::InitObservability() {
   counters_.filter_runs = metrics_->GetCounter(p + ".engine.filter_runs");
   counters_.filter_resumes = metrics_->GetCounter(p + ".engine.filter_resumes");
   counters_.filter_seconds = metrics_->GetCounter(p + ".engine.filter_seconds");
+  degrade_counters_.full = metrics_->GetCounter(p + ".degrade.full");
+  degrade_counters_.cached_stale =
+      metrics_->GetCounter(p + ".degrade.cached_stale");
+  degrade_counters_.reduced_particles =
+      metrics_->GetCounter(p + ".degrade.reduced_particles");
+  degrade_counters_.prune_only = metrics_->GetCounter(p + ".degrade.prune_only");
+  degrade_counters_.stale_served_objects =
+      metrics_->GetCounter(p + ".degrade.stale_served_objects");
 
   if (config_.metrics == nullptr) {
     return;  // No external registry: counters only, no timers anywhere.
@@ -76,6 +106,7 @@ void QueryEngine::InitObservability() {
   cache_metrics.stale_invalidations =
       metrics_->GetCounter(p + ".cache.stale_invalidations");
   cache_metrics.evictions = metrics_->GetCounter(p + ".cache.evictions");
+  cache_metrics.served_stale = metrics_->GetCounter(p + ".cache.served_stale");
   cache_.SetMetrics(cache_metrics);
 }
 
@@ -88,6 +119,13 @@ void QueryEngine::SyncTableTo(int64_t now) {
 
 std::optional<AnchorDistribution> QueryEngine::ComputeInference(
     ObjectId object, int64_t now) {
+  return ComputeInferenceWith(object, now, filter_, config_.use_cache,
+                              config_.use_cache);
+}
+
+std::optional<AnchorDistribution> QueryEngine::ComputeInferenceWith(
+    ObjectId object, int64_t now, const ParticleFilter& filter,
+    bool cache_read, bool cache_write) {
   const DataCollector::ObjectHistory* history = collector_->History(object);
   if (history == nullptr || history->entries.empty()) {
     return std::nullopt;
@@ -124,15 +162,15 @@ std::optional<AnchorDistribution> QueryEngine::ComputeInference(
   FilterResult state;
   bool resumed = false;
   int seconds_before = 0;
-  if (config_.use_cache) {
+  if (cache_read) {
     if (auto cached = cache_.Lookup(object, *history)) {
       seconds_before = cached->seconds_processed;
-      state = filter_.Resume(std::move(*cached), *history, now, rng);
+      state = filter.Resume(std::move(*cached), *history, now, rng);
       resumed = true;
     }
   }
   if (!resumed) {
-    state = filter_.Run(*history, now, rng);
+    state = filter.Run(*history, now, rng);
     counters_.filter_runs->Increment();
   } else {
     counters_.filter_resumes->Increment();
@@ -147,7 +185,7 @@ std::optional<AnchorDistribution> QueryEngine::ComputeInference(
     snapped = AnchorDistribution::FromParticles(*anchors_, state.particles);
   }
   AnchorDistribution dist = std::move(*snapped);
-  if (config_.use_cache) {
+  if (cache_write) {
     cache_.Insert(object, *history, std::move(state));
   }
   return dist;
@@ -236,6 +274,11 @@ void QueryEngine::InferBatch(const std::vector<ObjectId>& candidates,
 }
 
 QueryResult QueryEngine::EvaluateRange(const Rect& window, int64_t now) {
+  return EvaluateRange(window, now, config_.deadline_ms);
+}
+
+QueryResult QueryEngine::EvaluateRange(const Rect& window, int64_t now,
+                                       int64_t deadline_ms) {
   SyncTableTo(now);
   const obs::TraceSpan span(trace_, "range_query");
   const obs::ScopedTimer latency(timers_.range_latency_ns);
@@ -255,6 +298,21 @@ QueryResult QueryEngine::EvaluateRange(const Rect& window, int64_t now) {
   counters_.objects_considered->Increment(
       static_cast<int64_t>(collector_->KnownObjects().size()));
 
+  const InferPlan plan = PlanInference(candidates, now, deadline_ms);
+  CountPlan(plan);
+  if (plan.level == QualityLevel::kPruneOnly) {
+    return PruneOnlyRange(candidates, window, now);
+  }
+  if (plan.level != QualityLevel::kFull) {
+    AnchorObjectTable scratch;
+    ExecuteDegradedPlan(plan, now, &scratch);
+    const obs::TraceSpan eval_span(trace_, "evaluate");
+    const obs::ScopedTimer eval_timer(timers_.evaluate_ns);
+    QueryResult result = range_eval_.Evaluate(scratch, window);
+    result.quality = plan.level;
+    return result;
+  }
+
   InferBatch(candidates, now);
   const obs::TraceSpan eval_span(trace_, "evaluate");
   const obs::ScopedTimer eval_timer(timers_.evaluate_ns);
@@ -262,6 +320,11 @@ QueryResult QueryEngine::EvaluateRange(const Rect& window, int64_t now) {
 }
 
 KnnResult QueryEngine::EvaluateKnn(const Point& query, int k, int64_t now) {
+  return EvaluateKnn(query, k, now, config_.deadline_ms);
+}
+
+KnnResult QueryEngine::EvaluateKnn(const Point& query, int k, int64_t now,
+                                   int64_t deadline_ms) {
   SyncTableTo(now);
   const obs::TraceSpan span(trace_, "knn_query");
   const obs::ScopedTimer latency(timers_.knn_latency_ns);
@@ -283,10 +346,235 @@ KnnResult QueryEngine::EvaluateKnn(const Point& query, int k, int64_t now) {
   counters_.objects_considered->Increment(
       static_cast<int64_t>(collector_->KnownObjects().size()));
 
+  const InferPlan plan = PlanInference(candidates, now, deadline_ms);
+  CountPlan(plan);
+  if (plan.level == QualityLevel::kPruneOnly) {
+    return PruneOnlyKnn(candidates, q, k, now);
+  }
+  if (plan.level != QualityLevel::kFull) {
+    AnchorObjectTable scratch;
+    ExecuteDegradedPlan(plan, now, &scratch);
+    const obs::TraceSpan eval_span(trace_, "evaluate");
+    const obs::ScopedTimer eval_timer(timers_.evaluate_ns);
+    KnnResult result = knn_eval_.Evaluate(scratch, q, k);
+    result.result.quality = plan.level;
+    return result;
+  }
+
   InferBatch(candidates, now);
   const obs::TraceSpan eval_span(trace_, "evaluate");
   const obs::ScopedTimer eval_timer(timers_.evaluate_ns);
   return knn_eval_.Evaluate(table_, q, k);
+}
+
+QueryEngine::InferPlan QueryEngine::PlanInference(
+    const std::vector<ObjectId>& candidates, int64_t now,
+    int64_t deadline_ms) {
+  InferPlan plan;
+  // Degradation only exists for the particle-filter backend: the other
+  // methods do no per-second filtering work, so a deadline never binds.
+  if (deadline_ms <= 0 || config_.degrade.filter_seconds_per_ms <= 0 ||
+      config_.method != InferenceMethod::kParticleFilter) {
+    return plan;
+  }
+  const double budget =
+      static_cast<double>(deadline_ms) * config_.degrade.filter_seconds_per_ms;
+
+  // Work estimates in filter-seconds, derived purely from histories and
+  // cache state — never from a clock — so the level choice is reproducible.
+  struct Estimate {
+    ObjectId object;
+    double fresh_cost;  // What inferring it now would cost (resume or run).
+    double full_cost;   // A from-scratch run (the reduced path rescales it).
+    bool stale_ok;      // A cached state within the staleness bound exists.
+  };
+  std::vector<Estimate> estimates;
+  double full_level_cost = 0.0;
+  for (ObjectId object : Canonicalize(candidates)) {
+    const DataCollector::ObjectHistory* history = collector_->History(object);
+    if (history == nullptr || history->entries.empty()) {
+      continue;
+    }
+    const int64_t first = history->entries.front().time;
+    const int64_t last = history->entries.back().time;
+    const int64_t horizon =
+        std::min(last + config_.filter.max_coast_seconds, now);
+    Estimate e;
+    e.object = object;
+    e.full_cost = static_cast<double>(std::max<int64_t>(horizon - first, 0)) + 1;
+    e.fresh_cost = e.full_cost;
+    e.stale_ok = false;
+    if (config_.use_cache) {
+      if (auto probe = cache_.Probe(object, *history, now)) {
+        if (probe->resumable) {
+          e.fresh_cost = static_cast<double>(
+                             std::max<int64_t>(horizon - probe->state_time, 0)) +
+                         1;
+        }
+        e.stale_ok =
+            probe->age_seconds <= config_.degrade.max_stale_age_seconds;
+      }
+    }
+    full_level_cost += e.fresh_cost;
+    estimates.push_back(e);
+  }
+  if (full_level_cost <= budget) {
+    return plan;  // kFull fits; serve the normal path.
+  }
+
+  // One rung down: serve bounded-staleness cache entries as-is (zero
+  // filter work) and infer only the rest.
+  double infer_cost = 0.0;
+  for (const Estimate& e : estimates) {
+    if (!e.stale_ok) {
+      infer_cost += e.fresh_cost;
+    }
+  }
+  for (const Estimate& e : estimates) {
+    (e.stale_ok ? plan.stale : plan.infer).push_back(e.object);
+  }
+  if (infer_cost <= budget) {
+    plan.level = QualityLevel::kCachedStale;
+    return plan;
+  }
+
+  // Two rungs down: the remaining inferences run from scratch with the
+  // reduced particle count, shrinking per-second cost proportionally.
+  if (degraded_filter_ != nullptr) {
+    const double scale =
+        static_cast<double>(config_.degrade.reduced_particles) /
+        static_cast<double>(std::max(config_.filter.num_particles, 1));
+    double reduced_cost = 0.0;
+    for (const Estimate& e : estimates) {
+      if (!e.stale_ok) {
+        reduced_cost += e.full_cost * scale;
+      }
+    }
+    if (reduced_cost <= budget) {
+      plan.level = QualityLevel::kReducedParticles;
+      return plan;
+    }
+  }
+
+  plan.level = QualityLevel::kPruneOnly;
+  plan.stale.clear();
+  plan.infer.clear();
+  return plan;
+}
+
+void QueryEngine::ExecuteDegradedPlan(const InferPlan& plan, int64_t now,
+                                      AnchorObjectTable* out) {
+  const obs::TraceSpan span(trace_, "infer_degraded");
+  const obs::ScopedTimer infer_timer(timers_.infer_ns);
+  for (ObjectId object : plan.stale) {
+    const DataCollector::ObjectHistory* history = collector_->History(object);
+    if (history == nullptr || history->entries.empty()) {
+      continue;
+    }
+    if (auto state = cache_.LookupStale(object, *history, now,
+                                        config_.degrade.max_stale_age_seconds)) {
+      degrade_counters_.stale_served_objects->Increment();
+      out->Set(object,
+               AnchorDistribution::FromParticles(*anchors_, state->particles));
+      continue;
+    }
+    // The plan probed the same admission rules, so this is unreachable in
+    // practice; degrade gracefully to a fresh inference if it ever isn't.
+    if (auto dist = ComputeInference(object, now)) {
+      out->Set(object, std::move(*dist));
+    }
+  }
+  const bool reduced = plan.level == QualityLevel::kReducedParticles &&
+                       degraded_filter_ != nullptr;
+  for (ObjectId object : plan.infer) {
+    // Reduced-quality states are neither read from nor written to the
+    // cache: a 16-particle state must never seed a later full-quality
+    // resume.
+    std::optional<AnchorDistribution> dist =
+        reduced ? ComputeInferenceWith(object, now, *degraded_filter_,
+                                       /*cache_read=*/false,
+                                       /*cache_write=*/false)
+                : ComputeInference(object, now);
+    if (dist.has_value()) {
+      out->Set(object, std::move(*dist));
+    }
+  }
+}
+
+void QueryEngine::CountPlan(const InferPlan& plan) {
+  switch (plan.level) {
+    case QualityLevel::kFull:
+      degrade_counters_.full->Increment();
+      break;
+    case QualityLevel::kCachedStale:
+      degrade_counters_.cached_stale->Increment();
+      break;
+    case QualityLevel::kReducedParticles:
+      degrade_counters_.reduced_particles->Increment();
+      break;
+    case QualityLevel::kPruneOnly:
+      degrade_counters_.prune_only->Increment();
+      break;
+  }
+}
+
+QueryResult QueryEngine::PruneOnlyRange(const std::vector<ObjectId>& candidates,
+                                        const Rect& window,
+                                        int64_t now) const {
+  QueryResult result;
+  result.quality = QualityLevel::kPruneOnly;
+  for (ObjectId object : Canonicalize(candidates)) {
+    const DataCollector::ObjectHistory* history = collector_->History(object);
+    if (history == nullptr || history->entries.empty()) {
+      continue;
+    }
+    const UncertainRegion region = ComputeUncertainRegion(
+        *deployment_, object, history->entries.back(), now, config_.max_speed);
+    if (!region.Overlaps(window)) {
+      continue;
+    }
+    // The uncertain region provably contains the object, so a region fully
+    // inside the window is a certain answer; a partial overlap gets the
+    // uninformative 0.5 (present, probability unknown).
+    const bool fully_inside = region.center.x - region.radius >= window.min_x &&
+                              region.center.x + region.radius <= window.max_x &&
+                              region.center.y - region.radius >= window.min_y &&
+                              region.center.y + region.radius <= window.max_y;
+    result.Add(object, fully_inside ? 1.0 : 0.5);
+  }
+  return result;
+}
+
+KnnResult QueryEngine::PruneOnlyKnn(const std::vector<ObjectId>& candidates,
+                                    const GraphLocation& query, int k,
+                                    int64_t now) const {
+  KnnResult out;
+  out.result.quality = QualityLevel::kPruneOnly;
+  if (k <= 0) {
+    return out;
+  }
+  // Rank candidates by the optimistic end of their network-distance
+  // interval (Eq. 6) and claim the k nearest outright.
+  const OneToAllDistances from_query(*graph_, query);
+  std::vector<std::pair<double, ObjectId>> order;
+  for (ObjectId object : Canonicalize(candidates)) {
+    const DataCollector::ObjectHistory* history = collector_->History(object);
+    if (history == nullptr || history->entries.empty()) {
+      continue;
+    }
+    const UncertainRegion region = ComputeUncertainRegion(
+        *deployment_, object, history->entries.back(), now, config_.max_speed);
+    const DistanceInterval interval =
+        NetworkDistanceInterval(from_query, *deployment_, region);
+    order.emplace_back(interval.min_dist, object);
+  }
+  std::sort(order.begin(), order.end());
+  const size_t take = std::min(order.size(), static_cast<size_t>(k));
+  for (size_t i = 0; i < take; ++i) {
+    out.result.Add(order[i].second, 1.0);
+    out.total_probability += 1.0;
+  }
+  return out;
 }
 
 EngineStats QueryEngine::stats() const {
@@ -300,6 +588,16 @@ EngineStats QueryEngine::stats() const {
   return out;
 }
 
+DegradeStats QueryEngine::degrade_stats() const {
+  DegradeStats out;
+  out.full = degrade_counters_.full->Value();
+  out.cached_stale = degrade_counters_.cached_stale->Value();
+  out.reduced_particles = degrade_counters_.reduced_particles->Value();
+  out.prune_only = degrade_counters_.prune_only->Value();
+  out.stale_served_objects = degrade_counters_.stale_served_objects->Value();
+  return out;
+}
+
 void QueryEngine::ResetStats() {
   counters_.queries->Reset();
   counters_.objects_considered->Reset();
@@ -307,6 +605,11 @@ void QueryEngine::ResetStats() {
   counters_.filter_runs->Reset();
   counters_.filter_resumes->Reset();
   counters_.filter_seconds->Reset();
+  degrade_counters_.full->Reset();
+  degrade_counters_.cached_stale->Reset();
+  degrade_counters_.reduced_particles->Reset();
+  degrade_counters_.prune_only->Reset();
+  degrade_counters_.stale_served_objects->Reset();
 }
 
 }  // namespace ipqs

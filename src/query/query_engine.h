@@ -31,10 +31,34 @@ enum class InferenceMethod {
   kLastReading,
 };
 
+// Admission/downgrade policy for deadline-bound queries. The budget is
+// deliberately a WORK bound, not a wall-clock one: a deadline of D ms buys
+// D * filter_seconds_per_ms filter-seconds of inference, and the engine
+// picks the highest quality level whose estimated work fits. Estimates
+// derive only from object histories and cache state, so the chosen level —
+// and therefore the answer — is a pure function of (seed, load), never of
+// machine speed or scheduling. kFull is used whenever the work fits.
+struct DegradePolicy {
+  // Calibration: filter-seconds of inference work one millisecond of
+  // deadline is assumed to buy. Raise on faster machines for more
+  // aggressive admission; answers change only through the level choice.
+  double filter_seconds_per_ms = 50.0;
+  // kCachedStale serves a cached state as-is only when its age
+  // (now - state.time) is within this bound.
+  int64_t max_stale_age_seconds = 30;
+  // Particle count for kReducedParticles runs (must be < filter Ns to
+  // actually shed work).
+  int reduced_particles = 16;
+};
+
 struct EngineConfig {
   InferenceMethod method = InferenceMethod::kParticleFilter;
   FilterConfig filter;
   SymbolicConfig symbolic;
+  // Default per-query deadline in milliseconds; 0 disables degradation.
+  // Per-call overloads of EvaluateRange/EvaluateKnn override it.
+  int64_t deadline_ms = 0;
+  DegradePolicy degrade;
   // u_max used by the query-aware optimization module's uncertain regions.
   double max_speed = 1.5;
   bool use_pruning = true;  // Query aware optimization module on/off.
@@ -70,6 +94,15 @@ struct EngineStats {
   int64_t filter_seconds = 0;       // Total filtered seconds (work proxy).
 };
 
+// How often deadline pressure pushed answers down the quality ladder.
+struct DegradeStats {
+  int64_t full = 0;               // Queries answered at kFull.
+  int64_t cached_stale = 0;       // ... at kCachedStale.
+  int64_t reduced_particles = 0;  // ... at kReducedParticles.
+  int64_t prune_only = 0;         // ... at kPruneOnly.
+  int64_t stale_served_objects = 0;  // Objects served a cached state as-is.
+};
+
 // The end-to-end indoor spatial query evaluation system (Figure 3): data
 // collector -> query aware optimization -> inference (particle filter with
 // cache, or symbolic baseline) -> APtoObjHT -> query evaluation.
@@ -93,11 +126,19 @@ class QueryEngine {
               const DeploymentGraph* deployment_graph,
               const DataCollector* collector, const EngineConfig& config);
 
-  // Probability each object lies in `window` at time `now`.
+  // Probability each object lies in `window` at time `now`. Uses
+  // config.deadline_ms (0 = never degrade); the overload takes an explicit
+  // per-query deadline. The answer's `quality` field reports the level the
+  // admission policy chose.
   QueryResult EvaluateRange(const Rect& window, int64_t now);
+  QueryResult EvaluateRange(const Rect& window, int64_t now,
+                            int64_t deadline_ms);
 
-  // Probabilistic kNN at time `now` (Algorithm 4 result semantics).
+  // Probabilistic kNN at time `now` (Algorithm 4 result semantics), with
+  // the same deadline handling as EvaluateRange.
   KnnResult EvaluateKnn(const Point& query, int k, int64_t now);
+  KnnResult EvaluateKnn(const Point& query, int k, int64_t now,
+                        int64_t deadline_ms);
 
   // Location distribution of one object at `now`, inferring it if needed;
   // nullptr when the object has never been detected.
@@ -112,8 +153,19 @@ class QueryEngine {
 
   const EngineConfig& config() const { return config_; }
   EngineStats stats() const;
+  DegradeStats degrade_stats() const;
   ParticleCache::Stats cache_stats() const { return cache_.stats(); }
   void ResetStats();
+
+  // Particle-cache contents, for the persistence layer (src/persist/).
+  // Restoring the cache of a crashed engine makes the recovered engine's
+  // cache-dependent answers byte-identical to the uninterrupted run's.
+  std::vector<ParticleCache::PersistedEntry> ExportCacheEntries() const {
+    return cache_.ExportEntries();
+  }
+  void RestoreCacheEntries(std::vector<ParticleCache::PersistedEntry> entries) {
+    cache_.RestoreEntries(std::move(entries));
+  }
 
   // The current APtoObjHT (valid for the last queried timestamp).
   const AnchorObjectTable& table() const { return table_; }
@@ -141,6 +193,22 @@ class QueryEngine {
     obs::Histogram* snap_ns = nullptr;
   };
 
+  struct DegradeCounters {
+    obs::Counter* full = nullptr;
+    obs::Counter* cached_stale = nullptr;
+    obs::Counter* reduced_particles = nullptr;
+    obs::Counter* prune_only = nullptr;
+    obs::Counter* stale_served_objects = nullptr;
+  };
+
+  // The admission decision for one deadline-bound query: which rung of the
+  // quality ladder to serve from, and which candidates go down which path.
+  struct InferPlan {
+    QualityLevel level = QualityLevel::kFull;
+    std::vector<ObjectId> stale;  // Serve cached state as-is (L1/L2).
+    std::vector<ObjectId> infer;  // Freshly infer (full or reduced Ns).
+  };
+
   // Registers every metric under config.metrics_prefix and wires the
   // filter, cache, and (lazily) the thread pool.
   void InitObservability();
@@ -155,6 +223,30 @@ class QueryEngine {
   std::optional<AnchorDistribution> ComputeInference(ObjectId object,
                                                      int64_t now);
 
+  // ComputeInference with an explicit filter and cache policy; the
+  // degraded path uses it to run reduced-particle inference that neither
+  // reads nor pollutes the full-quality cache.
+  std::optional<AnchorDistribution> ComputeInferenceWith(
+      ObjectId object, int64_t now, const ParticleFilter& filter,
+      bool cache_read, bool cache_write);
+
+  // Picks the highest quality level whose estimated filter-seconds fit
+  // deadline_ms * degrade.filter_seconds_per_ms. Pure function of the
+  // candidates' histories and the cache state (work estimates, not clocks).
+  InferPlan PlanInference(const std::vector<ObjectId>& candidates,
+                          int64_t now, int64_t deadline_ms);
+
+  // Runs a degraded (L1/L2) plan into `out` — a scratch table, so degraded
+  // distributions are never memoized for later full-quality queries.
+  void ExecuteDegradedPlan(const InferPlan& plan, int64_t now,
+                           AnchorObjectTable* out);
+  void CountPlan(const InferPlan& plan);
+
+  QueryResult PruneOnlyRange(const std::vector<ObjectId>& candidates,
+                             const Rect& window, int64_t now) const;
+  KnnResult PruneOnlyKnn(const std::vector<ObjectId>& candidates,
+                         const GraphLocation& query, int k, int64_t now) const;
+
   const WalkingGraph* graph_;
   const AnchorPointIndex* anchors_;
   const Deployment* deployment_;
@@ -162,6 +254,9 @@ class QueryEngine {
   EngineConfig config_;
 
   ParticleFilter filter_;
+  // Reduced-Ns twin of filter_ for kReducedParticles runs; null when the
+  // policy's reduced_particles is not usable (< 1).
+  std::unique_ptr<ParticleFilter> degraded_filter_;
   SymbolicInference symbolic_;
   ParticleCache cache_;
   RangeQueryEvaluator range_eval_;
@@ -175,6 +270,7 @@ class QueryEngine {
   std::unique_ptr<obs::MetricsRegistry> own_registry_;
   obs::MetricsRegistry* metrics_ = nullptr;
   StatCounters counters_;
+  DegradeCounters degrade_counters_;
   StageTimers timers_;
   obs::TraceRecorder* trace_ = nullptr;
 

@@ -7,6 +7,7 @@
 #include "filter/anchor_distribution.h"
 #include "floorplan/floor_plan.h"
 #include "graph/anchor_points.h"
+#include "query/quality.h"
 #include "rfid/reader.h"
 
 namespace ipqs {
@@ -15,6 +16,9 @@ namespace ipqs {
 // probability of satisfying the query.
 struct QueryResult {
   std::vector<std::pair<ObjectId, double>> objects;
+  // Fidelity the answer was computed at (see quality.h); anything other
+  // than kFull means the engine degraded to meet a deadline.
+  QualityLevel quality = QualityLevel::kFull;
 
   double TotalProbability() const;
   double ProbabilityOf(ObjectId object) const;

@@ -179,6 +179,35 @@ std::vector<ObjectId> DataCollector::KnownObjects() const {
   return out;
 }
 
+DataCollector::PersistedState DataCollector::ExportState() const {
+  PersistedState state;
+  state.histories.reserve(histories_.size());
+  for (const auto& [id, history] : histories_) {
+    state.histories.emplace_back(id, history);
+  }
+  std::sort(state.histories.begin(), state.histories.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  state.staged = staged_;
+  state.max_seen_time = max_seen_time_;
+  state.watermark = watermark_;
+  state.ingest = ingest_stats_;
+  return state;
+}
+
+void DataCollector::RestoreState(PersistedState state) {
+  histories_.clear();
+  for (auto& [id, history] : state.histories) {
+    histories_.emplace(id, std::move(history));
+  }
+  staged_ = std::move(state.staged);
+  max_seen_time_ = state.max_seen_time;
+  watermark_ = state.watermark;
+  ingest_stats_ = state.ingest;
+  if (metrics_.objects != nullptr) {
+    metrics_.objects->Set(static_cast<int64_t>(histories_.size()));
+  }
+}
+
 size_t DataCollector::TotalEntriesRetained() const {
   size_t total = 0;
   for (const auto& [_, h] : histories_) {

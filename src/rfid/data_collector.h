@@ -49,6 +49,9 @@ struct CollectorConfig {
 struct AggregatedEntry {
   int64_t time = 0;
   ReaderId reader = kInvalidId;
+
+  friend bool operator==(const AggregatedEntry&,
+                         const AggregatedEntry&) = default;
 };
 
 // An ENTER or LEAVE event: the object entered/left the activation range of
@@ -89,6 +92,8 @@ class DataCollector {
       IPQS_CHECK(!entries.empty());
       return entries.back().time;
     }
+
+    friend bool operator==(const ObjectHistory&, const ObjectHistory&) = default;
   };
 
   // Plain tallies of the hardening guards, available without a metrics
@@ -97,6 +102,8 @@ class DataCollector {
     int64_t reordered = 0;
     int64_t duplicates_dropped = 0;
     int64_t late_dropped = 0;
+
+    friend bool operator==(const IngestStats&, const IngestStats&) = default;
   };
 
   DataCollector() = default;
@@ -145,6 +152,25 @@ class DataCollector {
 
   // Total aggregated entries currently retained (storage metric).
   size_t TotalEntriesRetained() const;
+
+  // The complete mutable state of the collector, in a deterministic order
+  // (histories ascending by object), for the persistence layer
+  // (src/persist/). Config and metrics hooks are NOT part of the state:
+  // they belong to the process, not to the data.
+  struct PersistedState {
+    std::vector<std::pair<ObjectId, ObjectHistory>> histories;
+    std::vector<RawReading> staged;
+    int64_t max_seen_time = std::numeric_limits<int64_t>::min();
+    int64_t watermark = std::numeric_limits<int64_t>::min();
+    IngestStats ingest;
+
+    friend bool operator==(const PersistedState&,
+                           const PersistedState&) = default;
+  };
+  PersistedState ExportState() const;
+  // Replaces the collector's state wholesale (recovery). The configured
+  // reorder window and metrics hooks are kept as-is.
+  void RestoreState(PersistedState state);
 
  private:
   // Applies one reading to the aggregated histories (the original

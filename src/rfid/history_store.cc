@@ -80,6 +80,24 @@ std::vector<ObjectId> HistoryStore::KnownObjects() const {
   return out;
 }
 
+HistoryStore::PersistedState HistoryStore::ExportState() const {
+  PersistedState state;
+  state.logs.reserve(entries_.size());
+  for (const auto& [id, log] : entries_) {
+    state.logs.emplace_back(id, log);
+  }
+  std::sort(state.logs.begin(), state.logs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return state;
+}
+
+void HistoryStore::RestoreState(PersistedState state) {
+  entries_.clear();
+  for (auto& [id, log] : state.logs) {
+    entries_.emplace(id, std::move(log));
+  }
+}
+
 size_t HistoryStore::TotalEntries() const {
   size_t total = 0;
   for (const auto& [_, log] : entries_) {

@@ -40,6 +40,17 @@ class HistoryStore {
   std::vector<ObjectId> KnownObjects() const;
   size_t TotalEntries() const;
 
+  // Complete store state in deterministic order (ascending object), for
+  // the persistence layer (src/persist/).
+  struct PersistedState {
+    std::vector<std::pair<ObjectId, std::vector<AggregatedEntry>>> logs;
+
+    friend bool operator==(const PersistedState&,
+                           const PersistedState&) = default;
+  };
+  PersistedState ExportState() const;
+  void RestoreState(PersistedState state);
+
  private:
   std::unordered_map<ObjectId, std::vector<AggregatedEntry>> entries_;
 };

@@ -17,6 +17,8 @@ struct RawReading {
   ObjectId object = kInvalidId;
   ReaderId reader = kInvalidId;
   int64_t time = 0;
+
+  friend bool operator==(const RawReading&, const RawReading&) = default;
 };
 
 // A stationary RFID reader deployed on a hallway. Its activation range is a

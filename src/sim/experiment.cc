@@ -120,6 +120,7 @@ StatusOr<ExperimentResult> Experiment::Run() {
   result.pf_stats = sim->pf_engine().stats();
   result.sm_stats = sim->sm_engine().stats();
   result.cache_stats = sim->pf_engine().cache_stats();
+  result.pf_degrade = sim->pf_engine().degrade_stats();
   result.fault_stats = sim->fault_stats();
   result.ingest_stats = sim->collector().ingest_stats();
   return result;

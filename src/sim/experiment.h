@@ -53,6 +53,8 @@ struct ExperimentResult {
   EngineStats pf_stats;
   EngineStats sm_stats;
   ParticleCache::Stats cache_stats;
+  // Deadline-degradation tallies (all at kFull when no deadline is set).
+  DegradeStats pf_degrade;
 
   // Fault-injection tallies (all zero when the FaultPlan is off).
   FaultInjector::Stats fault_stats;

@@ -87,6 +87,8 @@ Status Simulation::Init() {
   pf_config.use_pruning = config_.use_pruning;
   pf_config.use_cache = config_.use_cache;
   pf_config.num_threads = config_.num_threads;
+  pf_config.deadline_ms = config_.deadline_ms;
+  pf_config.degrade = config_.degrade;
   pf_config.seed = config_.seed + 2;
   pf_config.metrics = config_.metrics;
   pf_config.metrics_prefix = "pf";
@@ -103,7 +105,74 @@ Status Simulation::Init() {
       &graph_, &plan_, anchors_.get(), anchor_graph_.get(), &deployment_,
       deployment_graph_.get(), &collector_, sm_config);
 
+  if (!config_.persist.dir.empty()) {
+    persist_metrics_ = persist::PersistMetrics::FromRegistry(config_.metrics);
+    if (config_.persist_recover) {
+      IPQS_RETURN_IF_ERROR(RecoverServingState());
+    } else {
+      IPQS_RETURN_IF_ERROR(checkpoint_.OpenFresh(config_.persist,
+                                                 persist_metrics_, now_));
+    }
+  } else if (config_.persist_recover) {
+    return Status::InvalidArgument(
+        "persist_recover requires persist.dir to be set");
+  }
+
   return Status::Ok();
+}
+
+persist::SnapshotData Simulation::BuildSnapshot() const {
+  persist::SnapshotData data;
+  data.now = now_;
+  data.collector = collector_.ExportState();
+  data.history = history_.ExportState();
+  data.pf_cache = pf_engine_->ExportCacheEntries();
+  return data;
+}
+
+Status Simulation::RecoverServingState() {
+  IPQS_ASSIGN_OR_RETURN(
+      persist::Recovered recovered,
+      persist::CheckpointManager::Recover(config_.persist, persist_metrics_));
+  const int64_t replay_start = obs::MonotonicNanos();
+  if (recovered.have_snapshot) {
+    collector_.RestoreState(std::move(recovered.snapshot.collector));
+    history_.RestoreState(std::move(recovered.snapshot.history));
+    pf_engine_->RestoreCacheEntries(std::move(recovered.snapshot.pf_cache));
+    now_ = recovered.snapshot.now;
+  }
+  // The WAL tail goes back through the exact ingestion path live readings
+  // took — Observe per reading, Flush per second — so hand-off handling,
+  // duplicate suppression, and watermark advancement all replay as they
+  // originally ran.
+  for (const persist::WalRecord& record : recovered.wal_tail) {
+    for (const RawReading& r : record.readings) {
+      collector_.Observe(r);
+      history_.Observe(r);
+    }
+    collector_.Flush(record.time);
+    now_ = record.time;
+  }
+  recovery_report_.recovered = true;
+  recovery_report_.from_snapshot = recovered.have_snapshot;
+  recovery_report_.snapshot_time = recovered.snapshot_time;
+  recovery_report_.wal_records_replayed = recovered.wal_tail.size();
+  recovery_report_.corrupt_snapshots_skipped =
+      recovered.corrupt_snapshots_skipped;
+  recovery_report_.wal_tails_truncated = recovered.wal_tails_truncated;
+  recovery_report_.replay_ns = obs::MonotonicNanos() - replay_start;
+  if (persist_metrics_.recovery_replay_ns != nullptr) {
+    persist_metrics_.recovery_replay_ns->Observe(recovery_report_.replay_ns);
+  }
+  return checkpoint_.OpenAfterRecover(config_.persist, persist_metrics_,
+                                      recovered);
+}
+
+Status Simulation::CheckpointNow() {
+  if (!checkpoint_.is_open()) {
+    return Status::FailedPrecondition("persistence not enabled");
+  }
+  return checkpoint_.WriteSnapshot(BuildSnapshot());
 }
 
 void Simulation::Step() {
@@ -118,6 +187,20 @@ void Simulation::Step() {
     history_.Observe(r);
   }
   collector_.Flush(now_);
+
+  if (checkpoint_.is_open() && persist_status_.ok()) {
+    // Log exactly what the collector consumed (post fault injection), one
+    // record per second even when empty, so replay re-drives the same
+    // Flush schedule and the recovered clock lands on this second.
+    persist::WalRecord record;
+    record.time = now_;
+    record.readings = std::move(batch);
+    persist_status_ = checkpoint_.AppendWal(record);
+    if (persist_status_.ok() && config_.persist.snapshot_interval_seconds > 0 &&
+        now_ % config_.persist.snapshot_interval_seconds == 0) {
+      persist_status_ = checkpoint_.WriteSnapshot(BuildSnapshot());
+    }
+  }
 }
 
 void Simulation::Run(int seconds) {

@@ -7,6 +7,7 @@
 #include "common/statusor.h"
 #include "faults/fault_injector.h"
 #include "floorplan/io.h"
+#include "persist/checkpoint.h"
 #include "floorplan/office_generator.h"
 #include "graph/anchor_graph.h"
 #include "graph/anchor_points.h"
@@ -61,6 +62,33 @@ struct SimulationConfig {
   // query answers.
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceRecorder* trace_recorder = nullptr;
+  // Per-query deadline forwarded to both engines (see
+  // EngineConfig::deadline_ms); 0 = never degrade.
+  int64_t deadline_ms = 0;
+  DegradePolicy degrade;
+  // Durability (src/persist/): with persist.dir set, every Step appends
+  // the second's delivered batch to the WAL and a snapshot of the serving
+  // state is cut every persist.snapshot_interval_seconds.
+  persist::PersistConfig persist;
+  // Recover from persist.dir instead of starting fresh: load the newest
+  // valid snapshot, replay the WAL tail through the normal ingestion path,
+  // and resume the clock at the last durable second. Restores the SERVING
+  // state (collector, history store, PF cache, clock) — the world-side
+  // generators (object traces, reading generation) restart from the
+  // configured seed, so recovery is for serving queries over ingested
+  // data, not for resuming trace generation mid-walk.
+  bool persist_recover = false;
+};
+
+// What recovery found and replayed (valid when persist_recover was set).
+struct RecoveryReport {
+  bool recovered = false;
+  bool from_snapshot = false;
+  int64_t snapshot_time = -1;        // -1 when cold-started from the WAL.
+  size_t wal_records_replayed = 0;
+  int corrupt_snapshots_skipped = 0;
+  int wal_tails_truncated = 0;
+  int64_t replay_ns = 0;
 };
 
 // Owns the complete simulated world and keeps the particle-filter engine
@@ -107,6 +135,18 @@ class Simulation {
   QueryEngine& pf_engine() { return *pf_engine_; }
   QueryEngine& sm_engine() { return *sm_engine_; }
 
+  // Forces a snapshot of the current serving state (normally one is cut
+  // every persist.snapshot_interval_seconds during Step). No-op error if
+  // persistence is not enabled.
+  Status CheckpointNow();
+
+  // First persistence failure (WAL append or snapshot write), if any;
+  // after a failure the simulation keeps running but stops persisting.
+  const Status& persist_status() const { return persist_status_; }
+
+  // Populated when the simulation was created with persist_recover.
+  const RecoveryReport& recovery_report() const { return recovery_report_; }
+
   // A dedicated random stream for experiment-level draws (query windows,
   // query points), independent of the world's evolution.
   Rng& query_rng() { return query_rng_; }
@@ -114,6 +154,12 @@ class Simulation {
  private:
   explicit Simulation(const SimulationConfig& config);
   Status Init();
+
+  // Serving state as of now_, ready to write out.
+  persist::SnapshotData BuildSnapshot() const;
+  // Restores snapshot state (if any) and replays the WAL tail through the
+  // normal ingestion path (Observe + Flush, second by second).
+  Status RecoverServingState();
 
   SimulationConfig config_;
   FloorPlan plan_;
@@ -133,6 +179,11 @@ class Simulation {
   std::unique_ptr<GroundTruth> ground_truth_;
   std::unique_ptr<QueryEngine> pf_engine_;
   std::unique_ptr<QueryEngine> sm_engine_;
+
+  persist::CheckpointManager checkpoint_;
+  persist::PersistMetrics persist_metrics_;
+  Status persist_status_;
+  RecoveryReport recovery_report_;
 
   int64_t now_ = 0;
 };

@@ -13,6 +13,8 @@
 //                  [--reorder_rate=0.0] [--reorder_window=0]
 //                  [--batch_delay_rate=0.0] [--noise_rate=0.0]
 //                  [--clock_skew=0]
+//                  [--checkpoint_dir=<dir>] [--checkpoint_interval=60]
+//                  [--recover=false] [--deadline_ms=0]
 //                  [--metrics_json=<file>] [--trace_out=<file>]
 //                  [--log_level=info]
 //
@@ -30,6 +32,16 @@
 // --reorder_window=N arms the collector's reorder buffer to repair
 // deliveries late by at most N seconds. See EXPERIMENTS.md, "Fault
 // ablation".
+//
+// Durability (src/persist/): --checkpoint_dir=DIR appends every second's
+// readings to a write-ahead log there and snapshots the serving state
+// every --checkpoint_interval simulated seconds. --recover=true skips the
+// experiment protocol, restores the serving state from DIR (newest valid
+// snapshot + WAL tail), prints a recovery report, and answers a small
+// deterministic query panel so recovered state can be compared across
+// runs. --deadline_ms=D arms deadline-aware degradation: queries whose
+// estimated inference work exceeds the budget are served from the quality
+// ladder (see src/query/quality.h) and counted per level.
 //
 // Observability: --metrics_json=FILE dumps every counter, gauge, and
 // per-stage latency histogram (p50/p90/p99) as stable JSON after the run;
@@ -87,6 +99,18 @@ int main(int argc, char** argv) {
   config.sim.collector.reorder_window_seconds =
       flags.GetInt("reorder_window", 0);
 
+  config.sim.persist.dir = flags.GetString("checkpoint_dir", "");
+  config.sim.persist.snapshot_interval_seconds =
+      flags.GetInt("checkpoint_interval", 60);
+  const bool recover = flags.GetBool("recover", false);
+  config.sim.persist_recover = recover;
+  config.sim.deadline_ms =
+      static_cast<int64_t>(flags.GetInt("deadline_ms", 0));
+  if (recover && config.sim.persist.dir.empty()) {
+    std::fprintf(stderr, "--recover requires --checkpoint_dir\n");
+    return 1;
+  }
+
   const std::string log_level = flags.GetString("log_level", "");
   if (!log_level.empty()) {
     const std::optional<LogLevel> level = ParseLogLevel(log_level);
@@ -128,6 +152,52 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (recover) {
+    // Recovery mode: restore the serving state and answer a deterministic
+    // query panel instead of running the experiment protocol.
+    auto sim = Simulation::Create(config.sim);
+    if (!sim.ok()) {
+      std::fprintf(stderr, "recovery failed: %s\n",
+                   sim.status().ToString().c_str());
+      return 1;
+    }
+    Simulation& s = **sim;
+    const RecoveryReport& report = s.recovery_report();
+    std::printf("recovered:            now=%lld (%s, snapshot_time=%lld)\n",
+                static_cast<long long>(s.now()),
+                report.from_snapshot ? "snapshot + WAL tail" : "WAL only",
+                static_cast<long long>(report.snapshot_time));
+    std::printf(
+        "replayed:             %zu WAL records in %.3f ms "
+        "(%d corrupt snapshots skipped, %d torn WAL tails)\n",
+        report.wal_records_replayed, report.replay_ns / 1e6,
+        report.corrupt_snapshots_skipped, report.wal_tails_truncated);
+    std::printf("known objects:        %zu\n",
+                s.collector().KnownObjects().size());
+
+    Rng& rng = s.query_rng();
+    const int64_t now = s.now();
+    for (int i = 0; i < 5; ++i) {
+      const Rect window =
+          Experiment::RandomWindow(s.plan(), config.window_area_fraction, rng);
+      const QueryResult r = s.pf_engine().EvaluateRange(window, now);
+      std::printf("range[%d]:             %zu objects, total p=%.6f (%s)\n", i,
+                  r.objects.size(), r.TotalProbability(),
+                  std::string(ToString(r.quality)).c_str());
+    }
+    const Point q = Experiment::RandomIndoorPoint(s.anchors(), rng);
+    const KnnResult knn = s.pf_engine().EvaluateKnn(q, config.k, now);
+    std::printf("knn:                  %zu objects, total p=%.6f (%s)\n",
+                knn.result.objects.size(), knn.total_probability,
+                std::string(ToString(knn.result.quality)).c_str());
+    if (!metrics_json.empty() && !registry.WriteJsonFile(metrics_json)) {
+      std::fprintf(stderr, "cannot write metrics to %s\n",
+                   metrics_json.c_str());
+      return 1;
+    }
+    return 0;
+  }
+
   const auto result = Experiment(config).Run();
   if (!result.ok()) {
     std::fprintf(stderr, "experiment failed: %s\n",
@@ -148,6 +218,20 @@ int main(int argc, char** argv) {
               static_cast<long long>(result->pf_stats.filter_resumes),
               static_cast<long long>(result->pf_stats.filter_seconds));
   std::printf("cache hit rate:       %.3f\n", result->cache_stats.HitRate());
+  if (config.sim.deadline_ms > 0) {
+    const DegradeStats& d = result->pf_degrade;
+    const int64_t degraded =
+        d.cached_stale + d.reduced_particles + d.prune_only;
+    const int64_t total = d.full + degraded;
+    std::printf(
+        "degraded answers:     %lld/%lld (%lld stale, %lld reduced, "
+        "%lld prune-only; %lld objects served stale)\n",
+        static_cast<long long>(degraded), static_cast<long long>(total),
+        static_cast<long long>(d.cached_stale),
+        static_cast<long long>(d.reduced_particles),
+        static_cast<long long>(d.prune_only),
+        static_cast<long long>(d.stale_served_objects));
+  }
   if (config.sim.faults.Enabled()) {
     std::printf("faults:               %s\n",
                 config.sim.faults.ToString().c_str());
