@@ -102,8 +102,18 @@ std::vector<AnchorId> AnchorDistribution::TopK(int k) const {
 
 void AnchorObjectTable::Set(ObjectId object, AnchorDistribution distribution) {
   Erase(object);
+  // Per-anchor lists stay sorted by object id, so the table's content — and
+  // every accumulation order downstream of AtAnchor — is canonical: it
+  // depends only on WHICH (object, distribution) pairs are present, never
+  // on the order queries inserted them in.
   for (const auto& [anchor, p] : distribution.entries()) {
-    by_anchor_[anchor].emplace_back(object, p);
+    auto& list = by_anchor_[anchor];
+    const auto pos = std::lower_bound(
+        list.begin(), list.end(), object,
+        [](const std::pair<ObjectId, double>& e, ObjectId id) {
+          return e.first < id;
+        });
+    list.emplace(pos, object, p);
   }
   by_object_[object] = std::move(distribution);
 }

@@ -66,7 +66,10 @@ class AnchorObjectTable {
 
   void Clear();
 
-  // Objects with probability mass at `anchor` (empty list when none).
+  // Objects with probability mass at `anchor`, ascending by object id
+  // (empty list when none). The ordering is part of the contract: it makes
+  // the table canonical by content, so evaluation results cannot depend on
+  // insertion order.
   const std::vector<std::pair<ObjectId, double>>& AtAnchor(
       AnchorId anchor) const;
 

@@ -1,0 +1,133 @@
+#include "graph/distance_index.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ipqs {
+
+DistanceIndex::DistanceIndex(const WalkingGraph* graph, size_t capacity)
+    : graph_(graph),
+      per_shard_capacity_(std::max<size_t>(capacity / kNumShards, 1)) {
+  IPQS_CHECK(graph != nullptr);
+}
+
+GraphLocation DistanceIndex::Canonicalize(const GraphLocation& source) const {
+  GraphLocation loc = source;
+  const Edge& e = graph_->edge(loc.edge);
+  loc.offset = std::clamp(loc.offset, 0.0, e.length);
+  // A location exactly on a node is reachable through every incident edge;
+  // rewrite it to the lowest incident edge id so all spellings share one
+  // table.
+  NodeId node = kInvalidId;
+  if (loc.offset == 0.0) {
+    node = e.a;
+  } else if (loc.offset == e.length) {
+    node = e.b;
+  }
+  if (node != kInvalidId) {
+    EdgeId lowest = loc.edge;
+    for (EdgeId eid : graph_->node(node).edges) {
+      lowest = std::min(lowest, eid);
+    }
+    loc.edge = lowest;
+    loc.offset = graph_->OffsetOfNode(lowest, node);
+  }
+  return loc;
+}
+
+std::shared_ptr<const OneToAllDistances> DistanceIndex::Lookup(
+    const GraphLocation& source) {
+  const GraphLocation canon = Canonicalize(source);
+  const Key key = MakeKey(canon);
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      ++shard.stats.hits;
+      if (!it->second.pinned) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+      }
+      if (metrics_.hits != nullptr) metrics_.hits->Increment();
+      return it->second.table;
+    }
+    ++shard.stats.misses;
+  }
+  if (metrics_.misses != nullptr) metrics_.misses->Increment();
+  // Dijkstra outside the lock: a racing miss for the same key computes an
+  // identical table and Insert keeps whichever landed first.
+  auto table = std::make_shared<const OneToAllDistances>(*graph_, canon);
+  return Insert(key, std::move(table), /*pinned=*/false);
+}
+
+void DistanceIndex::Pin(const GraphLocation& source) {
+  const GraphLocation canon = Canonicalize(source);
+  const Key key = MakeKey(canon);
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.entries.find(key);
+    if (it != shard.entries.end() && it->second.pinned) {
+      return;  // Already pinned.
+    }
+  }
+  auto table = std::make_shared<const OneToAllDistances>(*graph_, canon);
+  Insert(key, std::move(table), /*pinned=*/true);
+}
+
+std::shared_ptr<const OneToAllDistances> DistanceIndex::Insert(
+    const Key& key, std::shared_ptr<const OneToAllDistances> table,
+    bool pinned) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    if (pinned && !it->second.pinned) {
+      // Promote in place: drop from the LRU list, keep the resident table.
+      shard.lru.erase(it->second.lru_pos);
+      it->second.pinned = true;
+    }
+    return it->second.table;
+  }
+
+  Entry entry;
+  entry.table = std::move(table);
+  entry.pinned = pinned;
+  if (!pinned) {
+    shard.lru.push_front(key);
+    entry.lru_pos = shard.lru.begin();
+    while (shard.lru.size() > per_shard_capacity_) {
+      const Key victim = shard.lru.back();
+      shard.lru.pop_back();
+      shard.entries.erase(victim);
+      ++shard.stats.evictions;
+      if (metrics_.evictions != nullptr) metrics_.evictions->Increment();
+    }
+  }
+  return shard.entries.emplace(key, std::move(entry)).first->second.table;
+}
+
+size_t DistanceIndex::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+DistanceIndex::Stats DistanceIndex::stats() const {
+  Stats out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.hits += shard.stats.hits;
+    out.misses += shard.stats.misses;
+    out.evictions += shard.stats.evictions;
+    out.entries += shard.entries.size();
+    out.pinned += shard.entries.size() - shard.lru.size();
+  }
+  return out;
+}
+
+}  // namespace ipqs

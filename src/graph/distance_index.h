@@ -1,0 +1,138 @@
+#ifndef IPQS_GRAPH_DISTANCE_INDEX_H_
+#define IPQS_GRAPH_DISTANCE_INDEX_H_
+
+#include <cstdint>
+#include <cstring>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "graph/shortest_path.h"
+#include "graph/walking_graph.h"
+#include "obs/metrics.h"
+
+namespace ipqs {
+
+// Optional observability hooks for a DistanceIndex; any member may be null.
+struct DistanceIndexMetrics {
+  obs::Counter* hits = nullptr;
+  obs::Counter* misses = nullptr;     // Lookups that had to run Dijkstra.
+  obs::Counter* evictions = nullptr;  // LRU evictions (pinned never evict).
+};
+
+// Shared, shard-locked LRU store of one-to-all network distance tables,
+// keyed by their (canonicalized) source location. Query serving repeatedly
+// needs distances from the same handful of sources — query points of a hot
+// panel, anchor points that arbitrary query locations canonicalize to,
+// reader positions — and each table costs a full Dijkstra to build; this
+// index computes each at most once and hands out shared ownership so
+// concurrent queries read one immutable table instead of rebuilding it.
+//
+// Canonicalization: offsets are clamped to [0, edge length], and a location
+// sitting exactly on a node is rewritten to (lowest-id incident edge,
+// endpoint offset) so the same physical point reached through different
+// edges shares one entry.
+//
+// Concurrency: entries are sharded by key hash with one mutex per shard
+// (the ParticleCache recipe), so lookups from the inference thread pool
+// never serialize on a global lock. A miss runs Dijkstra OUTSIDE the shard
+// lock; two racing misses may both compute, and the loser's table is
+// dropped (correctness is unaffected — both computed identical tables).
+//
+// Capacity bounds the number of UNPINNED entries per shard; Pin() entries
+// (e.g. every reader position, pinned at engine construction) never age
+// out.
+class DistanceIndex {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    size_t entries = 0;
+    size_t pinned = 0;
+
+    double HitRate() const {
+      const int64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+
+  // `capacity` bounds the unpinned entries across all shards (at least one
+  // per shard is always allowed).
+  explicit DistanceIndex(const WalkingGraph* graph, size_t capacity = 256);
+
+  // Installs observability hooks. Not thread-safe: call before the index
+  // is shared across threads.
+  void SetMetrics(const DistanceIndexMetrics& metrics) { metrics_ = metrics; }
+
+  // The distance table sourced at `source`, computed and cached on first
+  // use. The returned table outlives any later eviction (shared ownership).
+  std::shared_ptr<const OneToAllDistances> Lookup(const GraphLocation& source);
+
+  // Computes (if absent) and pins the table for `source`: pinned entries
+  // are never evicted. Counted as neither hit nor miss.
+  void Pin(const GraphLocation& source);
+
+  // The canonical key location for `source` (see class comment); exposed
+  // so callers can reason about which sources share an entry.
+  GraphLocation Canonicalize(const GraphLocation& source) const;
+
+  size_t size() const;
+  Stats stats() const;
+
+ private:
+  struct Key {
+    EdgeId edge = kInvalidId;
+    uint64_t offset_bits = 0;  // Bit pattern: exact-match keying.
+
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = static_cast<uint64_t>(k.edge) * 0x9e3779b97f4a7c15ULL;
+      h ^= k.offset_bits + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+  struct Entry {
+    std::shared_ptr<const OneToAllDistances> table;
+    bool pinned = false;
+    // Position in Shard::lru (unpinned entries only).
+    std::list<Key>::iterator lru_pos;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, Entry, KeyHash> entries;
+    std::list<Key> lru;  // Front = most recently used.
+    Stats stats;
+  };
+
+  static constexpr size_t kNumShards = 16;
+
+  static Key MakeKey(const GraphLocation& loc) {
+    Key key;
+    key.edge = loc.edge;
+    static_assert(sizeof(loc.offset) == sizeof(key.offset_bits));
+    std::memcpy(&key.offset_bits, &loc.offset, sizeof(key.offset_bits));
+    return key;
+  }
+  Shard& ShardFor(const Key& key) {
+    return shards_[KeyHash{}(key) % kNumShards];
+  }
+
+  // Inserts `table` under `key` if absent; bumps/evicts LRU state. Returns
+  // the resident table (the pre-existing one if a racing insert won).
+  std::shared_ptr<const OneToAllDistances> Insert(
+      const Key& key, std::shared_ptr<const OneToAllDistances> table,
+      bool pinned);
+
+  const WalkingGraph* graph_;
+  const size_t per_shard_capacity_;
+  Shard shards_[kNumShards];
+  DistanceIndexMetrics metrics_;
+};
+
+}  // namespace ipqs
+
+#endif  // IPQS_GRAPH_DISTANCE_INDEX_H_

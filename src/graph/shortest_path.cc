@@ -84,7 +84,10 @@ Path::Path(std::vector<PathLeg> legs) : legs_(std::move(legs)) {
 }
 
 GraphLocation Path::Locate(double s) const {
-  IPQS_CHECK(!legs_.empty());
+  if (legs_.empty()) {
+    IPQS_CHECK(anchor_.has_value());
+    return *anchor_;
+  }
   s = std::clamp(s, 0.0, length_);
   // Binary search for the leg containing arc length s.
   size_t idx =
@@ -100,12 +103,18 @@ GraphLocation Path::Locate(double s) const {
 }
 
 GraphLocation Path::Start() const {
-  IPQS_CHECK(!legs_.empty());
+  if (legs_.empty()) {
+    IPQS_CHECK(anchor_.has_value());
+    return *anchor_;
+  }
   return GraphLocation{legs_.front().edge, legs_.front().from_offset};
 }
 
 GraphLocation Path::End() const {
-  IPQS_CHECK(!legs_.empty());
+  if (legs_.empty()) {
+    IPQS_CHECK(anchor_.has_value());
+    return *anchor_;
+  }
   return GraphLocation{legs_.back().edge, legs_.back().to_offset};
 }
 
@@ -121,7 +130,54 @@ double OneToAllDistances::ToLocation(const GraphLocation& loc) const {
 
 double NetworkDistance(const WalkingGraph& graph, const GraphLocation& from,
                        const GraphLocation& to) {
-  return OneToAllDistances(graph, from).ToLocation(to);
+  const Edge& te = graph.edge(to.edge);
+  // Best distance provable so far: the same-edge shortcut plus any settled
+  // target-endpoint route. Terms are the exact expressions LocationDistance
+  // evaluates, so the early exit cannot change the result bit-wise.
+  double best = kInf;
+  if (from.edge == to.edge) {
+    best = std::fabs(from.offset - to.offset);
+  }
+
+  std::vector<double> dist(graph.num_nodes(), kInf);
+  std::vector<char> settled(graph.num_nodes(), 0);
+  const Edge& fe = graph.edge(from.edge);
+  MinQueue queue;
+  dist[fe.a] = from.offset;
+  dist[fe.b] = fe.length - from.offset;
+  queue.push({dist[fe.a], fe.a});
+  queue.push({dist[fe.b], fe.b});
+
+  while (!queue.empty()) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    if (top.dist > dist[top.node]) {
+      continue;  // Stale entry.
+    }
+    if (top.dist >= best) {
+      break;  // Every remaining route is at least `best` long already.
+    }
+    settled[top.node] = 1;
+    if (top.node == te.a) {
+      best = std::min(best, dist[te.a] + to.offset);
+    }
+    if (top.node == te.b) {
+      best = std::min(best, dist[te.b] + (te.length - to.offset));
+    }
+    if (settled[te.a] && settled[te.b]) {
+      break;  // Both routes into the target edge are final.
+    }
+    for (EdgeId eid : graph.node(top.node).edges) {
+      const Edge& out = graph.edge(eid);
+      const NodeId next = out.a == top.node ? out.b : out.a;
+      const double cand = top.dist + out.length;
+      if (cand < dist[next]) {
+        dist[next] = cand;
+        queue.push({cand, next});
+      }
+    }
+  }
+  return best;
 }
 
 StatusOr<Path> FindShortestPath(const WalkingGraph& graph,
@@ -144,7 +200,7 @@ StatusOr<Path> FindShortestPath(const WalkingGraph& graph,
 
   if (direct <= via_a && direct <= via_b) {
     if (std::fabs(from.offset - to.offset) < 1e-12) {
-      return Path();  // Degenerate: already there.
+      return Path(from);  // Degenerate: already there.
     }
     return Path({PathLeg{from.edge, from.offset, to.offset}});
   }
@@ -187,7 +243,7 @@ StatusOr<Path> FindShortestPath(const WalkingGraph& graph,
     legs.push_back(PathLeg{to.edge, last_from, to.offset});
   }
   if (legs.empty()) {
-    return Path();
+    return Path(from);
   }
   return Path(std::move(legs));
 }

@@ -1,6 +1,7 @@
 #ifndef IPQS_GRAPH_SHORTEST_PATH_H_
 #define IPQS_GRAPH_SHORTEST_PATH_H_
 
+#include <optional>
 #include <vector>
 
 #include "common/statusor.h"
@@ -28,6 +29,9 @@ class Path {
  public:
   Path() = default;
   explicit Path(std::vector<PathLeg> legs);
+  // Zero-length path anchored at `location` (the from == to case of
+  // FindShortestPath): no legs, but Start/End/Locate are well defined.
+  explicit Path(const GraphLocation& location) : anchor_(location) {}
 
   const std::vector<PathLeg>& legs() const { return legs_; }
   double Length() const { return length_; }
@@ -43,6 +47,9 @@ class Path {
   std::vector<PathLeg> legs_;
   std::vector<double> cumulative_;  // cumulative_[i] = length of legs [0, i).
   double length_ = 0.0;
+  // Location of a zero-length path; Start/End/Locate on a leg-less path
+  // without one (a default-constructed Path) is still a programming error.
+  std::optional<GraphLocation> anchor_;
 };
 
 // Shortest network distances from one fixed source location to every node,
@@ -66,12 +73,17 @@ class OneToAllDistances {
   std::vector<double> node_dist_;
 };
 
-// Convenience one-shot distance between two locations.
+// Convenience one-shot distance between two locations. Runs an early-exit
+// Dijkstra that stops once both endpoints of the target edge are settled
+// (or the frontier can no longer beat the best distance found), instead of
+// materializing a full one-to-all table; the result is identical to
+// OneToAllDistances(graph, from).ToLocation(to) bit for bit.
 double NetworkDistance(const WalkingGraph& graph, const GraphLocation& from,
                        const GraphLocation& to);
 
-// Shortest path between two locations. Returns an empty path when
-// from == to. Fails only if the graph is disconnected between them.
+// Shortest path between two locations. Returns a leg-less path anchored at
+// `from` when from == to. Fails only if the graph is disconnected between
+// them.
 StatusOr<Path> FindShortestPath(const WalkingGraph& graph,
                                 const GraphLocation& from,
                                 const GraphLocation& to);

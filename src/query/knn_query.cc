@@ -1,5 +1,6 @@
 #include "query/knn_query.h"
 
+#include <algorithm>
 #include <limits>
 #include <queue>
 #include <vector>
@@ -26,8 +27,19 @@ KnnResult KnnQueryEvaluator::Evaluate(const AnchorObjectTable& table,
 KnnResult KnnQueryEvaluator::Evaluate(const AnchorObjectTable& table,
                                       const GraphLocation& query,
                                       int k) const {
+  return Evaluate(table, query, k, nullptr);
+}
+
+KnnResult KnnQueryEvaluator::Evaluate(
+    const AnchorObjectTable& table, const GraphLocation& query, int k,
+    const std::vector<ObjectId>* restrict_to) const {
   IPQS_CHECK_GT(k, 0);
   KnnResult out;
+  const auto allowed = [restrict_to](ObjectId object) {
+    return restrict_to == nullptr ||
+           std::binary_search(restrict_to->begin(), restrict_to->end(),
+                              object);
+  };
 
   struct Entry {
     double dist;
@@ -53,8 +65,10 @@ KnnResult KnnQueryEvaluator::Evaluate(const AnchorObjectTable& table,
     }
     ++out.anchors_searched;
     for (const auto& [object, p] : table.AtAnchor(top.anchor)) {
-      out.result.Add(object, p);
-      out.total_probability += p;
+      if (allowed(object)) {
+        out.result.Add(object, p);
+        out.total_probability += p;
+      }
     }
     if (out.total_probability >= static_cast<double>(k)) {
       break;  // Algorithm 4's stopping criterion.

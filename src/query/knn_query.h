@@ -30,11 +30,16 @@ class KnnQueryEvaluator {
                     const AnchorGraph* anchor_graph);
 
   // `query` is an arbitrary indoor point; the paper approximates it "to the
-  // nearest edge of the indoor walking graph".
+  // nearest edge of the indoor walking graph". With `restrict_to` non-null
+  // (a SORTED object id list), only those objects contribute probability
+  // mass — see RangeQueryEvaluator::Evaluate.
   KnnResult Evaluate(const AnchorObjectTable& table, const Point& query,
                      int k) const;
   KnnResult Evaluate(const AnchorObjectTable& table,
                      const GraphLocation& query, int k) const;
+  KnnResult Evaluate(const AnchorObjectTable& table,
+                     const GraphLocation& query, int k,
+                     const std::vector<ObjectId>* restrict_to) const;
 
  private:
   const WalkingGraph* graph_;

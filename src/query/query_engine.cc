@@ -1,6 +1,8 @@
 #include "query/query_engine.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <utility>
 
 #include "common/check.h"
@@ -48,7 +50,18 @@ QueryEngine::QueryEngine(const WalkingGraph* graph, const FloorPlan* plan,
     degraded_filter_ =
         std::make_unique<ParticleFilter>(graph, deployment, reduced);
   }
+  if (config.use_distance_index) {
+    dindex_ = std::make_unique<DistanceIndex>(graph,
+                                              config.distance_index_capacity);
+  }
   InitObservability();
+  if (dindex_ != nullptr) {
+    // Every uncertain-region interval measures to a reader position, so
+    // those tables are the hottest by far: precompute and pin them now.
+    for (ReaderId r = 0; r < deployment->num_readers(); ++r) {
+      dindex_->Pin(deployment->reader(r).loc);
+    }
+  }
 }
 
 void QueryEngine::InitObservability() {
@@ -97,6 +110,14 @@ void QueryEngine::InitObservability() {
       metrics_->GetHistogram(p + ".filter.resample_ns");
   filter_metrics.particles = metrics_->GetGauge(p + ".filter.particles");
   filter_.SetMetrics(filter_metrics);
+
+  if (dindex_ != nullptr) {
+    DistanceIndexMetrics dindex_metrics;
+    dindex_metrics.hits = metrics_->GetCounter(p + ".dindex.hits");
+    dindex_metrics.misses = metrics_->GetCounter(p + ".dindex.misses");
+    dindex_metrics.evictions = metrics_->GetCounter(p + ".dindex.evictions");
+    dindex_->SetMetrics(dindex_metrics);
+  }
 
   CacheMetrics cache_metrics;
   cache_metrics.hits = metrics_->GetCounter(p + ".cache.hits");
@@ -298,25 +319,29 @@ QueryResult QueryEngine::EvaluateRange(const Rect& window, int64_t now,
   counters_.objects_considered->Increment(
       static_cast<int64_t>(collector_->KnownObjects().size()));
 
-  const InferPlan plan = PlanInference(candidates, now, deadline_ms);
+  // See EvaluateKnn: restricting evaluation to this query's candidates
+  // makes the answer independent of what other queries memoized at `now`.
+  const std::vector<ObjectId> restrict = Canonicalize(candidates);
+
+  const InferPlan plan = PlanInference(restrict, now, deadline_ms);
   CountPlan(plan);
   if (plan.level == QualityLevel::kPruneOnly) {
-    return PruneOnlyRange(candidates, window, now);
+    return PruneOnlyRange(restrict, window, now);
   }
   if (plan.level != QualityLevel::kFull) {
     AnchorObjectTable scratch;
     ExecuteDegradedPlan(plan, now, &scratch);
     const obs::TraceSpan eval_span(trace_, "evaluate");
     const obs::ScopedTimer eval_timer(timers_.evaluate_ns);
-    QueryResult result = range_eval_.Evaluate(scratch, window);
+    QueryResult result = range_eval_.Evaluate(scratch, window, &restrict);
     result.quality = plan.level;
     return result;
   }
 
-  InferBatch(candidates, now);
+  InferBatch(restrict, now);
   const obs::TraceSpan eval_span(trace_, "evaluate");
   const obs::ScopedTimer eval_timer(timers_.evaluate_ns);
-  return range_eval_.Evaluate(table_, window);
+  return range_eval_.Evaluate(table_, window, &restrict);
 }
 
 KnnResult QueryEngine::EvaluateKnn(const Point& query, int k, int64_t now) {
@@ -332,13 +357,24 @@ KnnResult QueryEngine::EvaluateKnn(const Point& query, int k, int64_t now,
 
   const GraphLocation q =
       graph_->NearestLocation(query, /*prefer_hallways=*/true);
+  // Distance tables are only needed by pruning and the prune-only
+  // fallback; acquire lazily so the pruning-off fast path never pays a
+  // Dijkstra.
+  std::optional<QueryDistances> qd;
+  const auto distances = [&]() -> const QueryDistances& {
+    if (!qd.has_value()) {
+      qd = DistancesFor(q);
+    }
+    return *qd;
+  };
   std::vector<ObjectId> candidates;
   {
     const obs::TraceSpan prune_span(trace_, "prune");
     const obs::ScopedTimer prune_timer(timers_.prune_ns);
     if (config_.use_pruning) {
-      candidates = FilterKnnCandidates(*graph_, *collector_, *deployment_, q,
-                                       k, now, config_.max_speed);
+      const QueryDistances& d = distances();
+      candidates = FilterKnnCandidates(*collector_, *deployment_, *d.table,
+                                       d.slack, k, now, config_.max_speed);
     } else {
       candidates = collector_->KnownObjects();
     }
@@ -346,25 +382,51 @@ KnnResult QueryEngine::EvaluateKnn(const Point& query, int k, int64_t now,
   counters_.objects_considered->Increment(
       static_cast<int64_t>(collector_->KnownObjects().size()));
 
-  const InferPlan plan = PlanInference(candidates, now, deadline_ms);
+  // Evaluation is restricted to this query's own candidate set, so the
+  // answer is a pure function of (query, now) — distributions memoized in
+  // the APtoObjHT by OTHER queries at the same timestamp can no longer
+  // leak probability mass into this one.
+  const std::vector<ObjectId> restrict = Canonicalize(candidates);
+
+  const InferPlan plan = PlanInference(restrict, now, deadline_ms);
   CountPlan(plan);
   if (plan.level == QualityLevel::kPruneOnly) {
-    return PruneOnlyKnn(candidates, q, k, now);
+    const QueryDistances& d = distances();
+    return PruneOnlyKnn(restrict, *d.table, d.slack, k, now);
   }
   if (plan.level != QualityLevel::kFull) {
     AnchorObjectTable scratch;
     ExecuteDegradedPlan(plan, now, &scratch);
     const obs::TraceSpan eval_span(trace_, "evaluate");
     const obs::ScopedTimer eval_timer(timers_.evaluate_ns);
-    KnnResult result = knn_eval_.Evaluate(scratch, q, k);
+    KnnResult result = knn_eval_.Evaluate(scratch, q, k, &restrict);
     result.result.quality = plan.level;
     return result;
   }
 
-  InferBatch(candidates, now);
+  InferBatch(restrict, now);
   const obs::TraceSpan eval_span(trace_, "evaluate");
   const obs::ScopedTimer eval_timer(timers_.evaluate_ns);
-  return knn_eval_.Evaluate(table_, q, k);
+  return knn_eval_.Evaluate(table_, q, k, &restrict);
+}
+
+QueryEngine::QueryDistances QueryEngine::DistancesFor(
+    const GraphLocation& query) {
+  QueryDistances out;
+  if (dindex_ != nullptr) {
+    const AnchorPoint& a = anchors_->anchor(anchors_->NearestOnEdge(query));
+    GraphLocation source;
+    source.edge = a.edge;
+    source.offset = a.offset;
+    out.table = dindex_->Lookup(source);
+    // The along-edge offset gap is a network path between query and source,
+    // so it upper-bounds their network distance — the slack pruning needs.
+    out.slack = std::fabs(query.offset - a.offset);
+    return out;
+  }
+  out.table = std::make_shared<OneToAllDistances>(*graph_, query);
+  out.slack = 0.0;
+  return out;
 }
 
 QueryEngine::InferPlan QueryEngine::PlanInference(
@@ -546,7 +608,8 @@ QueryResult QueryEngine::PruneOnlyRange(const std::vector<ObjectId>& candidates,
 }
 
 KnnResult QueryEngine::PruneOnlyKnn(const std::vector<ObjectId>& candidates,
-                                    const GraphLocation& query, int k,
+                                    const OneToAllDistances& from_source,
+                                    double source_slack, int k,
                                     int64_t now) const {
   KnnResult out;
   out.result.quality = QualityLevel::kPruneOnly;
@@ -554,9 +617,13 @@ KnnResult QueryEngine::PruneOnlyKnn(const std::vector<ObjectId>& candidates,
     return out;
   }
   // Rank candidates by the optimistic end of their network-distance
-  // interval (Eq. 6) and claim the k nearest outright.
-  const OneToAllDistances from_query(*graph_, query);
-  std::vector<std::pair<double, ObjectId>> order;
+  // interval (Eq. 6) and claim the k nearest.
+  struct Ranked {
+    double min_dist;
+    double max_dist;
+    ObjectId object;
+  };
+  std::vector<Ranked> order;
   for (ObjectId object : Canonicalize(candidates)) {
     const DataCollector::ObjectHistory* history = collector_->History(object);
     if (history == nullptr || history->entries.empty()) {
@@ -564,15 +631,26 @@ KnnResult QueryEngine::PruneOnlyKnn(const std::vector<ObjectId>& candidates,
     }
     const UncertainRegion region = ComputeUncertainRegion(
         *deployment_, object, history->entries.back(), now, config_.max_speed);
-    const DistanceInterval interval =
-        NetworkDistanceInterval(from_query, *deployment_, region);
-    order.emplace_back(interval.min_dist, object);
+    const DistanceInterval interval = NetworkDistanceInterval(
+        from_source, source_slack, *deployment_, region);
+    order.push_back({interval.min_dist, interval.max_dist, object});
   }
-  std::sort(order.begin(), order.end());
+  std::sort(order.begin(), order.end(), [](const Ranked& x, const Ranked& y) {
+    return x.min_dist != y.min_dist ? x.min_dist < y.min_dist
+                                    : x.object < y.object;
+  });
   const size_t take = std::min(order.size(), static_cast<size_t>(k));
+  // A claimed neighbor is certain only when even its pessimistic distance
+  // beats the optimistic distance of the best candidate left out; any
+  // overlap means the ranking may be wrong, and the honest claim is the
+  // uninformative 0.5.
+  const double cutoff = order.size() > take
+                            ? order[take].min_dist
+                            : std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < take; ++i) {
-    out.result.Add(order[i].second, 1.0);
-    out.total_probability += 1.0;
+    const double p = order[i].max_dist < cutoff ? 1.0 : 0.5;
+    out.result.Add(order[i].object, p);
+    out.total_probability += p;
   }
   return out;
 }

@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "filter/particle_cache.h"
 #include "filter/particle_filter.h"
+#include "graph/distance_index.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/knn_query.h"
@@ -63,6 +64,15 @@ struct EngineConfig {
   double max_speed = 1.5;
   bool use_pruning = true;  // Query aware optimization module on/off.
   bool use_cache = true;    // Cache management module on/off (PF only).
+  // Distance index (query serving layer): kNN pruning reads a shared,
+  // LRU-cached one-to-all table sourced at the anchor point the query
+  // location canonicalizes to (reader positions are pinned eagerly),
+  // instead of running a fresh Dijkstra per query. Pruning intervals are
+  // widened by the query-to-anchor slack, so candidate sets are a sound
+  // superset of the exact ones (usually identical: panel query points sit
+  // on anchors, making the slack 0). Off = the exact per-query Dijkstra.
+  bool use_distance_index = true;
+  size_t distance_index_capacity = 256;  // Unpinned LRU entries.
   uint64_t seed = 7;
   // Fan-out width for batch inference (EvaluateRange / EvaluateKnn /
   // InferBatch): per-object filter runs are spread over this many worker
@@ -155,6 +165,10 @@ class QueryEngine {
   EngineStats stats() const;
   DegradeStats degrade_stats() const;
   ParticleCache::Stats cache_stats() const { return cache_.stats(); }
+  // Zero stats when the distance index is disabled.
+  DistanceIndex::Stats distance_index_stats() const {
+    return dindex_ == nullptr ? DistanceIndex::Stats{} : dindex_->stats();
+  }
   void ResetStats();
 
   // Particle-cache contents, for the persistence layer (src/persist/).
@@ -171,6 +185,11 @@ class QueryEngine {
   const AnchorObjectTable& table() const { return table_; }
 
  private:
+  // The batching scheduler (query/query_scheduler.h) reuses the engine's
+  // internal stages (pruning, planning, batch inference, restricted
+  // evaluation) to serve many queries per (now) with shared work.
+  friend class QueryScheduler;
+
   // The registry counters backing the EngineStats snapshot (always
   // non-null: they live in config.metrics or in own_registry_).
   struct StatCounters {
@@ -245,7 +264,20 @@ class QueryEngine {
   QueryResult PruneOnlyRange(const std::vector<ObjectId>& candidates,
                              const Rect& window, int64_t now) const;
   KnnResult PruneOnlyKnn(const std::vector<ObjectId>& candidates,
-                         const GraphLocation& query, int k, int64_t now) const;
+                         const OneToAllDistances& from_source,
+                         double source_slack, int k, int64_t now) const;
+
+  // The one-to-all table a kNN query's pruning reads, plus the slack
+  // bounding the network distance between the table's source and the query
+  // point. Index on: the shared entry sourced at the anchor the query's
+  // edge canonicalizes to (slack = along-edge offset gap). Index off (or
+  // no same-edge anchor): an exact private table sourced at the query,
+  // slack 0.
+  struct QueryDistances {
+    std::shared_ptr<const OneToAllDistances> table;
+    double slack = 0.0;
+  };
+  QueryDistances DistancesFor(const GraphLocation& query);
 
   const WalkingGraph* graph_;
   const AnchorPointIndex* anchors_;
@@ -261,6 +293,10 @@ class QueryEngine {
   ParticleCache cache_;
   RangeQueryEvaluator range_eval_;
   KnnQueryEvaluator knn_eval_;
+  // Shared distance tables for kNN pruning (null when
+  // config.use_distance_index is false). Reader locations are pinned at
+  // construction; anchor entries populate on demand.
+  std::unique_ptr<DistanceIndex> dindex_;
 
   AnchorObjectTable table_;
   int64_t table_time_ = -1;

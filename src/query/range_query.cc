@@ -59,7 +59,18 @@ RangeQueryEvaluator::RangeQueryEvaluator(const FloorPlan* plan,
 
 QueryResult RangeQueryEvaluator::Evaluate(const AnchorObjectTable& table,
                                           const Rect& window) const {
+  return Evaluate(table, window, nullptr);
+}
+
+QueryResult RangeQueryEvaluator::Evaluate(
+    const AnchorObjectTable& table, const Rect& window,
+    const std::vector<ObjectId>* restrict_to) const {
   QueryResult result;
+  const auto allowed = [restrict_to](ObjectId object) {
+    return restrict_to == nullptr ||
+           std::binary_search(restrict_to->begin(), restrict_to->end(),
+                              object);
+  };
 
   // Hallway part: anchors inside the window's along-hallway extent,
   // compensated by the covered fraction of the hallway width.
@@ -87,7 +98,9 @@ QueryResult RangeQueryEvaluator::Evaluate(const AnchorObjectTable& table,
         continue;
       }
       for (const auto& [object, p] : table.AtAnchor(a)) {
-        result.Add(object, p * ratio);
+        if (allowed(object)) {
+          result.Add(object, p * ratio);
+        }
       }
     }
   }
@@ -105,7 +118,9 @@ QueryResult RangeQueryEvaluator::Evaluate(const AnchorObjectTable& table,
     }
     for (AnchorId a : anchors_->InRoom(r.id)) {
       for (const auto& [object, p] : table.AtAnchor(a)) {
-        result.Add(object, p * ratio);
+        if (allowed(object)) {
+          result.Add(object, p * ratio);
+        }
       }
     }
   }

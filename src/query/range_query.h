@@ -41,9 +41,14 @@ class RangeQueryEvaluator {
   RangeQueryEvaluator(const FloorPlan* plan, const AnchorPointIndex* anchors);
 
   // Probability each object lies inside `window`, given the location
-  // distributions in `table`.
+  // distributions in `table`. With `restrict_to` non-null (a SORTED object
+  // id list), only those objects contribute: the table may hold
+  // distributions memoized for other queries at the same timestamp, and a
+  // query's answer must be a function of its own candidate set alone.
   QueryResult Evaluate(const AnchorObjectTable& table,
                        const Rect& window) const;
+  QueryResult Evaluate(const AnchorObjectTable& table, const Rect& window,
+                       const std::vector<ObjectId>* restrict_to) const;
 
  private:
   const FloorPlan* plan_;

@@ -30,6 +30,19 @@ DistanceInterval NetworkDistanceInterval(const OneToAllDistances& from_query,
                           to_reader + region.radius};
 }
 
+DistanceInterval NetworkDistanceInterval(const OneToAllDistances& from_source,
+                                         double source_slack,
+                                         const Deployment& deployment,
+                                         const UncertainRegion& region) {
+  const double to_reader =
+      from_source.ToLocation(deployment.reader(region.reader).loc);
+  // True distance from the query is within source_slack of `to_reader`
+  // (triangle inequality through the table source), so widening by it
+  // keeps the interval a superset of the exact [s_i, l_i].
+  const double pad = region.radius + source_slack;
+  return DistanceInterval{std::max(0.0, to_reader - pad), to_reader + pad};
+}
+
 std::vector<ObjectId> FilterRangeCandidates(
     const DataCollector& collector, const Deployment& deployment,
     const std::vector<Rect>& windows, int64_t now, double max_speed) {
@@ -56,8 +69,17 @@ std::vector<ObjectId> FilterKnnCandidates(const WalkingGraph& graph,
                                           const Deployment& deployment,
                                           const GraphLocation& query, int k,
                                           int64_t now, double max_speed) {
-  IPQS_CHECK_GT(k, 0);
   const OneToAllDistances from_query(graph, query);
+  return FilterKnnCandidates(collector, deployment, from_query,
+                             /*source_slack=*/0.0, k, now, max_speed);
+}
+
+std::vector<ObjectId> FilterKnnCandidates(const DataCollector& collector,
+                                          const Deployment& deployment,
+                                          const OneToAllDistances& from_source,
+                                          double source_slack, int k,
+                                          int64_t now, double max_speed) {
+  IPQS_CHECK_GT(k, 0);
 
   struct Entry {
     ObjectId object;
@@ -71,8 +93,9 @@ std::vector<ObjectId> FilterKnnCandidates(const WalkingGraph& graph,
     }
     const UncertainRegion ur =
         ComputeUncertainRegion(deployment, object, *last, now, max_speed);
-    entries.push_back(
-        {object, NetworkDistanceInterval(from_query, deployment, ur)});
+    entries.push_back({object, NetworkDistanceInterval(from_source,
+                                                       source_slack,
+                                                       deployment, ur)});
   }
   if (static_cast<int>(entries.size()) <= k) {
     std::vector<ObjectId> all;

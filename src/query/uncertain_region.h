@@ -48,6 +48,17 @@ DistanceInterval NetworkDistanceInterval(const OneToAllDistances& from_query,
                                          const Deployment& deployment,
                                          const UncertainRegion& region);
 
+// Interval computed through a distance table sourced NEAR the query point
+// rather than at it (e.g. a shared per-anchor table from a DistanceIndex).
+// `source_slack` must bound the network distance between the query point
+// and the table's source; the interval is widened by it on both sides, so
+// it still contains the true [s_i, l_i] and pruning stays sound. With
+// slack 0 this is exactly the plain interval.
+DistanceInterval NetworkDistanceInterval(const OneToAllDistances& from_source,
+                                         double source_slack,
+                                         const Deployment& deployment,
+                                         const UncertainRegion& region);
+
 // Range-query candidate filter: objects whose uncertain region overlaps at
 // least one window. Objects without any reading are never candidates (they
 // have never been inside the instrumented space).
@@ -61,6 +72,17 @@ std::vector<ObjectId> FilterKnnCandidates(const WalkingGraph& graph,
                                           const DataCollector& collector,
                                           const Deployment& deployment,
                                           const GraphLocation& query, int k,
+                                          int64_t now, double max_speed);
+
+// Same filter evaluated through a precomputed distance table (typically a
+// shared DistanceIndex entry sourced at the anchor point the query
+// canonicalizes to). `source_slack` bounds the network distance between
+// the query point and the table source; intervals are widened by it, so
+// the candidate set is a superset of the exact one — never unsound.
+std::vector<ObjectId> FilterKnnCandidates(const DataCollector& collector,
+                                          const Deployment& deployment,
+                                          const OneToAllDistances& from_source,
+                                          double source_slack, int k,
                                           int64_t now, double max_speed);
 
 }  // namespace ipqs

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <vector>
 
 #include "common/check.h"
+#include "query/query_scheduler.h"
 
 namespace ipqs {
 
@@ -48,12 +50,68 @@ StatusOr<ExperimentResult> Experiment::Run() {
   MeanAccumulator top1;
   MeanAccumulator top2;
 
+  std::optional<QueryScheduler> pf_scheduler;
+  std::optional<QueryScheduler> sm_scheduler;
+  if (config_.batch_queries) {
+    pf_scheduler.emplace(&sim->pf_engine());
+    sm_scheduler.emplace(&sim->sm_engine());
+  }
+
   for (int ts = 0; ts < config_.num_timestamps; ++ts) {
     sim->Run(config_.seconds_between_timestamps);
     const int64_t now = sim->now();
     const std::vector<TrueObjectState>& states = sim->true_states();
 
-    if (config_.eval_range) {
+    if (config_.batch_queries) {
+      // Batched serving: identical query draws, identical answers (the
+      // scheduler is pinned byte-identical to serial evaluation), but one
+      // scheduler pass per engine instead of one engine call per query.
+      std::vector<BatchQuery> batch;
+      std::vector<std::vector<ObjectId>> truths;
+      if (config_.eval_range) {
+        for (int i = 0; i < config_.range_queries_per_timestamp; ++i) {
+          const Rect window = RandomWindow(sim->plan(),
+                                           config_.window_area_fraction,
+                                           sim->query_rng());
+          std::vector<ObjectId> truth =
+              GroundTruth::RangeResult(states, window);
+          if (truth.empty()) {
+            continue;  // KL undefined; the paper averages populated windows.
+          }
+          batch.push_back(BatchQuery::Range(window));
+          truths.push_back(std::move(truth));
+        }
+      }
+      const size_t num_range = batch.size();
+      if (config_.eval_knn) {
+        for (const Point& q : knn_points) {
+          const GraphLocation q_loc =
+              sim->graph().NearestLocation(q, /*prefer_hallways=*/true);
+          std::vector<ObjectId> truth =
+              sim->ground_truth().KnnResult(states, q_loc, config_.k);
+          if (truth.empty()) {
+            continue;
+          }
+          batch.push_back(BatchQuery::Knn(q, config_.k));
+          truths.push_back(std::move(truth));
+        }
+      }
+      const std::vector<BatchAnswer> pf = pf_scheduler->EvaluateBatch(batch, now);
+      const std::vector<BatchAnswer> sm = sm_scheduler->EvaluateBatch(batch, now);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (i < num_range) {
+          kl_pf.AddOptional(RangeKlDivergence(truths[i], pf[i].range));
+          kl_sm.AddOptional(RangeKlDivergence(truths[i], sm[i].range));
+        } else {
+          hit_pf.Add(KnnHitRate(pf[i].knn.result, truths[i], config_.k,
+                                /*top_k_only=*/false));
+          hit_sm.Add(KnnHitRate(sm[i].knn.result, truths[i], config_.k,
+                                /*top_k_only=*/true));
+        }
+      }
+    }
+
+    if (!config_.batch_queries && config_.eval_range) {
       for (int i = 0; i < config_.range_queries_per_timestamp; ++i) {
         const Rect window = RandomWindow(sim->plan(),
                                          config_.window_area_fraction,
@@ -70,7 +128,7 @@ StatusOr<ExperimentResult> Experiment::Run() {
       }
     }
 
-    if (config_.eval_knn) {
+    if (!config_.batch_queries && config_.eval_knn) {
       for (const Point& q : knn_points) {
         const GraphLocation q_loc =
             sim->graph().NearestLocation(q, /*prefer_hallways=*/true);

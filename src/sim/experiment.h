@@ -32,6 +32,14 @@ struct ExperimentConfig {
   bool eval_range = true;
   bool eval_knn = true;
   bool eval_topk = true;
+
+  // Serve each timestamp's queries as ONE batch per engine through the
+  // QueryScheduler (shared pruning tables, one inference pass over the
+  // union of candidates) instead of one engine call per query. Query
+  // windows/points are drawn in the identical rng order, and batched
+  // answers are byte-identical to serial ones, so scores never move —
+  // only the work counters do.
+  bool batch_queries = false;
 };
 
 // Averaged metrics of one experiment run (one sweep point of a figure).

@@ -178,13 +178,22 @@ TEST_F(DegradeTest, KnnDegradesWithTaggedQuality) {
   Rng rng(7);
   const Point q = Experiment::RandomIndoorPoint(sim->anchors(), rng);
 
-  // Cold cache + 1ms: nothing fits, prune-only claims exactly the k
-  // nearest-by-distance-interval objects outright.
+  // Cold cache + 1ms: nothing fits, prune-only returns the k
+  // nearest-by-distance-interval objects. An object is claimed outright
+  // (probability 1.0) only when its whole distance interval beats the
+  // best case of the (k+1)-th candidate; overlapping intervals get the
+  // honest uninformative 0.5.
   const KnnResult degraded =
       sim->pf_engine().EvaluateKnn(q, 3, sim->now(), /*deadline_ms=*/1);
   EXPECT_EQ(degraded.result.quality, QualityLevel::kPruneOnly);
   EXPECT_EQ(degraded.result.objects.size(), 3u);
-  EXPECT_EQ(degraded.total_probability, 3.0);
+  double sum = 0.0;
+  for (const auto& [id, p] : degraded.result.objects) {
+    EXPECT_TRUE(p == 1.0 || p == 0.5) << "object " << id << " p " << p;
+    sum += p;
+  }
+  EXPECT_EQ(degraded.total_probability, sum);
+  EXPECT_LE(degraded.total_probability, 3.0);
 
   // The same query without a deadline is full quality...
   const KnnResult full = sim->pf_engine().EvaluateKnn(q, 3, sim->now());

@@ -1,0 +1,180 @@
+// DistanceIndex: the shared LRU store of one-to-all distance tables behind
+// kNN pruning. Correctness = every table it hands out is bit-identical to
+// a freshly computed one; the rest is cache mechanics (hits, eviction,
+// pinning, canonical keys) and thread safety (the TSan CI job runs this
+// suite).
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "floorplan/office_generator.h"
+#include "graph/distance_index.h"
+#include "graph/graph_builder.h"
+
+namespace ipqs {
+namespace {
+
+class DistanceIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto plan = GenerateOffice(OfficeConfig{});
+    ASSERT_TRUE(plan.ok());
+    auto graph = BuildWalkingGraph(*plan);
+    ASSERT_TRUE(graph.ok());
+    graph_ = std::make_unique<WalkingGraph>(std::move(*graph));
+  }
+
+  GraphLocation LocOn(EdgeId e, double frac) const {
+    return GraphLocation{e, graph_->edge(e).length * frac};
+  }
+
+  std::unique_ptr<WalkingGraph> graph_;
+};
+
+TEST_F(DistanceIndexTest, LookupComputesOnceThenHits) {
+  DistanceIndex index(graph_.get());
+  const GraphLocation src = LocOn(3, 0.25);
+  const auto first = index.Lookup(src);
+  const auto second = index.Lookup(src);
+  EXPECT_EQ(first.get(), second.get());  // One resident table, shared.
+  const DistanceIndex::Stats stats = index.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
+}
+
+TEST_F(DistanceIndexTest, TablesMatchDirectComputation) {
+  DistanceIndex index(graph_.get());
+  const GraphLocation src = LocOn(5, 0.5);
+  const auto cached = index.Lookup(src);
+  const OneToAllDistances direct(*graph_, src);
+  for (EdgeId e = 0; e < graph_->num_edges(); e += 3) {
+    const GraphLocation to = LocOn(e, 0.5);
+    EXPECT_EQ(cached->ToLocation(to), direct.ToLocation(to)) << "edge " << e;
+  }
+}
+
+TEST_F(DistanceIndexTest, CanonicalizeClampsOffsets) {
+  DistanceIndex index(graph_.get());
+  const double len = graph_->edge(4).length;
+  // Interior locations are already canonical.
+  EXPECT_EQ(index.Canonicalize({4, len / 2}), (GraphLocation{4, len / 2}));
+  // Out-of-range offsets clamp onto the edge (and then follow the same
+  // endpoint rewriting as an exact endpoint).
+  EXPECT_EQ(index.Canonicalize({4, len + 5.0}), index.Canonicalize({4, len}));
+  EXPECT_EQ(index.Canonicalize({4, -3.0}), index.Canonicalize({4, 0.0}));
+}
+
+TEST_F(DistanceIndexTest, NodeLocationsShareOneEntryAcrossIncidentEdges) {
+  DistanceIndex index(graph_.get());
+  // Edge 0's endpoint b is also an endpoint of some other edge; spell the
+  // same physical node through both edges and expect one cache entry.
+  const Edge& e0 = graph_->edge(0);
+  const NodeId shared = e0.b;
+  ASSERT_GE(graph_->node(shared).edges.size(), 2u);
+  EdgeId other = kInvalidId;
+  for (EdgeId eid : graph_->node(shared).edges) {
+    if (eid != 0) {
+      other = eid;
+    }
+  }
+  ASSERT_NE(other, kInvalidId);
+  const GraphLocation via_e0{0, e0.length};
+  const GraphLocation via_other{other, graph_->OffsetOfNode(other, shared)};
+  EXPECT_EQ(index.Canonicalize(via_e0), index.Canonicalize(via_other));
+  const auto t0 = index.Lookup(via_e0);
+  const auto t1 = index.Lookup(via_other);
+  EXPECT_EQ(t0.get(), t1.get());
+  EXPECT_EQ(index.stats().entries, 1u);
+}
+
+TEST_F(DistanceIndexTest, LruEvictsButStaysCorrect) {
+  // Tiny capacity: one unpinned entry per shard. Sweeping many sources
+  // must evict, and evicted sources recompute to the same values.
+  DistanceIndex index(graph_.get(), /*capacity=*/16);
+  const int sweep = std::min<int>(graph_->num_edges(), 64);
+  for (EdgeId e = 0; e < sweep; ++e) {
+    index.Lookup(LocOn(e, 0.25));
+  }
+  const DistanceIndex::Stats stats = index.stats();
+  EXPECT_GT(stats.evictions, 0);
+  EXPECT_LE(stats.entries, 16u);
+  const GraphLocation src = LocOn(0, 0.25);
+  const OneToAllDistances direct(*graph_, src);
+  EXPECT_EQ(index.Lookup(src)->ToLocation(LocOn(7, 0.5)),
+            direct.ToLocation(LocOn(7, 0.5)));
+}
+
+TEST_F(DistanceIndexTest, PinnedEntriesSurviveEvictionPressure) {
+  DistanceIndex index(graph_.get(), /*capacity=*/16);
+  const GraphLocation pinned_src = LocOn(2, 0.75);
+  index.Pin(pinned_src);
+  EXPECT_GE(index.stats().pinned, 1u);
+  const auto before = index.Lookup(pinned_src);
+
+  for (EdgeId e = 0; e < std::min<int>(graph_->num_edges(), 64); ++e) {
+    index.Lookup(LocOn(e, 0.3));
+  }
+  EXPECT_GT(index.stats().evictions, 0);
+
+  // Still resident: the same table object, served as a hit.
+  const int64_t hits_before = index.stats().hits;
+  const auto after = index.Lookup(pinned_src);
+  EXPECT_EQ(before.get(), after.get());
+  EXPECT_EQ(index.stats().hits, hits_before + 1);
+}
+
+TEST_F(DistanceIndexTest, PinPromotesExistingEntryInPlace) {
+  DistanceIndex index(graph_.get());
+  const GraphLocation src = LocOn(6, 0.5);
+  const auto unpinned = index.Lookup(src);
+  EXPECT_EQ(index.stats().pinned, 0u);
+  index.Pin(src);
+  const DistanceIndex::Stats stats = index.stats();
+  EXPECT_EQ(stats.pinned, 1u);
+  EXPECT_EQ(stats.entries, 1u);  // Promoted, not duplicated.
+  EXPECT_EQ(index.Lookup(src).get(), unpinned.get());
+}
+
+TEST_F(DistanceIndexTest, ConcurrentLookupsShareTables) {
+  // Hammered from several threads (the TSan job's main target): every
+  // thread must read consistent tables, and once resident a key serves
+  // one shared table to everyone.
+  DistanceIndex index(graph_.get(), /*capacity=*/256);
+  const int kThreads = 4;
+  const int kEdges = std::min<int>(graph_->num_edges(), 24);
+  std::vector<std::vector<std::shared_ptr<const OneToAllDistances>>> seen(
+      kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 3; ++round) {
+        for (EdgeId e = 0; e < kEdges; ++e) {
+          seen[t].push_back(index.Lookup(LocOn(e, 0.5)));
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  // The LAST round is past every race: all threads hold the resident
+  // table for each key.
+  for (int e = 0; e < kEdges; ++e) {
+    const auto& resident = seen[0][2 * kEdges + e];
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(seen[t][2 * kEdges + e].get(), resident.get())
+          << "edge " << e << " thread " << t;
+    }
+  }
+  const OneToAllDistances direct(*graph_, LocOn(1, 0.5));
+  EXPECT_EQ(index.Lookup(LocOn(1, 0.5))->ToLocation(LocOn(9, 0.5)),
+            direct.ToLocation(LocOn(9, 0.5)));
+}
+
+}  // namespace
+}  // namespace ipqs

@@ -166,6 +166,25 @@ TEST(ShortestPathTest, OneToAllMatchesOneShot) {
   }
 }
 
+TEST(ShortestPathTest, EarlyExitMatchesFullTableOnOfficePlan) {
+  // NetworkDistance() stops its Dijkstra as soon as the target edge's
+  // endpoints are settled; regression-pin that this early exit returns
+  // the exact same doubles as the full one-to-all table.
+  auto plan = GenerateOffice(OfficeConfig{});
+  ASSERT_TRUE(plan.ok());
+  auto graph = BuildWalkingGraph(*plan);
+  ASSERT_TRUE(graph.ok());
+  for (EdgeId fe = 0; fe < graph->num_edges(); fe += 11) {
+    const GraphLocation from{fe, graph->edge(fe).length / 3};
+    const OneToAllDistances table(*graph, from);
+    for (EdgeId te = 0; te < graph->num_edges(); te += 7) {
+      const GraphLocation to{te, graph->edge(te).length / 2};
+      EXPECT_EQ(NetworkDistance(*graph, from, to), table.ToLocation(to))
+          << "from edge " << fe << " to edge " << te;
+    }
+  }
+}
+
 TEST(ShortestPathTest, TriangleInequalityHolds) {
   auto plan = GenerateOffice(OfficeConfig{});
   ASSERT_TRUE(plan.ok());
@@ -263,6 +282,19 @@ TEST(ShortestPathTest, DegeneratePathSamePoint) {
   ASSERT_TRUE(path.ok());
   EXPECT_TRUE(path->empty());
   EXPECT_DOUBLE_EQ(path->Length(), 0.0);
+}
+
+TEST(ShortestPathTest, DegeneratePathRoundTripsSourceLocation) {
+  // A from == to path has no legs but still answers Start/End/Locate with
+  // the source location instead of aborting.
+  WalkingGraph g = SmallGraph();
+  const GraphLocation src{1, 4.0};
+  auto path = FindShortestPath(g, src, src);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->Start(), src);
+  EXPECT_EQ(path->End(), src);
+  EXPECT_EQ(path->Locate(0.0), src);
+  EXPECT_EQ(path->Locate(3.0), src);  // Clamps past the (zero) length.
 }
 
 TEST(ShortestPathTest, SameEdgePath) {

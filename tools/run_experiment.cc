@@ -8,6 +8,7 @@
 //                  [--timestamps=50] [--windows=100] [--knn_points=30]
 //                  [--warmup=240] [--seed=42] [--threads=1]
 //                  [--pruning=true] [--cache=true] [--neg_info=false]
+//                  [--batch_queries=false] [--distance_index=true]
 //                  [--hallway_stops=0.0] [--building=<file>]
 //                  [--fault_seed=0] [--dropout_rate=0.0] [--dup_rate=0.0]
 //                  [--reorder_rate=0.0] [--reorder_window=0]
@@ -25,6 +26,13 @@
 //
 // With --building, the floor plan (and any `reader` lines) come from a
 // text file in the floorplan/io.h format instead of the generated office.
+//
+// Query serving: --batch_queries=true serves each timestamp's queries as
+// one QueryScheduler batch per engine (shared pruning tables, one
+// inference pass over the union of candidates) — answers are
+// byte-identical to serial serving, only throughput changes.
+// --distance_index=false disables the shared kNN distance tables and
+// falls back to one exact Dijkstra per query.
 //
 // Fault injection (src/faults/): the --dropout_rate / --dup_rate /
 // --reorder_rate / --batch_delay_rate / --noise_rate / --clock_skew knobs
@@ -82,6 +90,8 @@ int main(int argc, char** argv) {
   }
   config.sim.use_pruning = flags.GetBool("pruning", true);
   config.sim.use_cache = flags.GetBool("cache", true);
+  config.sim.use_distance_index = flags.GetBool("distance_index", true);
+  config.batch_queries = flags.GetBool("batch_queries", false);
   config.sim.filter.measurement.use_negative_information =
       flags.GetBool("neg_info", false);
   config.sim.trace.hallway_stop_probability =
