@@ -12,6 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -79,6 +80,108 @@ void BM_ShortestPath(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ShortestPath);
+
+// ---------------------------------------------------------------------------
+// Filter stage benchmarks: the three inner stages of Algorithm 2 (predict,
+// weight, resample) measured in isolation at filter-realistic particle
+// counts. `items_per_second` is particle-stage-steps per second; these
+// rows back the SoA-kernel speedup claims and feed the perf-regression
+// guard (scripts/check_perf.py) via the IPQS_BENCH_JSON output.
+
+constexpr int kStageSteps = 16;  // Simulated seconds per timed iteration.
+
+void BM_PredictStage(benchmark::State& state) {
+  Simulation& sim = World();
+  FilterConfig config;
+  config.num_particles = static_cast<int>(state.range(0));
+  const ParticleFilter filter(&sim.graph(), &sim.deployment(), config);
+  Rng init_rng(11);
+  const std::vector<Particle> base = filter.InitializeAtReader(2, init_rng);
+  const MotionModel& motion = filter.motion_model();
+  const EdgeSoA edges = EdgeSoA::FromGraph(sim.graph());
+  ParticleSoA soa;
+  FilterArena arena;
+  for (auto _ : state) {
+    soa.AssignFrom(base);
+    Rng rng(12);
+    for (int s = 0; s < kStageSteps; ++s) {
+      motion.StepAll(sim.graph(), edges, &soa, &arena, 1.0, rng);
+    }
+    benchmark::DoNotOptimize(soa.offset.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kStageSteps *
+                          static_cast<int64_t>(base.size()));
+}
+BENCHMARK(BM_PredictStage)->Arg(64)->Arg(1024);
+
+void BM_WeightStage(benchmark::State& state) {
+  Simulation& sim = World();
+  FilterConfig config;
+  config.num_particles = static_cast<int>(state.range(0));
+  const ParticleFilter filter(&sim.graph(), &sim.deployment(), config);
+  Rng init_rng(13);
+  const std::vector<Particle> base = filter.InitializeAtReader(2, init_rng);
+  const MeasurementModel& meas = filter.measurement_model();
+  constexpr ReaderId kDetector = 2;
+  const EdgeSoA edges = EdgeSoA::FromGraph(sim.graph());
+  ParticleSoA soa;
+  FilterArena arena;
+  for (auto _ : state) {
+    soa.AssignFrom(base);
+    const size_t n = soa.size();
+    arena.x.resize(n);
+    arena.y.resize(n);
+    for (int s = 0; s < kStageSteps; ++s) {
+      // The full per-observation update: positions, fused consistency
+      // scan + reweight, normalize (exactly Advance's detection-second
+      // weighting work).
+      ComputePositions(edges, soa, arena.x.data(), arena.y.data());
+      const size_t consistent =
+          meas.WeightOnDetection(sim.deployment(), kDetector, n,
+                                 arena.x.data(), arena.y.data(),
+                                 soa.weight.data());
+      benchmark::DoNotOptimize(consistent);
+      NormalizeWeights(&soa);
+    }
+    benchmark::DoNotOptimize(soa.weight.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kStageSteps *
+                          static_cast<int64_t>(base.size()));
+}
+BENCHMARK(BM_WeightStage)->Arg(64)->Arg(1024);
+
+void BM_ResampleStage(benchmark::State& state) {
+  Simulation& sim = World();
+  FilterConfig config;
+  config.num_particles = static_cast<int>(state.range(0));
+  const ParticleFilter filter(&sim.graph(), &sim.deployment(), config);
+  Rng init_rng(17);
+  std::vector<Particle> base = filter.InitializeAtReader(2, init_rng);
+  {
+    // Non-uniform weights so resampling actually reshuffles the set.
+    Rng wrng(19);
+    for (Particle& p : base) p.weight = wrng.Uniform(0.01, 1.0);
+    NormalizeWeights(&base);
+  }
+  Rng rng(23);
+  ParticleSoA soa;
+  FilterArena arena;
+  std::vector<double> base_weights;
+  for (const Particle& p : base) base_weights.push_back(p.weight);
+  for (auto _ : state) {
+    soa.AssignFrom(base);
+    for (int s = 0; s < kStageSteps; ++s) {
+      SystematicResample(&soa, &arena, rng);
+      // Restore the skewed (pre-normalized) weights so every round does
+      // real selection work.
+      soa.weight = base_weights;
+    }
+    benchmark::DoNotOptimize(soa.weight.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kStageSteps *
+                          static_cast<int64_t>(base.size()));
+}
+BENCHMARK(BM_ResampleStage)->Arg(64)->Arg(1024);
 
 void BM_Resample(benchmark::State& state) {
   Rng rng(1);
@@ -205,6 +308,26 @@ int main(int argc, char** argv) {
     }
   }
   ipqs::g_metrics_enabled = !metrics_json.empty();
+
+  // IPQS_BENCH_JSON=<dir>: machine-readable twin of the console table
+  // (google-benchmark's JSON format), same convention as bench_util's
+  // BENCH_<figure>.json files. scripts/check_perf.py consumes this file.
+  std::string bench_out;
+  std::string bench_out_format;
+  bool has_explicit_out = false;
+  for (const char* arg : passthrough) {
+    if (std::string_view(arg).substr(0, 16) == "--benchmark_out=") {
+      has_explicit_out = true;
+    }
+  }
+  if (const char* dir = std::getenv("IPQS_BENCH_JSON");
+      dir != nullptr && *dir != '\0' && !has_explicit_out) {
+    bench_out =
+        "--benchmark_out=" + std::string(dir) + "/BENCH_micro_perf.json";
+    bench_out_format = "--benchmark_out_format=json";
+    passthrough.push_back(bench_out.data());
+    passthrough.push_back(bench_out_format.data());
+  }
 
   int bench_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&bench_argc, passthrough.data());

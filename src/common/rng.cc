@@ -31,6 +31,24 @@ double Rng::Gaussian(double mu, double sigma) {
   return dist(engine_);
 }
 
+void Rng::GaussianBatch(double mu, double sigma, size_t n, double* out) {
+  // A fresh distribution per draw, exactly like Gaussian(): libstdc++'s
+  // normal_distribution caches the second Box-Muller variate across calls
+  // on the same object, so reusing one object here would produce a
+  // different (if equally valid) sequence and break draw-order pinning.
+  for (size_t i = 0; i < n; ++i) {
+    std::normal_distribution<double> dist(mu, sigma);
+    out[i] = dist(engine_);
+  }
+}
+
+void Rng::Uniform01Batch(size_t n, double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    out[i] = dist(engine_);
+  }
+}
+
 bool Rng::Bernoulli(double p) {
   const double clamped = std::clamp(p, 0.0, 1.0);
   std::bernoulli_distribution dist(clamped);

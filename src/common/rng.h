@@ -37,6 +37,14 @@ class Rng {
   // Normal with mean `mu` and standard deviation `sigma`.
   double Gaussian(double mu, double sigma);
 
+  // Batched draws for the data-oriented filter kernels: fills out[0..n)
+  // with exactly the values n successive Gaussian()/Uniform01() calls
+  // would produce — byte-identical sequence, same engine state afterwards.
+  // Batching hoists the per-call distribution setup out of consumer loops
+  // and keeps those loops branch-light; it never changes draw order.
+  void GaussianBatch(double mu, double sigma, size_t n, double* out);
+  void Uniform01Batch(size_t n, double* out);
+
   // True with probability `p` (clamped to [0, 1]).
   bool Bernoulli(double p);
 

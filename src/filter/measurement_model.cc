@@ -1,5 +1,7 @@
 #include "filter/measurement_model.h"
 
+#include <cmath>
+
 #include "common/check.h"
 
 namespace ipqs {
@@ -18,6 +20,30 @@ double MeasurementModel::WeightOnDetection(const Deployment& deployment,
                                                      : config_.miss_weight;
 }
 
+size_t MeasurementModel::WeightOnDetection(const Deployment& deployment,
+                                           ReaderId detected_by, size_t n,
+                                           const double* x, const double* y,
+                                           double* weight) const {
+  const Reader& r = deployment.reader(detected_by);
+  const double rx = r.pos.x;
+  const double ry = r.pos.y;
+  const double range = r.range;
+  const double hit = config_.hit_weight;
+  const double miss = config_.miss_weight;
+  size_t in_range = 0;
+  for (size_t i = 0; i < n; ++i) {
+    // Bit-identical to Reader::InRange: sqrt(dx^2 + dy^2) <= range.
+    // (Negation before squaring is exact, so the subtraction order does
+    // not matter.)
+    const double dx = rx - x[i];
+    const double dy = ry - y[i];
+    const bool inside = std::sqrt(dx * dx + dy * dy) <= range;
+    weight[i] *= inside ? hit : miss;
+    in_range += inside ? 1 : 0;
+  }
+  return in_range;
+}
+
 double MeasurementModel::WeightOnSilence(const Deployment& deployment,
                                          const Point& pos) const {
   if (!config_.use_negative_information) {
@@ -26,6 +52,33 @@ double MeasurementModel::WeightOnSilence(const Deployment& deployment,
   return deployment.FirstCovering(pos).has_value()
              ? config_.silent_zone_weight
              : 1.0;
+}
+
+size_t MeasurementModel::WeightOnSilence(const Deployment& deployment,
+                                         size_t n, const double* x,
+                                         const double* y,
+                                         double* weight) const {
+  if (!config_.use_negative_information) {
+    return 0;
+  }
+  const double zone = config_.silent_zone_weight;
+  const std::vector<Reader>& readers = deployment.readers();
+  size_t scaled = 0;
+  for (size_t i = 0; i < n; ++i) {
+    bool covered = false;
+    for (const Reader& r : readers) {
+      const double dx = r.pos.x - x[i];
+      const double dy = r.pos.y - y[i];
+      if (std::sqrt(dx * dx + dy * dy) <= r.range) {
+        covered = true;
+        break;
+      }
+    }
+    const double mult = covered ? zone : 1.0;
+    weight[i] *= mult;  // Multiplying by 1.0 is an exact FP identity.
+    scaled += mult != 1.0 ? 1 : 0;
+  }
+  return scaled;
 }
 
 }  // namespace ipqs

@@ -3,6 +3,7 @@
 
 #include "common/rng.h"
 #include "filter/particle.h"
+#include "filter/particle_soa.h"
 #include "graph/walking_graph.h"
 
 namespace ipqs {
@@ -50,10 +51,28 @@ class MotionModel {
   // (probability 1 - room_exit_probability) or walking back out.
   void Step(const WalkingGraph& graph, Particle* p, double dt, Rng& rng) const;
 
+  // Batch predict over a structure-of-arrays particle set; byte-identical
+  // to calling Step on each particle in ascending index order. Split into
+  // two passes: a branch-light vectorizable sweep advances every particle
+  // that stays mid-edge this step (the common case — consumes no
+  // randomness), then the stragglers (parked in a room, or reaching a
+  // node) run the full scalar Step in ascending index order, drawing from
+  // `rng` in exactly the order the per-particle loop did. `edges` must
+  // mirror `graph` (EdgeSoA::FromGraph); `arena` supplies scratch.
+  void StepAll(const WalkingGraph& graph, const EdgeSoA& edges,
+               ParticleSoA* soa, FilterArena* arena, double dt,
+               Rng& rng) const;
+
   // Post-resampling roughening: perturbs the particle's position along its
   // current edge (clamped to the edge) and its speed, so replicated
   // particles explore slightly different futures.
   void Roughen(const WalkingGraph& graph, Particle* p, Rng& rng) const;
+
+  // Batch roughening; byte-identical to per-particle Roughen in ascending
+  // index order. The two jitter draws interleave per particle, so this
+  // stays a scalar loop — the win over the AoS path is the preloaded edge
+  // lengths (no bounds-checked graph accessor per particle).
+  void RoughenAll(const EdgeSoA& edges, ParticleSoA* soa, Rng& rng) const;
 
   // Gap widening (fault tolerance): extra Gaussian positional diffusion of
   // `sigma` meters along the particle's current edge, applied while the
@@ -63,6 +82,12 @@ class MotionModel {
   // explanation for silence.
   void WidenPosition(const WalkingGraph& graph, Particle* p, double sigma,
                      Rng& rng) const;
+
+  // Batch gap widening; byte-identical to per-particle WidenPosition in
+  // ascending index order. Only hallway particles draw, so the Gaussians
+  // are batched over the non-parked subset and applied in index order.
+  void WidenPositionAll(const EdgeSoA& edges, ParticleSoA* soa,
+                        FilterArena* arena, double sigma, Rng& rng) const;
 
   // Picks the edge a particle leaves `node` on, having arrived via
   // `incoming` (kInvalidId when the particle has no history, e.g. right

@@ -21,6 +21,7 @@ ParticleFilter::ParticleFilter(const WalkingGraph* graph,
   IPQS_CHECK(deployment != nullptr);
   IPQS_CHECK_GT(config.num_particles, 0);
   IPQS_CHECK_GE(config.max_coast_seconds, 0);
+  edges_soa_ = EdgeSoA::FromGraph(*graph);
 }
 
 std::vector<Particle> ParticleFilter::InitializeAtReader(ReaderId reader,
@@ -87,6 +88,17 @@ void ParticleFilter::Advance(std::vector<Particle>* particles,
     last_obs = from_time;
   }
 
+  // The per-second stages run on the structure-of-arrays layout; AoS is
+  // only the interchange format at the boundaries (cache, persistence,
+  // anchor projection, re-seeding). One conversion pair per Advance call,
+  // amortized over all simulated seconds. The buffers are thread_local so
+  // the hot loop allocates nothing after warm-up; safe because Advance is
+  // non-reentrant and all randomness flows through the explicit `rng`.
+  thread_local ParticleSoA soa;
+  thread_local FilterArena arena;
+  soa.AssignFrom(*particles);
+  const EdgeSoA& edges = edges_soa_;
+
   for (int64_t tj = from_time + 1; tj <= to_time; ++tj) {
     // Stage timing samples every 4th simulated second (keyed to the
     // absolute timestamp, so it is deterministic and identical across
@@ -95,9 +107,7 @@ void ParticleFilter::Advance(std::vector<Particle>* particles,
     int64_t stage_start = timed ? obs::MonotonicNanos() : 0;
 
     // Predict: every particle walks for one second.
-    for (Particle& p : *particles) {
-      motion_.Step(*graph_, &p, 1.0, rng);
-    }
+    motion_.StepAll(*graph_, edges, &soa, &arena, 1.0, rng);
     ++*seconds;
     if (timed) {
       const int64_t now_ns = obs::MonotonicNanos();
@@ -110,9 +120,8 @@ void ParticleFilter::Advance(std::vector<Particle>* particles,
     // the accumulated uncertainty. Off by default (jitter 0.0).
     if (config_.gap_position_jitter > 0.0 &&
         tj - last_obs > config_.gap_widen_after_seconds) {
-      for (Particle& p : *particles) {
-        motion_.WidenPosition(*graph_, &p, config_.gap_position_jitter, rng);
-      }
+      motion_.WidenPositionAll(edges, &soa, &arena,
+                               config_.gap_position_jitter, rng);
     }
 
     // Update: reweight against the observation of second tj, if any.
@@ -120,37 +129,41 @@ void ParticleFilter::Advance(std::vector<Particle>* particles,
     bool reweighted = false;
     if (it != reading_at.end()) {
       last_obs = tj;
-      const Reader& detector = deployment_->reader(it->second);
-      bool any_consistent = false;
-      for (const Particle& p : *particles) {
-        if (detector.InRange(graph_->PositionOf(p.loc))) {
-          any_consistent = true;
-          break;
-        }
-      }
-      if (!any_consistent) {
+      const size_t n = soa.size();
+      arena.x.resize(n);
+      arena.y.resize(n);
+      ComputePositions(edges, soa, arena.x.data(), arena.y.data());
+      const size_t consistent = measurement_.WeightOnDetection(
+          *deployment_, it->second, n, arena.x.data(), arena.y.data(),
+          soa.weight.data());
+      if (consistent == 0) {
         // The whole cloud contradicts a trustworthy observation (sample
         // impoverishment, or the object did something the motion model
         // finds very unlikely). Re-seed at the detecting reader — exactly
-        // the Algorithm 2 initialization, applied mid-stream.
-        *particles = InitializeAtReader(it->second, rng);
+        // the Algorithm 2 initialization, applied mid-stream. (The
+        // scaled weights are discarded with the rest of the old cloud.)
+        soa.AssignFrom(InitializeAtReader(it->second, rng));
+        if (metrics_.reseeds != nullptr) {
+          metrics_.reseeds->Increment();
+        }
+        if (timed && metrics_.weight_ns != nullptr) {
+          // The consistency scan and re-seed are this second's update
+          // stage; record it rather than dropping the elapsed time on the
+          // floor (the timer previously skipped re-seed seconds entirely,
+          // biasing weight_ns low exactly when the filter struggles).
+          metrics_.weight_ns->Observe(obs::MonotonicNanos() - stage_start);
+        }
         continue;
-      }
-      for (Particle& p : *particles) {
-        p.weight *= measurement_.WeightOnDetection(
-            *deployment_, graph_->PositionOf(p.loc), it->second);
       }
       reweighted = true;
     } else if (measurement_.config().use_negative_information) {
-      for (Particle& p : *particles) {
-        const double mult =
-            measurement_.WeightOnSilence(*deployment_,
-                                         graph_->PositionOf(p.loc));
-        if (mult != 1.0) {
-          p.weight *= mult;
-          reweighted = true;
-        }
-      }
+      const size_t n = soa.size();
+      arena.x.resize(n);
+      arena.y.resize(n);
+      ComputePositions(edges, soa, arena.x.data(), arena.y.data());
+      reweighted = measurement_.WeightOnSilence(*deployment_, n,
+                                                arena.x.data(), arena.y.data(),
+                                                soa.weight.data()) > 0;
     }
 
     if (timed && reweighted && metrics_.weight_ns != nullptr) {
@@ -162,21 +175,24 @@ void ParticleFilter::Advance(std::vector<Particle>* particles,
     if (reweighted) {
       // SIR: resample at the observation (weights come out uniform), then
       // roughen so replicated particles diverge again. With adaptive
-      // resampling enabled, skip while the ESS is still healthy.
-      NormalizeWeights(particles);
+      // resampling enabled, skip while the ESS is still healthy. Weights
+      // are normalized exactly once — here — and the resampler consumes
+      // them pre-normalized (it used to renormalize internally, wasted
+      // work that also perturbed the CDF by an ulp).
+      NormalizeWeights(&soa);
       const double ess_threshold =
-          config_.resample_ess_fraction * static_cast<double>(particles->size());
-      if (EffectiveSampleSize(*particles) <= ess_threshold) {
-        Resample(config_.resampling, particles, rng);
-        for (Particle& p : *particles) {
-          motion_.Roughen(*graph_, &p, rng);
-        }
+          config_.resample_ess_fraction * static_cast<double>(soa.size());
+      if (EffectiveSampleSize(soa) <= ess_threshold) {
+        Resample(config_.resampling, &soa, &arena, rng);
+        motion_.RoughenAll(edges, &soa, rng);
       }
       if (timed && metrics_.resample_ns != nullptr) {
         metrics_.resample_ns->Observe(obs::MonotonicNanos() - stage_start);
       }
     }
   }
+
+  soa.CopyTo(particles);
 }
 
 FilterResult ParticleFilter::Run(const DataCollector::ObjectHistory& history,

@@ -9,6 +9,7 @@
 #include "filter/measurement_model.h"
 #include "filter/motion_model.h"
 #include "filter/particle.h"
+#include "filter/particle_soa.h"
 #include "filter/resampler.h"
 #include "graph/anchor_points.h"
 #include "obs/metrics.h"
@@ -30,6 +31,10 @@ struct FilterMetrics {
   obs::Histogram* weight_ns = nullptr;    // Sampled per-second reweight.
   obs::Histogram* resample_ns = nullptr;  // Sampled per-second resample.
   obs::Gauge* particles = nullptr;        // Particle count of the last run.
+  // Mid-stream re-seeds: seconds where the whole cloud contradicted a
+  // reading and the filter re-initialized at the detecting reader. A
+  // climbing rate means the motion model keeps losing the objects.
+  obs::Counter* reseeds = nullptr;
 };
 
 // Tuning knobs for Algorithm 2 of the paper.
@@ -121,6 +126,10 @@ class ParticleFilter {
   MotionModel motion_;
   MeasurementModel measurement_;
   FilterMetrics metrics_;
+  // Flat per-edge mirror of the graph fields the per-second SoA kernels
+  // touch; built once here since the graph is immutable while the filter
+  // exists (and Run/Resume are const + thread-safe, so no lazy init).
+  EdgeSoA edges_soa_;
 };
 
 }  // namespace ipqs

@@ -1,11 +1,13 @@
 #ifndef IPQS_FILTER_RESAMPLER_H_
 #define IPQS_FILTER_RESAMPLER_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "filter/particle.h"
+#include "filter/particle_soa.h"
 
 namespace ipqs {
 
@@ -22,17 +24,44 @@ enum class ResamplingScheme {
 
 std::string ToString(ResamplingScheme scheme);
 
-// Systematic resampling, Algorithm 1 of the paper (the SIR resampling
-// step): builds the weight CDF, draws one uniform starting point
-// u1 ~ U[0, 1/Ns], and selects particles at u1 + (j-1)/Ns. Low-weight
-// particles die, high-weight particles replicate, and the output has
-// exactly the input size with uniform weights 1/Ns.
+// SoA kernels — the filter's hot path. Contract, shared by all schemes:
+//
+//  * Weights must be pre-normalized (sum to 1 in ascending index order, as
+//    NormalizeWeights produces; checked with IPQS_DCHECK, never silently
+//    re-normalized — the filter normalizes exactly once per reweight, and
+//    double normalization was both wasted work and an ulp-level answer
+//    perturbation).
+//  * The set is replaced by exactly `size()` survivors with uniform
+//    weights 1/Ns, selected via an inclusive prefix-sum CDF and a single
+//    monotone cursor pass over sorted quantiles.
+//  * `arena` supplies every buffer (CDF, quantiles, selection indices, the
+//    output double-buffer); nothing is allocated after arena warm-up.
+//  * Draw order is identical to the historical AoS implementation: the
+//    kernels consume exactly the same Rng sequence.
+void Resample(ResamplingScheme scheme, ParticleSoA* soa, FilterArena* arena,
+              Rng& rng);
+void SystematicResample(ParticleSoA* soa, FilterArena* arena, Rng& rng);
+
+// Low-level selection kernel (exposed for regression tests): fills
+// sel[0..quantiles.size()) with the index of the particle owning each
+// quantile, where `cdf` is an inclusive prefix sum over the weights and
+// `quantiles` is ascending. The cursor is clamped to the last particle:
+// a quantile past cdf.back() — an adversarial or denormalized CDF —
+// selects the final particle instead of walking off the end (the old
+// implementation only guarded this with a DCHECK, so a Release build
+// would read out of bounds).
+void SelectIndicesAtQuantiles(const std::vector<double>& cdf,
+                              const std::vector<double>& quantiles,
+                              uint32_t* sel);
+
+// AoS convenience wrappers (tests, benches, library users). Unlike the
+// SoA kernels these DO normalize first — the historical contract: callers
+// may pass arbitrary positive weights. A call on already-normalized
+// weights performs the same (numerically near-identity) extra division the
+// historical implementation did, so existing pinned sequences reproduce.
 //
 // Precondition: at least one particle with positive weight.
 void SystematicResample(std::vector<Particle>* particles, Rng& rng);
-
-// Dispatches to the chosen scheme. All schemes share the contract of
-// SystematicResample (size preserved, uniform output weights).
 void Resample(ResamplingScheme scheme, std::vector<Particle>* particles,
               Rng& rng);
 

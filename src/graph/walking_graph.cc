@@ -39,6 +39,13 @@ EdgeId WalkingGraph::AddEdge(NodeId a, NodeId b, EdgeKind kind,
   edges_.push_back(e);
   nodes_[a].edges.push_back(e.id);
   nodes_[b].edges.push_back(e.id);
+  for (const NodeId n : {a, b}) {
+    if (kind == EdgeKind::kRoomStub) {
+      ++nodes_[n].num_stub_edges;
+    } else {
+      ++nodes_[n].num_hallway_edges;
+    }
+  }
   return e.id;
 }
 
@@ -137,6 +144,14 @@ Status WalkingGraph::Validate() const {
     }
     if (n.edges.empty()) {
       return Status::Internal("isolated node");
+    }
+    int stubs = 0;
+    int hallways = 0;
+    for (EdgeId eid : n.edges) {
+      (edges_[eid].kind == EdgeKind::kRoomStub ? stubs : hallways) += 1;
+    }
+    if (stubs != n.num_stub_edges || hallways != n.num_hallway_edges) {
+      return Status::Internal("node edge-kind counts out of sync");
     }
   }
   if (!IsConnected()) {

@@ -31,6 +31,11 @@ struct Node {
   RoomId room = kInvalidId;        // Set for kDoor and kRoomCenter.
   HallwayId hallway = kInvalidId;  // Set for nodes on a hallway centerline.
   std::vector<EdgeId> edges;       // Incident edges.
+  // Incident-edge kind counts, maintained by AddEdge. They make the
+  // candidate counting in the motion model's edge choice O(1) per node
+  // crossing instead of a kind-lookup walk over `edges`.
+  int num_stub_edges = 0;
+  int num_hallway_edges = 0;
 };
 
 enum class EdgeKind {

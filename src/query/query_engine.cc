@@ -109,6 +109,7 @@ void QueryEngine::InitObservability() {
   filter_metrics.resample_ns =
       metrics_->GetHistogram(p + ".filter.resample_ns");
   filter_metrics.particles = metrics_->GetGauge(p + ".filter.particles");
+  filter_metrics.reseeds = metrics_->GetCounter(p + ".filter.reseed_total");
   filter_.SetMetrics(filter_metrics);
 
   if (dindex_ != nullptr) {

@@ -1,5 +1,8 @@
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -10,6 +13,7 @@
 #include "filter/motion_model.h"
 #include "filter/particle.h"
 #include "filter/particle_cache.h"
+#include "filter/particle_soa.h"
 #include "filter/particle_filter.h"
 #include "filter/resampler.h"
 #include "floorplan/office_generator.h"
@@ -105,6 +109,82 @@ TEST(ResamplerTest, ProportionalSurvival) {
     }
   }
   EXPECT_NEAR(edge1 / (2.0 * trials), 0.75, 0.02);
+}
+
+TEST(ResamplerTest, SelectIndicesClampToLastParticleOnAdversarialCdf) {
+  // A denormalized CDF whose total mass (0.7) falls short of the largest
+  // quantiles. The cursor must clamp to the last particle instead of
+  // walking past the end of the array — the historical implementation only
+  // guarded the overrun with a DCHECK, so a Release build would read (and
+  // select from) out-of-bounds memory.
+  const std::vector<double> cdf = {0.2, 0.5, 0.7};
+  const std::vector<double> quantiles = {0.1, 0.2, 0.6, 0.9, 0.99};
+  std::vector<uint32_t> sel(quantiles.size(), 1234567u);
+  SelectIndicesAtQuantiles(cdf, quantiles, sel.data());
+  EXPECT_EQ(sel[0], 0u);
+  EXPECT_EQ(sel[1], 0u);  // u == cdf[i] selects i (inclusive boundary).
+  EXPECT_EQ(sel[2], 2u);
+  EXPECT_EQ(sel[3], 2u);  // Past the total mass: clamped, not overrun.
+  EXPECT_EQ(sel[4], 2u);
+}
+
+TEST(ResamplerTest, SoAKernelConsumesPreNormalizedWeightsUnchanged) {
+  // The SoA kernels take pre-normalized weights and must not renormalize;
+  // the AoS wrapper normalizes exactly once on entry. Feeding the kernel
+  // hand-normalized weights and the wrapper the same weights scaled by 8
+  // (all powers of two, so the wrapper's division is bit-exact) must pick
+  // identical survivors from identical draws under every scheme.
+  for (const ResamplingScheme scheme :
+       {ResamplingScheme::kSystematic, ResamplingScheme::kStratified,
+        ResamplingScheme::kMultinomial, ResamplingScheme::kResidual}) {
+    ParticleSoA soa;
+    soa.AssignFrom(MakeParticles({0.25, 0.5, 0.125, 0.125}));
+    FilterArena arena;
+    Rng rng_soa(77);
+    Resample(scheme, &soa, &arena, rng_soa);
+
+    auto scaled = MakeParticles({2.0, 4.0, 1.0, 1.0});
+    Rng rng_aos(77);
+    Resample(scheme, &scaled, rng_aos);
+
+    EXPECT_EQ(soa.ToParticles(), scaled) << ToString(scheme);
+    for (const Particle& p : scaled) {
+      EXPECT_DOUBLE_EQ(p.weight, 0.25) << ToString(scheme);
+    }
+  }
+}
+
+TEST(ParticleSoATest, RoundTripAndReductionsAreBitExact) {
+  // AoS -> SoA -> AoS must be a bit-exact round trip, and the SoA
+  // reductions must match the AoS ones exactly (same fixed summation
+  // order), for an arbitrary particle population.
+  Rng rng(99);
+  std::vector<Particle> particles;
+  for (int i = 0; i < 257; ++i) {
+    Particle p;
+    p.loc = GraphLocation{static_cast<EdgeId>(rng.UniformIndex(50)),
+                          rng.Uniform(0.0, 30.0)};
+    p.heading = static_cast<NodeId>(rng.UniformIndex(40));
+    p.speed = rng.Gaussian(1.0, 0.4);
+    p.weight = rng.Uniform(1e-9, 2.0);
+    p.in_room = rng.Bernoulli(0.3);
+    particles.push_back(p);
+  }
+
+  ParticleSoA soa;
+  soa.AssignFrom(particles);
+  ASSERT_EQ(soa.size(), particles.size());
+  EXPECT_EQ(soa.ToParticles(), particles);
+  EXPECT_EQ(soa.Get(0), particles[0]);
+  EXPECT_EQ(soa.Get(256), particles[256]);
+
+  EXPECT_EQ(TotalWeight(soa), TotalWeight(particles));
+  EXPECT_EQ(EffectiveSampleSize(soa), EffectiveSampleSize(particles));
+
+  auto aos_normalized = particles;
+  NormalizeWeights(&aos_normalized);
+  NormalizeWeights(&soa);
+  EXPECT_EQ(soa.ToParticles(), aos_normalized);
 }
 
 class ResamplingSchemeSweep
@@ -530,6 +610,97 @@ TEST_F(FilterFixture, ContradictoryObservationReseedsCloud) {
   EXPECT_GT(near, static_cast<int>(result.particles.size()) / 2);
 }
 
+TEST_F(FilterFixture, ReseedIncrementsCounterAndRecordsWeightStage) {
+  // Teleporting history with the contradiction landing on a timed second
+  // (timestamp divisible by 4): the re-seed must bump pf.reseed_total AND
+  // record the update-stage elapsed time. The old path `continue`d past
+  // both, so weight_ns was silently biased low on exactly the seconds
+  // where the filter struggled.
+  ReaderId far_reader = kInvalidId;
+  for (const Reader& r : deployment_.readers()) {
+    if (Distance(r.pos, deployment_.reader(0).pos) > 40.0) {
+      far_reader = r.id;
+      break;
+    }
+  }
+  ASSERT_NE(far_reader, kInvalidId);
+  const auto history = MakeHistory({{100, 0}, {101, 0}, {104, far_reader}});
+
+  obs::Counter reseeds;
+  obs::Histogram predict_ns;
+  obs::Histogram weight_ns;
+  FilterMetrics metrics;
+  metrics.predict_ns = &predict_ns;  // Enables stage timing.
+  metrics.weight_ns = &weight_ns;
+  metrics.reseeds = &reseeds;
+
+  ParticleFilter filter(&graph_, &deployment_, FilterConfig{});
+  filter.SetMetrics(metrics);
+  Rng rng(23);
+  filter.Run(history, 105, rng);
+
+  EXPECT_EQ(reseeds.Value(), 1);
+  // Second 101 reweights but is not timed (101 & 3 != 0); second 104 is
+  // timed and re-seeds, so the single weight-stage sample is the re-seed.
+  EXPECT_EQ(weight_ns.snapshot().count, 1);
+}
+
+TEST_F(FilterFixture, EssExactlyAtThresholdStillResamples) {
+  // With hit_weight == miss_weight every detection reweight is uniform, so
+  // after normalization ESS == Ns exactly (all quantities powers of two).
+  // resample_ess_fraction = 1.0 puts the threshold at exactly Ns, and the
+  // <= comparison must still trigger the resample; any fraction below 1
+  // must behave exactly like resampling disabled.
+  FilterConfig config;
+  config.measurement.hit_weight = 1.0;
+  config.measurement.miss_weight = 1.0;
+  const auto history = MakeHistory({{100, 3}, {104, 3}});
+
+  config.resample_ess_fraction = 1.0;
+  const ParticleFilter at(&graph_, &deployment_, config);
+  Rng rng_at(41);
+  const FilterResult at_threshold = at.Run(history, 110, rng_at);
+
+  config.resample_ess_fraction = 0.999;
+  const ParticleFilter below(&graph_, &deployment_, config);
+  Rng rng_below(41);
+  const FilterResult just_below = below.Run(history, 110, rng_below);
+
+  config.resample_ess_fraction = 0.0;
+  const ParticleFilter never(&graph_, &deployment_, config);
+  Rng rng_never(41);
+  const FilterResult disabled = never.Run(history, 110, rng_never);
+
+  EXPECT_EQ(just_below, disabled);      // ESS == Ns > 0.999 * Ns: skip.
+  EXPECT_NE(at_threshold, disabled);    // ESS == Ns <= Ns: resampled.
+}
+
+TEST_F(FilterFixture, ComputePositionsMatchesGraphPositionOf) {
+  // The batch position kernel must be bit-identical to per-particle
+  // WalkingGraph::PositionOf across every edge, including the endpoints.
+  const EdgeSoA edges = EdgeSoA::FromGraph(graph_);
+  ASSERT_EQ(edges.size(), graph_.edges().size());
+
+  ParticleSoA soa;
+  std::vector<Particle> reference;
+  for (const Edge& e : graph_.edges()) {
+    for (const double frac : {0.0, 0.37, 1.0}) {
+      Particle p;
+      p.loc = GraphLocation{e.id, e.length * frac};
+      reference.push_back(p);
+    }
+  }
+  soa.AssignFrom(reference);
+  std::vector<double> x(soa.size());
+  std::vector<double> y(soa.size());
+  ComputePositions(edges, soa, x.data(), y.data());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    const Point expected = graph_.PositionOf(reference[i].loc);
+    EXPECT_EQ(x[i], expected.x) << "particle " << i;
+    EXPECT_EQ(y[i], expected.y) << "particle " << i;
+  }
+}
+
 TEST_F(FilterFixture, NegativeInformationPullsMassOutOfSilentZones) {
   // Object detected once, then silent for a while. With negative
   // information, particles lingering inside (silent) reader ranges are
@@ -788,6 +959,100 @@ TEST_F(FilterFixture, ResumeAfterStaleLookupMatchesFullRun) {
                      fresh.particles[i].loc.offset);
     EXPECT_DOUBLE_EQ(requeried.particles[i].weight,
                      fresh.particles[i].weight);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Golden filter states: bit-exact digests of full filter runs through every
+// code path (all four resampling schemes, negative information, gap
+// widening, adaptive ESS). These froze the pre-SoA array-of-structs
+// answers; the SoA kernels must reproduce them byte-identically. The
+// digests are a function of the pinned toolchain (libstdc++ distribution
+// draw order); regenerate by running with IPQS_PRINT_GOLDEN=1 and pasting
+// the output.
+
+// FNV-1a over the bit patterns of every particle field, in particle order.
+// Any single-bit difference in any field changes the digest.
+uint64_t ParticleDigest(const std::vector<Particle>& particles) {
+  uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const Particle& p : particles) {
+    uint64_t bits = 0;
+    mix(static_cast<uint64_t>(static_cast<uint32_t>(p.loc.edge)));
+    std::memcpy(&bits, &p.loc.offset, 8);
+    mix(bits);
+    mix(static_cast<uint64_t>(static_cast<uint32_t>(p.heading)));
+    std::memcpy(&bits, &p.speed, 8);
+    mix(bits);
+    std::memcpy(&bits, &p.weight, 8);
+    mix(bits);
+    mix(p.in_room ? 1 : 0);
+  }
+  return h;
+}
+
+TEST_F(FilterFixture, GoldenRunDigestsAreFrozen) {
+  const auto history =
+      MakeHistory({{100, 3}, {101, 3}, {102, 3}, {112, 4}, {113, 4}});
+
+  struct Case {
+    const char* name;
+    FilterConfig config;
+    uint64_t digest;
+  };
+  std::vector<Case> cases;
+  {
+    Case c{"systematic", FilterConfig{}, 0x2dfb070b81858ac5ULL};
+    cases.push_back(c);
+  }
+  {
+    Case c{"stratified", FilterConfig{}, 0xaf477c5f41b985ffULL};
+    c.config.resampling = ResamplingScheme::kStratified;
+    cases.push_back(c);
+  }
+  {
+    Case c{"multinomial", FilterConfig{}, 0x8c5320a3923b0455ULL};
+    c.config.resampling = ResamplingScheme::kMultinomial;
+    cases.push_back(c);
+  }
+  {
+    Case c{"residual", FilterConfig{}, 0xdf41094a3dff6c25ULL};
+    c.config.resampling = ResamplingScheme::kResidual;
+    cases.push_back(c);
+  }
+  {
+    Case c{"negative_info", FilterConfig{}, 0x729b6242ffe107a9ULL};
+    c.config.measurement.use_negative_information = true;
+    cases.push_back(c);
+  }
+  {
+    Case c{"gap_widening", FilterConfig{}, 0x08c85bfd8c4d59dcULL};
+    c.config.gap_position_jitter = 0.5;
+    c.config.gap_widen_after_seconds = 5;
+    cases.push_back(c);
+  }
+  {
+    Case c{"adaptive_ess", FilterConfig{}, 0xf912c39213c7a4f9ULL};
+    c.config.resample_ess_fraction = 0.5;
+    cases.push_back(c);
+  }
+
+  const bool print = std::getenv("IPQS_PRINT_GOLDEN") != nullptr;
+  for (Case& c : cases) {
+    const ParticleFilter filter(&graph_, &deployment_, c.config);
+    Rng rng(31);
+    const FilterResult result = filter.Run(history, 140, rng);
+    const uint64_t digest = ParticleDigest(result.particles);
+    if (print) {
+      std::printf("golden %-14s 0x%016llxULL\n", c.name,
+                  static_cast<unsigned long long>(digest));
+    }
+    EXPECT_EQ(digest, c.digest) << c.name;
   }
 }
 
