@@ -13,6 +13,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -20,6 +21,7 @@
 #include "bench_util.h"
 #include "filter/resampler.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "sim/experiment.h"
 #include "sim/simulation.h"
 
@@ -32,7 +34,15 @@ obs::MetricsRegistry& Registry() {
   static obs::MetricsRegistry registry;
   return registry;
 }
+obs::TimeSeriesSampler& Sampler() {
+  // BM_SimulationStep advances the world by tens of thousands of sim
+  // seconds; keep the exported artifact small by retaining only the tail.
+  static obs::TimeSeriesSampler sampler(&Registry(),
+                                        obs::TimeSeriesConfig{.capacity = 512});
+  return sampler;
+}
 bool g_metrics_enabled = false;
+bool g_series_enabled = false;
 
 // One shared world, built once: benchmarks measure steady-state costs.
 Simulation& World() {
@@ -40,8 +50,11 @@ Simulation& World() {
     SimulationConfig config;
     config.trace.num_objects = bench::FastMode() ? 80 : 200;
     config.seed = 7;
-    if (g_metrics_enabled) {
+    if (g_metrics_enabled || g_series_enabled) {
       config.metrics = &Registry();
+    }
+    if (g_series_enabled) {
+      config.sampler = &Sampler();
     }
     auto sim = Simulation::Create(config);
     IPQS_CHECK(sim.ok());
@@ -311,7 +324,9 @@ int main(int argc, char** argv) {
 
   // IPQS_BENCH_JSON=<dir>: machine-readable twin of the console table
   // (google-benchmark's JSON format), same convention as bench_util's
-  // BENCH_<figure>.json files. scripts/check_perf.py consumes this file.
+  // BENCH_<figure>.json files, plus a per-sim-second time series of the
+  // shared world's metrics (SERIES_micro_perf.json).
+  // scripts/check_perf.py consumes the BENCH file.
   std::string bench_out;
   std::string bench_out_format;
   bool has_explicit_out = false;
@@ -320,13 +335,18 @@ int main(int argc, char** argv) {
       has_explicit_out = true;
     }
   }
+  std::string series_dir;
   if (const char* dir = std::getenv("IPQS_BENCH_JSON");
-      dir != nullptr && *dir != '\0' && !has_explicit_out) {
-    bench_out =
-        "--benchmark_out=" + std::string(dir) + "/BENCH_micro_perf.json";
-    bench_out_format = "--benchmark_out_format=json";
-    passthrough.push_back(bench_out.data());
-    passthrough.push_back(bench_out_format.data());
+      dir != nullptr && *dir != '\0') {
+    series_dir = dir;
+    ipqs::g_series_enabled = true;
+    if (!has_explicit_out) {
+      bench_out =
+          "--benchmark_out=" + std::string(dir) + "/BENCH_micro_perf.json";
+      bench_out_format = "--benchmark_out_format=json";
+      passthrough.push_back(bench_out.data());
+      passthrough.push_back(bench_out_format.data());
+    }
   }
 
   int bench_argc = static_cast<int>(passthrough.size());
@@ -345,6 +365,16 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("metrics written: %s\n", metrics_json.c_str());
+  }
+  if (ipqs::g_series_enabled && ipqs::Sampler().size() > 0) {
+    const std::string path = series_dir + "/SERIES_micro_perf.json";
+    std::ofstream os(path, std::ios::trunc);
+    ipqs::Sampler().WriteJson(os);
+    if (os.good()) {
+      std::printf("time series written: %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write time series to %s\n", path.c_str());
+    }
   }
   return 0;
 }

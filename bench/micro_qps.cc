@@ -20,12 +20,15 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/check.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "query/query_scheduler.h"
 #include "sim/experiment.h"
 #include "sim/simulation.h"
@@ -99,10 +102,18 @@ int RunQps() {
     // Fresh world per sweep point: same seed, so every row sees the same
     // reading stream and draws the same query workload.
     obs::MetricsRegistry registry;
+    obs::TimeSeriesSampler sampler(&registry);
     SimulationConfig config;
     config.trace.num_objects = num_objects;
     config.seed = kSeed;
     config.metrics = &registry;
+    // With IPQS_BENCH_JSON set, every Step() snapshots the registry into
+    // the time-series ring; the largest-batch row's series is exported
+    // below as SERIES_micro_qps.json.
+    const char* series_dir = std::getenv("IPQS_BENCH_JSON");
+    if (series_dir != nullptr && *series_dir != '\0') {
+      config.sampler = &sampler;
+    }
     // batch 1 is the original serving path: one engine call per query and
     // an exact pruning Dijkstra per kNN query.
     config.use_distance_index = batch_size > 1;
@@ -213,6 +224,18 @@ int RunQps() {
                    "baseline\n",
                    batch_size);
       return 1;
+    }
+    if (config.sampler != nullptr && batch_size == 64) {
+      const std::string path =
+          std::string(series_dir) + "/SERIES_micro_qps.json";
+      std::ofstream os(path, std::ios::trunc);
+      sampler.WriteJson(os);
+      if (os.good()) {
+        std::printf("time series written: %s\n", path.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write time series to %s\n",
+                     path.c_str());
+      }
     }
   }
 

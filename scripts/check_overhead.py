@@ -1,14 +1,23 @@
 #!/usr/bin/env python3
 """Guards the observability layer's overhead.
 
-Runs micro_perf twice per arm -- metrics disabled and metrics enabled
-(--metrics_json) -- interleaved to absorb machine drift, and asserts the
-best metrics-enabled wall time stays within --tolerance (default 5%) of
-the best disabled wall time, plus a small absolute slack so very fast
-IPQS_FAST=1 runs don't fail on scheduler noise.
+Two gates, each run as interleaved best-of trials to absorb machine
+drift, asserting the instrumented arm stays within --tolerance (default
+5%) of the plain arm plus a small absolute slack so very fast IPQS_FAST=1
+runs don't fail on scheduler noise:
+
+  bench      micro_perf with vs without --metrics_json (counter/histogram
+             instrumentation wired into the shared world).
+  experiment run_experiment with metrics alone vs metrics plus the full
+             provenance surface: --explain_json, --timeseries_json,
+             --prometheus_out, and --slo_json on top of --metrics_json.
+             (The bench gate already prices the registry itself; this one
+             isolates what explain + time-series + SLO evaluation add.)
 
 Usage:
-  IPQS_FAST=1 python3 scripts/check_overhead.py --binary build/bench/micro_perf
+  IPQS_FAST=1 python3 scripts/check_overhead.py                 # both gates
+  python3 scripts/check_overhead.py --gate bench
+  python3 scripts/check_overhead.py --gate experiment
 """
 
 import argparse
@@ -25,12 +34,79 @@ def timed_run(cmd):
     return time.monotonic() - start
 
 
+def run_gate(name, off_cmd, on_cmd, artifacts, args):
+    """Interleaved best-of timing; returns True when the gate passes."""
+    off_times, on_times = [], []
+    for i in range(args.repeats):
+        off_times.append(timed_run(off_cmd))
+        on_times.append(timed_run(on_cmd))
+        print(f"[{name}] round {i + 1}: obs off {off_times[-1]:.3f}s, "
+              f"on {on_times[-1]:.3f}s", flush=True)
+
+    best_off, best_on = min(off_times), min(on_times)
+    bound = best_off * (1.0 + args.tolerance) + args.slack_seconds
+    overhead = (best_on / best_off - 1.0) * 100.0 if best_off > 0 else 0.0
+    print(f"[{name}] best: obs off {best_off:.3f}s, on {best_on:.3f}s "
+          f"({overhead:+.1f}%), bound {bound:.3f}s")
+
+    missing = [a for a in artifacts if not os.path.exists(a)]
+    if missing:
+        print(f"[{name}] FAIL: instrumented run did not write "
+              f"{', '.join(missing)}")
+        return False
+    if best_on > bound:
+        print(f"[{name}] FAIL: observability overhead exceeds "
+              f"{args.tolerance * 100:.0f}% + {args.slack_seconds}s slack")
+        return False
+    print(f"[{name}] OK: observability overhead within bounds")
+    return True
+
+
+def bench_gate(args):
+    pathlib.Path(args.metrics_json).parent.mkdir(parents=True, exist_ok=True)
+    off_cmd = [args.binary, f"--benchmark_filter={args.filter}"]
+    on_cmd = off_cmd + [f"--metrics_json={args.metrics_json}"]
+    return run_gate("bench", off_cmd, on_cmd, [args.metrics_json], args)
+
+
+def experiment_gate(args):
+    out = pathlib.Path(args.out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    # A small-but-real protocol: enough timestamps that the per-second
+    # time-series sampler and per-query explain records both do real work.
+    off_cmd = [
+        args.experiment_binary,
+        "--objects=80", "--timestamps=120", "--windows=40", "--knn_points=20",
+        "--warmup=240", "--seed=7", "--deadline_ms=5",
+        f"--metrics_json={out / 'overhead_metrics_off.json'}",
+    ]
+    artifacts = {
+        "--metrics_json": out / "overhead_metrics.json",
+        "--explain_json": out / "overhead_explain.json",
+        "--timeseries_json": out / "overhead_timeseries.json",
+        "--prometheus_out": out / "overhead_metrics.prom",
+        "--slo_json": out / "overhead_slo.json",
+    }
+    on_cmd = off_cmd[:-1] + [
+        f"{flag}={path}" for flag, path in artifacts.items()
+    ]
+    return run_gate("experiment", off_cmd, on_cmd,
+                    [str(p) for p in artifacts.values()], args)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--gate", choices=["bench", "experiment", "all"],
+                        default="all", help="which overhead gate(s) to run")
     parser.add_argument("--binary", default="build/bench/micro_perf",
                         help="path to the micro_perf binary")
+    parser.add_argument("--experiment-binary",
+                        default="build/tools/run_experiment",
+                        help="path to the run_experiment binary")
     parser.add_argument("--metrics-json", default="out/metrics_micro_perf.json",
-                        help="where the metrics-enabled arm writes its JSON")
+                        help="where the bench gate's instrumented arm writes")
+    parser.add_argument("--out-dir", default="out",
+                        help="where the experiment gate writes its artifacts")
     parser.add_argument("--filter", default=".",
                         help="google-benchmark --benchmark_filter regex")
     parser.add_argument("--repeats", type=int, default=2,
@@ -41,32 +117,12 @@ def main():
                         help="absolute slack added to the bound")
     args = parser.parse_args()
 
-    pathlib.Path(args.metrics_json).parent.mkdir(parents=True, exist_ok=True)
-    base_cmd = [args.binary, f"--benchmark_filter={args.filter}"]
-    on_cmd = base_cmd + [f"--metrics_json={args.metrics_json}"]
-
-    off_times, on_times = [], []
-    for i in range(args.repeats):
-        off_times.append(timed_run(base_cmd))
-        on_times.append(timed_run(on_cmd))
-        print(f"round {i + 1}: metrics off {off_times[-1]:.3f}s, "
-              f"on {on_times[-1]:.3f}s", flush=True)
-
-    best_off, best_on = min(off_times), min(on_times)
-    bound = best_off * (1.0 + args.tolerance) + args.slack_seconds
-    overhead = (best_on / best_off - 1.0) * 100.0 if best_off > 0 else 0.0
-    print(f"best: metrics off {best_off:.3f}s, on {best_on:.3f}s "
-          f"({overhead:+.1f}%), bound {bound:.3f}s")
-
-    if not os.path.exists(args.metrics_json):
-        print(f"FAIL: metrics-enabled run did not write {args.metrics_json}")
-        return 1
-    if best_on > bound:
-        print(f"FAIL: metrics overhead exceeds "
-              f"{args.tolerance * 100:.0f}% + {args.slack_seconds}s slack")
-        return 1
-    print("OK: observability overhead within bounds")
-    return 0
+    ok = True
+    if args.gate in ("bench", "all"):
+        ok = bench_gate(args) and ok
+    if args.gate in ("experiment", "all"):
+        ok = experiment_gate(args) and ok
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

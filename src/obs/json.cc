@@ -1,0 +1,234 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace ipqs {
+namespace obs {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> Parse() {
+    std::optional<JsonValue> v = ParseValue();
+    if (!v.has_value()) {
+      return std::nullopt;
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return std::nullopt;  // Trailing garbage.
+    }
+    return v;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> ParseValue() {
+    if (++depth_ > 64) {
+      return std::nullopt;  // Bounded nesting; exports are shallow.
+    }
+    SkipWhitespace();
+    std::optional<JsonValue> out;
+    if (pos_ >= text_.size()) {
+      out = std::nullopt;
+    } else if (text_[pos_] == '{') {
+      out = ParseObject();
+    } else if (text_[pos_] == '[') {
+      out = ParseArray();
+    } else if (text_[pos_] == '"') {
+      out = ParseString();
+    } else if (ConsumeLiteral("true")) {
+      JsonValue v;
+      v.kind_ = JsonValue::Kind::kBool;
+      v.bool_ = true;
+      out = v;
+    } else if (ConsumeLiteral("false")) {
+      JsonValue v;
+      v.kind_ = JsonValue::Kind::kBool;
+      v.bool_ = false;
+      out = v;
+    } else if (ConsumeLiteral("null")) {
+      out = JsonValue();
+    } else {
+      out = ParseNumber();
+    }
+    --depth_;
+    return out;
+  }
+
+  std::optional<JsonValue> ParseObject() {
+    if (!Consume('{')) {
+      return std::nullopt;
+    }
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) {
+      return v;
+    }
+    while (true) {
+      std::optional<JsonValue> key = ParseString();
+      if (!key.has_value() || !Consume(':')) {
+        return std::nullopt;
+      }
+      std::optional<JsonValue> value = ParseValue();
+      if (!value.has_value()) {
+        return std::nullopt;
+      }
+      v.object_[key->string_] = std::move(*value);
+      if (Consume(',')) {
+        SkipWhitespace();
+        continue;
+      }
+      if (Consume('}')) {
+        return v;
+      }
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> ParseArray() {
+    if (!Consume('[')) {
+      return std::nullopt;
+    }
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) {
+      return v;
+    }
+    while (true) {
+      std::optional<JsonValue> item = ParseValue();
+      if (!item.has_value()) {
+        return std::nullopt;
+      }
+      v.array_.push_back(std::move(*item));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return v;
+      }
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> ParseString() {
+    if (!Consume('"')) {
+      return std::nullopt;
+    }
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return v;
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          return std::nullopt;
+        }
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': v.string_.push_back('"'); break;
+          case '\\': v.string_.push_back('\\'); break;
+          case '/': v.string_.push_back('/'); break;
+          case 'n': v.string_.push_back('\n'); break;
+          case 't': v.string_.push_back('\t'); break;
+          case 'r': v.string_.push_back('\r'); break;
+          case 'b': v.string_.push_back('\b'); break;
+          case 'f': v.string_.push_back('\f'); break;
+          default: return std::nullopt;  // \uXXXX unsupported.
+        }
+        continue;
+      }
+      v.string_.push_back(c);
+    }
+    return std::nullopt;  // Unterminated.
+  }
+
+  std::optional<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return std::nullopt;
+    }
+    const std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double parsed = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size()) {
+      return std::nullopt;
+    }
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kNumber;
+    v.number_ = parsed;
+    return v;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (!is_object()) {
+    return nullptr;
+  }
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+const JsonValue* JsonValue::FindPath(const std::string& dotted) const {
+  const JsonValue* cur = this;
+  size_t start = 0;
+  while (cur != nullptr) {
+    const size_t dot = dotted.find('.', start);
+    const std::string key = dotted.substr(
+        start, dot == std::string::npos ? std::string::npos : dot - start);
+    cur = cur->Find(key);
+    if (dot == std::string::npos) {
+      return cur;
+    }
+    start = dot + 1;
+  }
+  return nullptr;
+}
+
+std::optional<JsonValue> JsonValue::Parse(std::string_view text) {
+  return JsonParser(text).Parse();
+}
+
+}  // namespace obs
+}  // namespace ipqs

@@ -1,0 +1,68 @@
+#ifndef IPQS_OBS_JSON_H_
+#define IPQS_OBS_JSON_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipqs {
+namespace obs {
+
+// Minimal JSON document model + recursive-descent parser: just enough to
+// read back this layer's own exports (metrics, time-series, SLO state) in
+// tools and tests. Not a general-purpose library — no \uXXXX escapes, no
+// streaming — but strict about structure: Parse returns nullopt on any
+// malformed input instead of guessing.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double AsDouble(double fallback = 0.0) const {
+    return is_number() ? number_ : fallback;
+  }
+  int64_t AsInt(int64_t fallback = 0) const {
+    return is_number() ? static_cast<int64_t>(number_) : fallback;
+  }
+  const std::string& AsString() const { return string_; }
+
+  const std::vector<JsonValue>& items() const { return array_; }
+  const std::map<std::string, JsonValue>& fields() const { return object_; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+  // Dotted-path lookup through nested objects ("budget.reason").
+  const JsonValue* FindPath(const std::string& dotted) const;
+
+  static std::optional<JsonValue> Parse(std::string_view text);
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+}  // namespace obs
+}  // namespace ipqs
+
+#endif  // IPQS_OBS_JSON_H_

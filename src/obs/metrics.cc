@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <limits>
@@ -103,8 +104,11 @@ double Histogram::Quantile(const int64_t* buckets, int64_t count, int64_t min,
     return 0.0;
   }
   // Nearest-rank with in-bucket interpolation: find the bucket holding the
-  // ceil(q * count)-th observation.
-  int64_t target = static_cast<int64_t>(q * static_cast<double>(count));
+  // ceil(q * count)-th observation. Truncating here instead of ceiling
+  // silently shifted every quantile down one rank (p99 of 11 observations
+  // ranked the 10th, not the 11th).
+  int64_t target =
+      static_cast<int64_t>(std::ceil(q * static_cast<double>(count)));
   target = std::clamp<int64_t>(target, 1, count);
   int64_t cum = 0;
   for (size_t b = 0; b < kNumBuckets; ++b) {
@@ -114,7 +118,19 @@ double Histogram::Quantile(const int64_t* buckets, int64_t count, int64_t min,
     if (cum + buckets[b] >= target) {
       const double lo = static_cast<double>(BucketLowerBound(b));
       const double hi = static_cast<double>(BucketUpperBound(b));
-      const double frac = static_cast<double>(target - cum) /
+      if (hi - lo <= 1.0) {
+        // Width-1 buckets (values < 16) hold exactly one integer value;
+        // interpolating inside them would invent values that were never
+        // observed.
+        return std::clamp(lo, static_cast<double>(min),
+                          static_cast<double>(max));
+      }
+      // Place the i-th of n in-bucket observations at its midpoint position
+      // lo + width*(i-0.5)/n, never at the exclusive upper bound: with
+      // frac = i/n the last observation of a bucket would report `hi`, a
+      // value that is by construction NOT in the bucket (p50 of {100, 200}
+      // came back as 104, the bound of 100's bucket).
+      const double frac = (static_cast<double>(target - cum) - 0.5) /
                           static_cast<double>(buckets[b]);
       const double v = lo + (hi - lo) * frac;
       return std::clamp(v, static_cast<double>(min), static_cast<double>(max));
@@ -133,7 +149,9 @@ Histogram::Snapshot Histogram::snapshot() const {
   if (s.count == 0) {
     return s;
   }
-  std::vector<int64_t> buckets(kNumBuckets);
+  // Stack copy, not a heap vector: snapshot runs once per histogram per
+  // time-series sample, and ~4KB fits comfortably on the stack.
+  int64_t buckets[kNumBuckets];
   int64_t total = 0;
   for (size_t b = 0; b < kNumBuckets; ++b) {
     buckets[b] = buckets_[b].load(std::memory_order_relaxed);
@@ -142,9 +160,9 @@ Histogram::Snapshot Histogram::snapshot() const {
   // Quantiles rank against what the buckets actually hold right now (a
   // racing Observe may have bumped count_ but not its bucket yet, or vice
   // versa).
-  s.p50 = Quantile(buckets.data(), total, s.min, s.max, 0.50);
-  s.p90 = Quantile(buckets.data(), total, s.min, s.max, 0.90);
-  s.p99 = Quantile(buckets.data(), total, s.min, s.max, 0.99);
+  s.p50 = Quantile(buckets, total, s.min, s.max, 0.50);
+  s.p90 = Quantile(buckets, total, s.min, s.max, 0.90);
+  s.p99 = Quantile(buckets, total, s.min, s.max, 0.99);
   return s;
 }
 
@@ -153,6 +171,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
   auto& slot = counters_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Counter>();
+    version_.fetch_add(1, std::memory_order_release);
   }
   return slot.get();
 }
@@ -162,6 +181,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
   auto& slot = gauges_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Gauge>();
+    version_.fetch_add(1, std::memory_order_release);
   }
   return slot.get();
 }
@@ -171,8 +191,45 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   auto& slot = histograms_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Histogram>();
+    version_.fetch_add(1, std::memory_order_release);
   }
   return slot.get();
+}
+
+RegistrySnapshot MetricsRegistry::SnapshotAll() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->snapshot());
+  }
+  return snap;
+}
+
+RegistryHandles MetricsRegistry::SnapshotHandles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistryHandles handles;
+  handles.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    handles.counters.emplace_back(name, c.get());
+  }
+  handles.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    handles.gauges.emplace_back(name, g.get());
+  }
+  handles.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    handles.histograms.emplace_back(name, h.get());
+  }
+  return handles;
 }
 
 void MetricsRegistry::WriteText(std::ostream& os) const {

@@ -10,6 +10,8 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace ipqs {
 namespace obs {
@@ -97,6 +99,22 @@ class Histogram {
   std::atomic<int64_t> max_{0};
 };
 
+// Point-in-time copy of every registered metric, sorted by name.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+};
+
+// Name -> live-handle tables (sorted by name). Handles stay valid for the
+// registry's lifetime, so a sampler can cache this and read values with no
+// lock as long as version() has not moved.
+struct RegistryHandles {
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+};
+
 // Named metric registry. Get* registers on first use and returns a stable
 // pointer (the same pointer for the same name, forever); lookups take a
 // mutex but the returned handles are lock-free, so callers resolve names
@@ -112,6 +130,17 @@ class MetricsRegistry {
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
 
+  // Bumped whenever a NEW metric is registered; unchanged by value updates.
+  // Lets periodic samplers skip the mutex when the name set is stable.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
+  // Copies of all current values (takes the registry mutex).
+  RegistrySnapshot SnapshotAll() const;
+
+  // Live handles for lock-free repeated reads (takes the registry mutex
+  // once; re-fetch when version() changes).
+  RegistryHandles SnapshotHandles() const;
+
   // Human-readable dump, one metric per line, sorted by name.
   void WriteText(std::ostream& os) const;
 
@@ -124,6 +153,7 @@ class MetricsRegistry {
 
  private:
   mutable std::mutex mu_;
+  std::atomic<uint64_t> version_{0};
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

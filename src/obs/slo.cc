@@ -1,0 +1,165 @@
+#include "obs/slo.h"
+
+#include <cstdio>
+
+namespace ipqs {
+namespace obs {
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+SloMonitor::SloMonitor(const TimeSeriesSampler* sampler,
+                       std::vector<SloSpec> specs)
+    : sampler_(sampler), specs_(std::move(specs)) {}
+
+SloState SloMonitor::EvaluateOne(const SloSpec& spec) const {
+  SloState state;
+  state.name = spec.name;
+  state.objective = spec.objective;
+  const double budget = 1.0 - spec.objective;
+  state.firing = !spec.windows.empty();
+  for (const SloWindow& w : spec.windows) {
+    SloWindowState ws;
+    ws.seconds = w.seconds;
+    ws.max_burn_rate = w.max_burn_rate;
+    if (spec.kind == SloSpec::Kind::kRatio) {
+      for (const std::string& name : spec.bad_counters) {
+        ws.bad += sampler_->CounterDelta(name, w.seconds).value_or(0);
+      }
+      for (const std::string& name : spec.total_counters) {
+        ws.total += sampler_->CounterDelta(name, w.seconds).value_or(0);
+      }
+    } else {
+      // Latency: one "event" per sample in the window, bad when that
+      // sample's p99 exceeded the threshold (see SloSpec docs).
+      for (const HistogramPoint& p :
+           sampler_->HistogramWindow(spec.histogram, w.seconds)) {
+        if (p.count == 0) {
+          continue;  // Nothing observed yet: not evidence either way.
+        }
+        ++ws.total;
+        if (p.p99 > spec.threshold) {
+          ++ws.bad;
+        }
+      }
+    }
+    if (ws.total > 0 && budget > 0.0) {
+      const double error_rate =
+          static_cast<double>(ws.bad) / static_cast<double>(ws.total);
+      ws.burn_rate = error_rate / budget;
+    }
+    ws.breached = ws.burn_rate > ws.max_burn_rate;
+    state.firing = state.firing && ws.breached;
+    state.windows.push_back(ws);
+  }
+  return state;
+}
+
+std::vector<SloState> SloMonitor::Evaluate() const {
+  std::vector<SloState> out;
+  out.reserve(specs_.size());
+  for (const SloSpec& spec : specs_) {
+    out.push_back(EvaluateOne(spec));
+  }
+  return out;
+}
+
+void SloMonitor::WriteJson(std::ostream& os) const {
+  const std::vector<SloState> states = Evaluate();
+  int64_t firing = 0;
+  os << "{\n  \"slos\": [";
+  for (size_t i = 0; i < states.size(); ++i) {
+    const SloState& s = states[i];
+    firing += s.firing ? 1 : 0;
+    os << (i == 0 ? "" : ",") << "\n    {\"name\": \"" << JsonEscape(s.name)
+       << "\", \"objective\": " << FormatDouble(s.objective)
+       << ", \"firing\": " << (s.firing ? "true" : "false")
+       << ", \"windows\": [";
+    for (size_t j = 0; j < s.windows.size(); ++j) {
+      const SloWindowState& w = s.windows[j];
+      os << (j == 0 ? "" : ", ") << "{\"seconds\": " << w.seconds
+         << ", \"max_burn_rate\": " << FormatDouble(w.max_burn_rate)
+         << ", \"bad\": " << w.bad << ", \"total\": " << w.total
+         << ", \"burn_rate\": " << FormatDouble(w.burn_rate)
+         << ", \"breached\": " << (w.breached ? "true" : "false") << "}";
+    }
+    os << "]}";
+  }
+  os << (states.empty() ? "" : "\n  ") << "],\n  \"firing\": " << firing
+     << "\n}\n";
+}
+
+std::vector<SloSpec> DefaultServingSlos(const std::string& engine_prefix,
+                                        int64_t latency_threshold_ns) {
+  const std::string& p = engine_prefix;
+  std::vector<SloSpec> slos;
+
+  // Deadline pressure: a query answered below kFull missed the quality the
+  // caller asked for. 1% budget; fires on a fast burn over the last minute
+  // sustained across five minutes.
+  SloSpec deadline_miss;
+  deadline_miss.name = p + ".slo.deadline_miss";
+  deadline_miss.bad_counters = {p + ".degrade.cached_stale",
+                               p + ".degrade.reduced_particles",
+                               p + ".degrade.prune_only"};
+  deadline_miss.total_counters = {p + ".engine.queries"};
+  deadline_miss.objective = 0.99;
+  deadline_miss.windows = {{60, 10.0}, {300, 5.0}};
+  slos.push_back(deadline_miss);
+
+  // Staleness: objects answered from a bounded-staleness cached state
+  // instead of fresh inference.
+  SloSpec stale_serve;
+  stale_serve.name = p + ".slo.stale_serve";
+  stale_serve.bad_counters = {p + ".degrade.stale_served_objects"};
+  stale_serve.total_counters = {p + ".engine.candidates_inferred",
+                               p + ".degrade.stale_served_objects"};
+  stale_serve.objective = 0.95;
+  stale_serve.windows = {{60, 5.0}, {300, 2.0}};
+  slos.push_back(stale_serve);
+
+  // Ingest health: readings the serving path never saw (dropped in
+  // delivery or behind the watermark), over everything the injector
+  // handled. Both fault counters exist only in fault-injected runs, so the
+  // clean baseline contributes zeros and stays quiet.
+  SloSpec ingest_drop;
+  ingest_drop.name = "ingest.drop";
+  ingest_drop.bad_counters = {"faults.dropped", "collector.late_dropped"};
+  ingest_drop.total_counters = {"faults.injected"};
+  ingest_drop.objective = 0.90;
+  ingest_drop.windows = {{60, 3.0}, {300, 2.0}};
+  slos.push_back(ingest_drop);
+
+  // Wall-clock latency: the one intentionally machine-dependent SLO.
+  SloSpec latency;
+  latency.name = p + ".slo.latency_p99";
+  latency.kind = SloSpec::Kind::kLatency;
+  latency.histogram = p + ".query.range_latency_ns";
+  latency.threshold = static_cast<double>(latency_threshold_ns);
+  latency.objective = 0.99;
+  latency.windows = {{60, 10.0}, {300, 5.0}};
+  slos.push_back(latency);
+
+  return slos;
+}
+
+}  // namespace obs
+}  // namespace ipqs

@@ -1,0 +1,109 @@
+#ifndef IPQS_OBS_SLO_H_
+#define IPQS_OBS_SLO_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/timeseries.h"
+
+namespace ipqs {
+namespace obs {
+
+// One evaluation window of a multi-window burn-rate alert: the SLO is
+// breached in this window when the error budget burns faster than
+// max_burn_rate (1.0 = exactly the rate that exhausts the budget at the
+// objective's horizon; SRE-style page thresholds use ~14 for short windows
+// and ~6 for long ones).
+struct SloWindow {
+  int64_t seconds = 60;
+  double max_burn_rate = 1.0;
+};
+
+// A service-level objective over sampled time-series.
+//
+// kRatio: bad/total event counters. Burn rate over a window is
+//   (delta(bad)/delta(total)) / (1 - objective), 0 when delta(total) == 0.
+// kLatency: a latency histogram plus a threshold. Each sample carries the
+//   histogram's p99; a sample is "bad" when its p99 exceeds threshold, and
+//   the burn rate is the bad-sample fraction over (1 - objective). This is
+//   an approximation (cumulative p99 per sample, not exact windowed
+//   quantiles), deliberate: the sampler stores fixed-size points, not raw
+//   observations.
+struct SloSpec {
+  enum class Kind { kRatio, kLatency };
+
+  std::string name;
+  Kind kind = Kind::kRatio;
+  // kRatio: counter names summed into the numerator / denominator. A name
+  // the sampler never saw contributes 0, so SLOs may reference optional
+  // subsystems (fault injection) and stay quiet when those are off.
+  std::vector<std::string> bad_counters;
+  std::vector<std::string> total_counters;
+  // kLatency: histogram series name and the p99 threshold (same unit as
+  // the histogram's observations; ns for the engine latency series).
+  std::string histogram;
+  double threshold = 0.0;
+  // Fraction of events promised good (e.g. 0.99 -> 1% error budget).
+  double objective = 0.99;
+  // The alert FIRES only when every window is breached simultaneously
+  // (short window = it is happening now; long window = it is sustained).
+  std::vector<SloWindow> windows;
+};
+
+// Evaluation result for one window of one SLO.
+struct SloWindowState {
+  int64_t seconds = 0;
+  double max_burn_rate = 0.0;
+  int64_t bad = 0;    // kRatio: event delta; kLatency: bad samples.
+  int64_t total = 0;  // kRatio: event delta; kLatency: samples seen.
+  double burn_rate = 0.0;
+  bool breached = false;
+};
+
+// Evaluation result for one SLO.
+struct SloState {
+  std::string name;
+  double objective = 0.0;
+  bool firing = false;  // Every window breached.
+  std::vector<SloWindowState> windows;
+};
+
+// Deterministic multi-window burn-rate evaluator over a TimeSeriesSampler.
+// Stateless between calls: Evaluate() derives everything from the sampled
+// series, so the same samples always produce the same alert decisions.
+class SloMonitor {
+ public:
+  SloMonitor(const TimeSeriesSampler* sampler, std::vector<SloSpec> specs);
+
+  const std::vector<SloSpec>& specs() const { return specs_; }
+
+  std::vector<SloState> Evaluate() const;
+
+  // Stable JSON: {"slos":[{"name","objective","firing","windows":[
+  //   {"seconds","max_burn_rate","bad","total","burn_rate","breached"}]}],
+  //   "firing": <count>}.
+  void WriteJson(std::ostream& os) const;
+
+ private:
+  SloState EvaluateOne(const SloSpec& spec) const;
+
+  const TimeSeriesSampler* sampler_;
+  std::vector<SloSpec> specs_;
+};
+
+// The serving SLOs every experiment watches, over the engine registered
+// under `engine_prefix` (the simulation's PF engine registers as "pf"):
+//   <p>.slo.deadline_miss — queries served below kFull;
+//   <p>.slo.stale_serve   — objects answered from a stale cached state;
+//   ingest.drop           — readings lost to faults or late arrival;
+//   <p>.slo.latency_p99   — range-query p99 latency bound (wall clock; the
+//                           one intentionally non-deterministic SLO).
+std::vector<SloSpec> DefaultServingSlos(const std::string& engine_prefix,
+                                        int64_t latency_threshold_ns = 50'000'000);
+
+}  // namespace obs
+}  // namespace ipqs
+
+#endif  // IPQS_OBS_SLO_H_

@@ -1,0 +1,367 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace ipqs {
+namespace obs {
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*; map everything
+// else (our dots) to '_' and prefix the exporter namespace.
+std::string PromName(const std::string& name) {
+  std::string out = "ipqs_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+TimeSeriesSampler::TimeSeriesSampler(MetricsRegistry* registry,
+                                     TimeSeriesConfig config)
+    : registry_(registry), config_(config) {
+  if (config_.capacity == 0) {
+    config_.capacity = 1;
+  }
+  if (config_.interval_seconds <= 0) {
+    config_.interval_seconds = 1;
+  }
+  ring_ = std::vector<Slot>(config_.capacity);
+}
+
+uint32_t TimeSeriesSampler::InternName(const std::string& name) {
+  for (uint32_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      return i;
+    }
+  }
+  names_.push_back(name);
+  return static_cast<uint32_t>(names_.size() - 1);
+}
+
+void TimeSeriesSampler::RefreshHandles() {
+  const RegistryHandles handles = registry_->SnapshotHandles();
+  counter_handles_.clear();
+  gauge_handles_.clear();
+  histogram_handles_.clear();
+  for (const auto& [name, c] : handles.counters) {
+    counter_handles_.emplace_back(InternName(name), c);
+  }
+  for (const auto& [name, g] : handles.gauges) {
+    gauge_handles_.emplace_back(InternName(name), g);
+  }
+  for (const auto& [name, h] : handles.histograms) {
+    histogram_handles_.emplace_back(InternName(name), h);
+  }
+}
+
+void TimeSeriesSampler::Sample(int64_t t) {
+  if (registry_ == nullptr || t % config_.interval_seconds != 0) {
+    return;
+  }
+  // Handle-table refresh only when the registry's name set changed; the
+  // steady-state path below touches nothing but relaxed atomics.
+  const uint64_t version = registry_->version();
+  if (version != handles_version_) {
+    RefreshHandles();
+    handles_version_ = version;
+  }
+
+  const int64_t index = next_.load(std::memory_order_relaxed);
+  Slot& slot = ring_[static_cast<size_t>(index) % ring_.size()];
+  // Seqlock write: odd seq while the payload is inconsistent.
+  slot.seq.fetch_add(1, std::memory_order_acq_rel);
+  TimeSample& s = slot.sample;
+  s.time = t;
+  s.counters.clear();
+  s.gauges.clear();
+  s.histograms.clear();
+  for (const auto& [id, c] : counter_handles_) {
+    s.counters.emplace_back(id, c->Value());
+  }
+  for (const auto& [id, g] : gauge_handles_) {
+    s.gauges.emplace_back(id, g->Value());
+  }
+  for (const auto& [id, h] : histogram_handles_) {
+    const Histogram::Snapshot snap = h->snapshot();
+    HistogramPoint p;
+    p.count = snap.count;
+    p.sum = snap.sum;
+    p.p50 = snap.p50;
+    p.p90 = snap.p90;
+    p.p99 = snap.p99;
+    s.histograms.emplace_back(id, p);
+  }
+  slot.seq.fetch_add(1, std::memory_order_release);
+  next_.store(index + 1, std::memory_order_release);
+}
+
+size_t TimeSeriesSampler::size() const {
+  const int64_t n = next_.load(std::memory_order_acquire);
+  return std::min<size_t>(static_cast<size_t>(n), ring_.size());
+}
+
+int64_t TimeSeriesSampler::dropped_samples() const {
+  const int64_t n = next_.load(std::memory_order_acquire);
+  return std::max<int64_t>(0, n - static_cast<int64_t>(ring_.size()));
+}
+
+bool TimeSeriesSampler::ReadSlot(size_t index, TimeSample* out) const {
+  const Slot& slot = ring_[index % ring_.size()];
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const uint64_t before = slot.seq.load(std::memory_order_acquire);
+    if (before % 2 != 0) {
+      continue;  // Mid-write; retry.
+    }
+    *out = slot.sample;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_acquire) == before) {
+      return true;
+    }
+  }
+  return false;  // Persistently torn (producer lapping us).
+}
+
+std::vector<TimeSample> TimeSeriesSampler::Collect() const {
+  const int64_t n = next_.load(std::memory_order_acquire);
+  const int64_t first =
+      std::max<int64_t>(0, n - static_cast<int64_t>(ring_.size()));
+  std::vector<TimeSample> out;
+  out.reserve(static_cast<size_t>(n - first));
+  for (int64_t i = first; i < n; ++i) {
+    TimeSample s;
+    if (ReadSlot(static_cast<size_t>(i), &s)) {
+      out.push_back(std::move(s));
+    }
+  }
+  // A producer racing Collect can lap slots; keep times strictly
+  // increasing so consumers see a well-formed series.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TimeSample& a, const TimeSample& b) {
+                     return a.time < b.time;
+                   });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const TimeSample& a, const TimeSample& b) {
+                          return a.time == b.time;
+                        }),
+            out.end());
+  return out;
+}
+
+std::optional<int64_t> TimeSeriesSampler::CounterDelta(
+    const std::string& name, int64_t window_seconds) const {
+  const std::vector<TimeSample> samples = Collect();
+  if (samples.empty()) {
+    return std::nullopt;
+  }
+  uint32_t id = ~0u;
+  for (uint32_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      id = i;
+      break;
+    }
+  }
+  if (id == ~0u) {
+    return std::nullopt;
+  }
+  auto value_in = [id](const TimeSample& s) -> std::optional<int64_t> {
+    for (const auto& [cid, v] : s.counters) {
+      if (cid == id) {
+        return v;
+      }
+    }
+    return std::nullopt;
+  };
+  const TimeSample& newest = samples.back();
+  const std::optional<int64_t> end = value_in(newest);
+  if (!end.has_value()) {
+    return std::nullopt;
+  }
+  // Window start: the newest sample at or before (newest.time - window),
+  // i.e. the counter's value as the window opened. No such sample (window
+  // precedes retention) -> fall back to the oldest retained sample's value,
+  // never 0, so ring wrap can't inflate deltas.
+  const int64_t open = newest.time - window_seconds;
+  int64_t start_value = 0;
+  bool found_start = false;
+  for (const TimeSample& s : samples) {
+    if (s.time > open) {
+      break;
+    }
+    start_value = value_in(s).value_or(start_value);
+    found_start = true;
+  }
+  if (!found_start) {
+    start_value = value_in(samples.front()).value_or(0);
+  }
+  return *end - start_value;
+}
+
+std::vector<HistogramPoint> TimeSeriesSampler::HistogramWindow(
+    const std::string& name, int64_t window_seconds) const {
+  std::vector<HistogramPoint> out;
+  const std::vector<TimeSample> samples = Collect();
+  if (samples.empty()) {
+    return out;
+  }
+  uint32_t id = ~0u;
+  for (uint32_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      id = i;
+      break;
+    }
+  }
+  if (id == ~0u) {
+    return out;
+  }
+  const int64_t open = samples.back().time - window_seconds;
+  for (const TimeSample& s : samples) {
+    if (s.time <= open) {
+      continue;
+    }
+    for (const auto& [hid, p] : s.histograms) {
+      if (hid == id) {
+        out.push_back(p);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void TimeSeriesSampler::WriteJson(std::ostream& os) const {
+  const std::vector<TimeSample> samples = Collect();
+  os << "{\n  \"interval_seconds\": " << config_.interval_seconds
+     << ",\n  \"samples\": " << samples.size()
+     << ",\n  \"dropped\": " << dropped_samples() << ",\n  \"series\": {";
+
+  // Pivot sample-major storage into name-major series. Accumulate into
+  // id-indexed vectors (one push_back per point, no per-point string
+  // churn), then key and sort by the exported series name so the output
+  // is stable.
+  struct CounterSeries {
+    std::vector<std::pair<int64_t, int64_t>> points;  // (t, v)
+  };
+  struct HistSeries {
+    std::vector<std::pair<int64_t, HistogramPoint>> points;
+  };
+  std::vector<CounterSeries> counters_by_id(names_.size());
+  std::vector<CounterSeries> gauges_by_id(names_.size());
+  std::vector<HistSeries> hists_by_id(names_.size());
+  for (const TimeSample& s : samples) {
+    for (const auto& [id, v] : s.counters) {
+      counters_by_id[id].points.emplace_back(s.time, v);
+    }
+    for (const auto& [id, v] : s.gauges) {
+      gauges_by_id[id].points.emplace_back(s.time, v);
+    }
+    for (const auto& [id, p] : s.histograms) {
+      hists_by_id[id].points.emplace_back(s.time, p);
+    }
+  }
+  std::map<std::string, CounterSeries*> scalars;  // counter: / gauge: keys.
+  std::map<std::string, HistSeries*> hists;
+  for (uint32_t id = 0; id < names_.size(); ++id) {
+    if (!counters_by_id[id].points.empty()) {
+      scalars["counter:" + names_[id]] = &counters_by_id[id];
+    }
+    if (!gauges_by_id[id].points.empty()) {
+      scalars["gauge:" + names_[id]] = &gauges_by_id[id];
+    }
+    if (!hists_by_id[id].points.empty()) {
+      hists["histogram:" + names_[id]] = &hists_by_id[id];
+    }
+  }
+
+  bool first_series = true;
+  auto series_head = [&](const std::string& key, const char* type) {
+    os << (first_series ? "" : ",") << "\n    \"" << JsonEscape(key)
+       << "\": {\"type\": \"" << type << "\", \"points\": [";
+    first_series = false;
+  };
+  for (const auto& [key, series] : scalars) {
+    const bool is_counter = key.compare(0, 8, "counter:") == 0;
+    series_head(key, is_counter ? "counter" : "gauge");
+    for (size_t i = 0; i < series->points.size(); ++i) {
+      const auto& [t, v] = series->points[i];
+      os << (i == 0 ? "" : ", ") << "{\"t\": " << t << ", \"v\": " << v;
+      if (is_counter) {
+        double rate = 0.0;
+        if (i > 0) {
+          const auto& [pt, pv] = series->points[i - 1];
+          if (t > pt) {
+            rate = static_cast<double>(v - pv) / static_cast<double>(t - pt);
+          }
+        }
+        os << ", \"rate\": " << FormatDouble(rate);
+      }
+      os << "}";
+    }
+    os << "]}";
+  }
+  for (const auto& [key, series] : hists) {
+    series_head(key, "histogram");
+    for (size_t i = 0; i < series->points.size(); ++i) {
+      const auto& [t, p] = series->points[i];
+      os << (i == 0 ? "" : ", ") << "{\"t\": " << t
+         << ", \"count\": " << p.count << ", \"sum\": " << p.sum
+         << ", \"p50\": " << FormatDouble(p.p50)
+         << ", \"p90\": " << FormatDouble(p.p90)
+         << ", \"p99\": " << FormatDouble(p.p99) << "}";
+    }
+    os << "]}";
+  }
+  os << (first_series ? "" : "\n  ") << "}\n}\n";
+}
+
+void TimeSeriesSampler::WritePrometheus(std::ostream& os) const {
+  const std::vector<TimeSample> samples = Collect();
+  if (samples.empty()) {
+    return;
+  }
+  const TimeSample& s = samples.back();
+  os << "# Sampled at sim-second " << s.time << "\n";
+  for (const auto& [id, v] : s.counters) {
+    const std::string pn = PromName(names_[id]);
+    os << "# TYPE " << pn << " counter\n" << pn << " " << v << "\n";
+  }
+  for (const auto& [id, v] : s.gauges) {
+    const std::string pn = PromName(names_[id]);
+    os << "# TYPE " << pn << " gauge\n" << pn << " " << v << "\n";
+  }
+  for (const auto& [id, p] : s.histograms) {
+    const std::string pn = PromName(names_[id]);
+    os << "# TYPE " << pn << " summary\n"
+       << pn << "{quantile=\"0.5\"} " << FormatDouble(p.p50) << "\n"
+       << pn << "{quantile=\"0.9\"} " << FormatDouble(p.p90) << "\n"
+       << pn << "{quantile=\"0.99\"} " << FormatDouble(p.p99) << "\n"
+       << pn << "_sum " << p.sum << "\n"
+       << pn << "_count " << p.count << "\n";
+  }
+}
+
+}  // namespace obs
+}  // namespace ipqs

@@ -1,0 +1,128 @@
+#ifndef IPQS_OBS_TIMESERIES_H_
+#define IPQS_OBS_TIMESERIES_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ipqs {
+namespace obs {
+
+struct TimeSeriesConfig {
+  // Ring capacity in samples; older samples are overwritten (and counted in
+  // dropped_samples) once the ring wraps.
+  size_t capacity = 4096;
+  // Sample every N sim-seconds; Sample() calls at non-multiples are no-ops
+  // so the caller can invoke it unconditionally each tick.
+  int64_t interval_seconds = 1;
+};
+
+// One histogram's state at a sample instant (cumulative since start).
+struct HistogramPoint {
+  int64_t count = 0;
+  int64_t sum = 0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+// A full sample: every registered metric's value at one sim-second.
+// Metric identity is an interned name id (see TimeSeriesSampler::NameOf) so
+// slots stay compact and comparisons are integer.
+struct TimeSample {
+  int64_t time = 0;
+  std::vector<std::pair<uint32_t, int64_t>> counters;
+  std::vector<std::pair<uint32_t, int64_t>> gauges;
+  std::vector<std::pair<uint32_t, HistogramPoint>> histograms;
+};
+
+// Periodic MetricsRegistry sampler writing into a fixed-capacity ring.
+//
+// Single producer (the simulation loop), lock-free in steady state: the
+// registry mutex is taken only when MetricsRegistry::version() moves (a new
+// metric appeared); otherwise Sample() walks cached lock-free handles.
+// Each ring slot is guarded by a seqlock so concurrent readers (a dashboard
+// thread) either see a consistent sample or retry; readers never block the
+// producer.
+class TimeSeriesSampler {
+ public:
+  explicit TimeSeriesSampler(MetricsRegistry* registry,
+                             TimeSeriesConfig config = {});
+
+  // Snapshot every metric at sim-time `t` (no-op unless t is a multiple of
+  // interval_seconds). Single producer only.
+  void Sample(int64_t t);
+
+  // Number of samples currently retained / lifetime taken / overwritten.
+  size_t size() const;
+  int64_t total_samples() const {
+    return next_.load(std::memory_order_acquire);
+  }
+  int64_t dropped_samples() const;
+
+  // Consistent copies of the retained samples, oldest first.
+  std::vector<TimeSample> Collect() const;
+
+  const std::string& NameOf(uint32_t id) const { return names_[id]; }
+
+  // --- Window queries (for the SLO monitor) ---------------------------
+  // Delta of counter `name` between the newest sample and the oldest
+  // sample with time > newest.time - window_seconds (window start value
+  // taken as 0 if the metric did not exist yet). nullopt when there are no
+  // samples or the counter never appeared.
+  std::optional<int64_t> CounterDelta(const std::string& name,
+                                      int64_t window_seconds) const;
+  // Histogram points inside the same window, oldest first (cumulative
+  // snapshots; subtract counts across points for windowed totals).
+  std::vector<HistogramPoint> HistogramWindow(const std::string& name,
+                                              int64_t window_seconds) const;
+
+  // --- Export ----------------------------------------------------------
+  // Stable JSON: {"interval_seconds":..,"samples":..,"dropped":..,
+  //  "series":{"counter:<name>":{"type":"counter","points":[{"t","v","rate"}...]},
+  //            "gauge:<name>":..., "histogram:<name>":{... points with
+  //            count/sum/p50/p90/p99 ...}}} — series keys sorted.
+  void WriteJson(std::ostream& os) const;
+  // Prometheus text exposition of the NEWEST sample: counters/gauges as
+  // "ipqs_<sanitized_name> value", histograms as summaries with quantile
+  // labels. Empty output when no samples were taken.
+  void WritePrometheus(std::ostream& os) const;
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq{0};  // Even = stable, odd = being written.
+    TimeSample sample;
+  };
+
+  void RefreshHandles();  // Re-reads the registry's handle tables.
+  uint32_t InternName(const std::string& name);
+  bool ReadSlot(size_t index, TimeSample* out) const;
+
+  MetricsRegistry* registry_;
+  TimeSeriesConfig config_;
+
+  // Producer-owned cache of registry handles, refreshed on version change.
+  uint64_t handles_version_ = ~0ull;
+  std::vector<std::pair<uint32_t, const Counter*>> counter_handles_;
+  std::vector<std::pair<uint32_t, const Gauge*>> gauge_handles_;
+  std::vector<std::pair<uint32_t, const Histogram*>> histogram_handles_;
+
+  // Interned metric names; append-only, indexed by id. The producer
+  // appends; readers only index into the stable prefix they learned about
+  // from published slots, so no lock is needed.
+  std::vector<std::string> names_;
+
+  std::vector<Slot> ring_;
+  std::atomic<int64_t> next_{0};  // Lifetime sample count (monotone).
+};
+
+}  // namespace obs
+}  // namespace ipqs
+
+#endif  // IPQS_OBS_TIMESERIES_H_

@@ -301,10 +301,23 @@ QueryResult QueryEngine::EvaluateRange(const Rect& window, int64_t now) {
 
 QueryResult QueryEngine::EvaluateRange(const Rect& window, int64_t now,
                                        int64_t deadline_ms) {
+  return EvaluateRange(window, now, deadline_ms, nullptr);
+}
+
+QueryResult QueryEngine::EvaluateRange(const Rect& window, int64_t now,
+                                       int64_t deadline_ms,
+                                       obs::QueryExplain* explain) {
   SyncTableTo(now);
   const obs::TraceSpan span(trace_, "range_query");
   const obs::ScopedTimer latency(timers_.range_latency_ns);
   counters_.queries->Increment();
+  // Everything gathered for `explain` is observational — counter reads,
+  // non-mutating cache probes, clock reads. None of it reaches the RNG or
+  // the admission decision, so the answer cannot depend on it.
+  const bool explained = explain != nullptr;
+  const int64_t t_start = explained ? obs::MonotonicNanos() : 0;
+  const ExplainBaseline baseline =
+      explained ? CaptureBaseline() : ExplainBaseline{};
 
   std::vector<ObjectId> candidates;
   {
@@ -317,32 +330,68 @@ QueryResult QueryEngine::EvaluateRange(const Rect& window, int64_t now,
       candidates = collector_->KnownObjects();
     }
   }
-  counters_.objects_considered->Increment(
-      static_cast<int64_t>(collector_->KnownObjects().size()));
+  const int64_t known =
+      static_cast<int64_t>(collector_->KnownObjects().size());
+  counters_.objects_considered->Increment(known);
 
   // See EvaluateKnn: restricting evaluation to this query's candidates
   // makes the answer independent of what other queries memoized at `now`.
   const std::vector<ObjectId> restrict = Canonicalize(candidates);
 
-  const InferPlan plan = PlanInference(restrict, now, deadline_ms);
-  CountPlan(plan);
-  if (plan.level == QualityLevel::kPruneOnly) {
-    return PruneOnlyRange(restrict, window, now);
-  }
-  if (plan.level != QualityLevel::kFull) {
-    AnchorObjectTable scratch;
-    ExecuteDegradedPlan(plan, now, &scratch);
-    const obs::TraceSpan eval_span(trace_, "evaluate");
-    const obs::ScopedTimer eval_timer(timers_.evaluate_ns);
-    QueryResult result = range_eval_.Evaluate(scratch, window, &restrict);
-    result.quality = plan.level;
-    return result;
+  const int64_t t_pruned = explained ? obs::MonotonicNanos() : 0;
+  if (explained) {
+    explain->kind = "range";
+    explain->now = now;
+    explain->deadline_ms = deadline_ms;
+    explain->pruning_enabled = config_.use_pruning;
+    explain->objects_known = known;
+    explain->candidates = static_cast<int64_t>(restrict.size());
+    explain->prune_ns = t_pruned - t_start;
+    ProbeCacheOutcomes(restrict, now, explain);
+    FillIngestContext(explain);
   }
 
-  InferBatch(restrict, now);
-  const obs::TraceSpan eval_span(trace_, "evaluate");
-  const obs::ScopedTimer eval_timer(timers_.evaluate_ns);
-  return range_eval_.Evaluate(table_, window, &restrict);
+  PlanDecision decision;
+  const InferPlan plan = PlanInference(restrict, now, deadline_ms,
+                                       explained ? &decision : nullptr);
+  CountPlan(plan);
+
+  QueryResult result;
+  int64_t t_inferred = t_pruned;
+  if (plan.level == QualityLevel::kPruneOnly) {
+    result = PruneOnlyRange(restrict, window, now);
+  } else if (plan.level != QualityLevel::kFull) {
+    AnchorObjectTable scratch;
+    ExecuteDegradedPlan(plan, now, &scratch);
+    t_inferred = explained ? obs::MonotonicNanos() : 0;
+    const obs::TraceSpan eval_span(trace_, "evaluate");
+    const obs::ScopedTimer eval_timer(timers_.evaluate_ns);
+    result = range_eval_.Evaluate(scratch, window, &restrict);
+    result.quality = plan.level;
+  } else {
+    InferBatch(restrict, now);
+    t_inferred = explained ? obs::MonotonicNanos() : 0;
+    const obs::TraceSpan eval_span(trace_, "evaluate");
+    const obs::ScopedTimer eval_timer(timers_.evaluate_ns);
+    result = range_eval_.Evaluate(table_, window, &restrict);
+  }
+
+  if (explained) {
+    const int64_t t_end = obs::MonotonicNanos();
+    explain->infer_ns = t_inferred - t_pruned;
+    explain->evaluate_ns = t_end - t_inferred;
+    explain->total_ns = t_end - t_start;
+    explain->quality = std::string(ToString(result.quality));
+    explain->budget_reason = decision.reason;
+    explain->budget_filter_seconds = decision.budget;
+    explain->est_full_cost = decision.est_full;
+    explain->est_stale_cost = decision.est_stale;
+    explain->est_reduced_cost = decision.est_reduced;
+    ChargeDeltas(baseline, explain);
+    explain->result_objects = static_cast<int64_t>(result.objects.size());
+    explain->result_total_probability = result.TotalProbability();
+  }
+  return result;
 }
 
 KnnResult QueryEngine::EvaluateKnn(const Point& query, int k, int64_t now) {
@@ -351,10 +400,20 @@ KnnResult QueryEngine::EvaluateKnn(const Point& query, int k, int64_t now) {
 
 KnnResult QueryEngine::EvaluateKnn(const Point& query, int k, int64_t now,
                                    int64_t deadline_ms) {
+  return EvaluateKnn(query, k, now, deadline_ms, nullptr);
+}
+
+KnnResult QueryEngine::EvaluateKnn(const Point& query, int k, int64_t now,
+                                   int64_t deadline_ms,
+                                   obs::QueryExplain* explain) {
   SyncTableTo(now);
   const obs::TraceSpan span(trace_, "knn_query");
   const obs::ScopedTimer latency(timers_.knn_latency_ns);
   counters_.queries->Increment();
+  const bool explained = explain != nullptr;
+  const int64_t t_start = explained ? obs::MonotonicNanos() : 0;
+  const ExplainBaseline baseline =
+      explained ? CaptureBaseline() : ExplainBaseline{};
 
   const GraphLocation q =
       graph_->NearestLocation(query, /*prefer_hallways=*/true);
@@ -380,8 +439,9 @@ KnnResult QueryEngine::EvaluateKnn(const Point& query, int k, int64_t now,
       candidates = collector_->KnownObjects();
     }
   }
-  counters_.objects_considered->Increment(
-      static_cast<int64_t>(collector_->KnownObjects().size()));
+  const int64_t known =
+      static_cast<int64_t>(collector_->KnownObjects().size());
+  counters_.objects_considered->Increment(known);
 
   // Evaluation is restricted to this query's own candidate set, so the
   // answer is a pure function of (query, now) — distributions memoized in
@@ -389,26 +449,71 @@ KnnResult QueryEngine::EvaluateKnn(const Point& query, int k, int64_t now,
   // leak probability mass into this one.
   const std::vector<ObjectId> restrict = Canonicalize(candidates);
 
-  const InferPlan plan = PlanInference(restrict, now, deadline_ms);
-  CountPlan(plan);
-  if (plan.level == QualityLevel::kPruneOnly) {
-    const QueryDistances& d = distances();
-    return PruneOnlyKnn(restrict, *d.table, d.slack, k, now);
-  }
-  if (plan.level != QualityLevel::kFull) {
-    AnchorObjectTable scratch;
-    ExecuteDegradedPlan(plan, now, &scratch);
-    const obs::TraceSpan eval_span(trace_, "evaluate");
-    const obs::ScopedTimer eval_timer(timers_.evaluate_ns);
-    KnnResult result = knn_eval_.Evaluate(scratch, q, k, &restrict);
-    result.result.quality = plan.level;
-    return result;
+  const int64_t t_pruned = explained ? obs::MonotonicNanos() : 0;
+  if (explained) {
+    explain->kind = "knn";
+    explain->now = now;
+    explain->deadline_ms = deadline_ms;
+    explain->k = k;
+    explain->pruning_enabled = config_.use_pruning;
+    explain->objects_known = known;
+    explain->candidates = static_cast<int64_t>(restrict.size());
+    explain->prune_ns = t_pruned - t_start;
+    if (qd.has_value()) {
+      explain->dindex_slack = qd->slack;
+    }
+    ProbeCacheOutcomes(restrict, now, explain);
+    FillIngestContext(explain);
   }
 
-  InferBatch(restrict, now);
-  const obs::TraceSpan eval_span(trace_, "evaluate");
-  const obs::ScopedTimer eval_timer(timers_.evaluate_ns);
-  return knn_eval_.Evaluate(table_, q, k, &restrict);
+  PlanDecision decision;
+  const InferPlan plan = PlanInference(restrict, now, deadline_ms,
+                                       explained ? &decision : nullptr);
+  CountPlan(plan);
+
+  KnnResult result;
+  int64_t t_inferred = t_pruned;
+  if (plan.level == QualityLevel::kPruneOnly) {
+    const QueryDistances& d = distances();
+    result = PruneOnlyKnn(restrict, *d.table, d.slack, k, now);
+  } else if (plan.level != QualityLevel::kFull) {
+    AnchorObjectTable scratch;
+    ExecuteDegradedPlan(plan, now, &scratch);
+    t_inferred = explained ? obs::MonotonicNanos() : 0;
+    const obs::TraceSpan eval_span(trace_, "evaluate");
+    const obs::ScopedTimer eval_timer(timers_.evaluate_ns);
+    result = knn_eval_.Evaluate(scratch, q, k, &restrict);
+    result.result.quality = plan.level;
+  } else {
+    InferBatch(restrict, now);
+    t_inferred = explained ? obs::MonotonicNanos() : 0;
+    const obs::TraceSpan eval_span(trace_, "evaluate");
+    const obs::ScopedTimer eval_timer(timers_.evaluate_ns);
+    result = knn_eval_.Evaluate(table_, q, k, &restrict);
+  }
+
+  if (explained) {
+    const int64_t t_end = obs::MonotonicNanos();
+    explain->infer_ns = t_inferred - t_pruned;
+    explain->evaluate_ns = t_end - t_inferred;
+    explain->total_ns = t_end - t_start;
+    // The prune-only fallback may have consulted the distance table even
+    // when pruning was off; report the slack it actually used.
+    if (qd.has_value()) {
+      explain->dindex_slack = qd->slack;
+    }
+    explain->quality = std::string(ToString(result.result.quality));
+    explain->budget_reason = decision.reason;
+    explain->budget_filter_seconds = decision.budget;
+    explain->est_full_cost = decision.est_full;
+    explain->est_stale_cost = decision.est_stale;
+    explain->est_reduced_cost = decision.est_reduced;
+    ChargeDeltas(baseline, explain);
+    explain->result_objects =
+        static_cast<int64_t>(result.result.objects.size());
+    explain->result_total_probability = result.total_probability;
+  }
+  return result;
 }
 
 QueryEngine::QueryDistances QueryEngine::DistancesFor(
@@ -431,17 +536,20 @@ QueryEngine::QueryDistances QueryEngine::DistancesFor(
 }
 
 QueryEngine::InferPlan QueryEngine::PlanInference(
-    const std::vector<ObjectId>& candidates, int64_t now,
-    int64_t deadline_ms) {
+    const std::vector<ObjectId>& candidates, int64_t now, int64_t deadline_ms,
+    PlanDecision* decision) {
   InferPlan plan;
   // Degradation only exists for the particle-filter backend: the other
   // methods do no per-second filtering work, so a deadline never binds.
   if (deadline_ms <= 0 || config_.degrade.filter_seconds_per_ms <= 0 ||
       config_.method != InferenceMethod::kParticleFilter) {
-    return plan;
+    return plan;  // decision keeps its "no_deadline" default.
   }
   const double budget =
       static_cast<double>(deadline_ms) * config_.degrade.filter_seconds_per_ms;
+  if (decision != nullptr) {
+    decision->budget = budget;
+  }
 
   // Work estimates in filter-seconds, derived purely from histories and
   // cache state — never from a clock — so the level choice is reproducible.
@@ -481,7 +589,13 @@ QueryEngine::InferPlan QueryEngine::PlanInference(
     full_level_cost += e.fresh_cost;
     estimates.push_back(e);
   }
+  if (decision != nullptr) {
+    decision->est_full = full_level_cost;
+  }
   if (full_level_cost <= budget) {
+    if (decision != nullptr) {
+      decision->reason = "full_fits";
+    }
     return plan;  // kFull fits; serve the normal path.
   }
 
@@ -496,7 +610,13 @@ QueryEngine::InferPlan QueryEngine::PlanInference(
   for (const Estimate& e : estimates) {
     (e.stale_ok ? plan.stale : plan.infer).push_back(e.object);
   }
+  if (decision != nullptr) {
+    decision->est_stale = infer_cost;
+  }
   if (infer_cost <= budget) {
+    if (decision != nullptr) {
+      decision->reason = "stale_fits";
+    }
     plan.level = QualityLevel::kCachedStale;
     return plan;
   }
@@ -513,16 +633,83 @@ QueryEngine::InferPlan QueryEngine::PlanInference(
         reduced_cost += e.full_cost * scale;
       }
     }
+    if (decision != nullptr) {
+      decision->est_reduced = reduced_cost;
+    }
     if (reduced_cost <= budget) {
+      if (decision != nullptr) {
+        decision->reason = "reduced_fits";
+      }
       plan.level = QualityLevel::kReducedParticles;
       return plan;
     }
   }
 
+  if (decision != nullptr) {
+    decision->reason = "budget_exhausted";
+  }
   plan.level = QualityLevel::kPruneOnly;
   plan.stale.clear();
   plan.infer.clear();
   return plan;
+}
+
+void QueryEngine::ProbeCacheOutcomes(const std::vector<ObjectId>& candidates,
+                                     int64_t now,
+                                     obs::QueryExplain* explain) const {
+  for (ObjectId object : candidates) {
+    const DataCollector::ObjectHistory* history = collector_->History(object);
+    if (history == nullptr || history->entries.empty()) {
+      continue;
+    }
+    if (!config_.use_cache ||
+        config_.method != InferenceMethod::kParticleFilter) {
+      ++explain->cache_misses;
+      continue;
+    }
+    const auto probe = cache_.Probe(object, *history, now);
+    if (!probe.has_value()) {
+      ++explain->cache_misses;
+    } else if (probe->resumable) {
+      ++explain->cache_hits;
+    } else if (probe->age_seconds <= config_.degrade.max_stale_age_seconds) {
+      ++explain->cache_stale;  // Only the stale-serve rung could use it.
+    } else {
+      ++explain->cache_misses;
+    }
+  }
+}
+
+void QueryEngine::FillIngestContext(obs::QueryExplain* explain) const {
+  explain->ingest_watermark = collector_->watermark();
+  explain->ingest_staged = static_cast<int64_t>(collector_->staged_size());
+  explain->ingest_late_dropped = collector_->ingest_stats().late_dropped;
+}
+
+QueryEngine::ExplainBaseline QueryEngine::CaptureBaseline() const {
+  ExplainBaseline b;
+  b.filter_runs = counters_.filter_runs->Value();
+  b.filter_resumes = counters_.filter_resumes->Value();
+  b.filter_seconds = counters_.filter_seconds->Value();
+  b.stale_served = degrade_counters_.stale_served_objects->Value();
+  const DistanceIndex::Stats dstats = distance_index_stats();
+  b.dindex_hits = dstats.hits;
+  b.dindex_misses = dstats.misses;
+  return b;
+}
+
+void QueryEngine::ChargeDeltas(const ExplainBaseline& before,
+                               obs::QueryExplain* explain) const {
+  explain->filter_runs = counters_.filter_runs->Value() - before.filter_runs;
+  explain->filter_resumes =
+      counters_.filter_resumes->Value() - before.filter_resumes;
+  explain->filter_seconds =
+      counters_.filter_seconds->Value() - before.filter_seconds;
+  explain->stale_served_objects =
+      degrade_counters_.stale_served_objects->Value() - before.stale_served;
+  const DistanceIndex::Stats dstats = distance_index_stats();
+  explain->dindex_hits = dstats.hits - before.dindex_hits;
+  explain->dindex_misses = dstats.misses - before.dindex_misses;
 }
 
 void QueryEngine::ExecuteDegradedPlan(const InferPlan& plan, int64_t now,

@@ -12,6 +12,7 @@
 #include "filter/particle_cache.h"
 #include "filter/particle_filter.h"
 #include "graph/distance_index.h"
+#include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/knn_query.h"
@@ -143,12 +144,21 @@ class QueryEngine {
   QueryResult EvaluateRange(const Rect& window, int64_t now);
   QueryResult EvaluateRange(const Rect& window, int64_t now,
                             int64_t deadline_ms);
+  // With a non-null `explain`, additionally fills a provenance record for
+  // the query (see obs/explain.h). Collection is strictly observational:
+  // the answer is byte-identical with explain on or off (pinned by
+  // tests/determinism_test.cc) — nothing read for the record feeds the
+  // RNG, the cache, or the admission decision.
+  QueryResult EvaluateRange(const Rect& window, int64_t now,
+                            int64_t deadline_ms, obs::QueryExplain* explain);
 
   // Probabilistic kNN at time `now` (Algorithm 4 result semantics), with
   // the same deadline handling as EvaluateRange.
   KnnResult EvaluateKnn(const Point& query, int k, int64_t now);
   KnnResult EvaluateKnn(const Point& query, int k, int64_t now,
                         int64_t deadline_ms);
+  KnnResult EvaluateKnn(const Point& query, int k, int64_t now,
+                        int64_t deadline_ms, obs::QueryExplain* explain);
 
   // Location distribution of one object at `now`, inferring it if needed;
   // nullptr when the object has never been detected.
@@ -249,17 +259,50 @@ class QueryEngine {
       ObjectId object, int64_t now, const ParticleFilter& filter,
       bool cache_read, bool cache_write);
 
+  // Why PlanInference chose the level it chose, for explain records. The
+  // reason vocabulary is part of the stable explain output: no_deadline |
+  // full_fits | stale_fits | reduced_fits | budget_exhausted.
+  struct PlanDecision {
+    const char* reason = "no_deadline";
+    double budget = -1.0;       // Filter-seconds the deadline bought.
+    double est_full = -1.0;     // Cost of the kFull plan (-1 = not costed).
+    double est_stale = -1.0;    // ... of the kCachedStale plan.
+    double est_reduced = -1.0;  // ... of the kReducedParticles plan.
+  };
+
   // Picks the highest quality level whose estimated filter-seconds fit
   // deadline_ms * degrade.filter_seconds_per_ms. Pure function of the
   // candidates' histories and the cache state (work estimates, not clocks).
+  // A non-null `decision` receives the budget arithmetic for provenance;
+  // passing it never changes the plan.
   InferPlan PlanInference(const std::vector<ObjectId>& candidates,
-                          int64_t now, int64_t deadline_ms);
+                          int64_t now, int64_t deadline_ms,
+                          PlanDecision* decision = nullptr);
 
   // Runs a degraded (L1/L2) plan into `out` — a scratch table, so degraded
   // distributions are never memoized for later full-quality queries.
   void ExecuteDegradedPlan(const InferPlan& plan, int64_t now,
                            AnchorObjectTable* out);
   void CountPlan(const InferPlan& plan);
+
+  // Explain-record helpers, all strictly observational (non-mutating cache
+  // probes, counter reads): classifies each candidate's cache outcome and
+  // captures the collector's reorder-buffer state at query time.
+  void ProbeCacheOutcomes(const std::vector<ObjectId>& candidates, int64_t now,
+                          obs::QueryExplain* explain) const;
+  void FillIngestContext(obs::QueryExplain* explain) const;
+  // Counter values before the query ran, for charging deltas to explain.
+  struct ExplainBaseline {
+    int64_t filter_runs = 0;
+    int64_t filter_resumes = 0;
+    int64_t filter_seconds = 0;
+    int64_t stale_served = 0;
+    int64_t dindex_hits = 0;
+    int64_t dindex_misses = 0;
+  };
+  ExplainBaseline CaptureBaseline() const;
+  void ChargeDeltas(const ExplainBaseline& before,
+                    obs::QueryExplain* explain) const;
 
   QueryResult PruneOnlyRange(const std::vector<ObjectId>& candidates,
                              const Rect& window, int64_t now) const;

@@ -46,10 +46,23 @@ std::vector<BatchAnswer> QueryScheduler::EvaluateBatch(
 
 std::vector<BatchAnswer> QueryScheduler::EvaluateBatch(
     const std::vector<BatchQuery>& batch, int64_t now, int64_t deadline_ms) {
+  return EvaluateBatch(batch, now, deadline_ms, nullptr);
+}
+
+std::vector<BatchAnswer> QueryScheduler::EvaluateBatch(
+    const std::vector<BatchQuery>& batch, int64_t now, int64_t deadline_ms,
+    std::vector<obs::QueryExplain>* explains) {
   std::vector<BatchAnswer> answers(batch.size());
+  const bool explained = explains != nullptr;
+  if (explained) {
+    explains->assign(batch.size(), obs::QueryExplain{});
+  }
   if (batch.empty()) {
     return answers;
   }
+  const int64_t t_start = explained ? obs::MonotonicNanos() : 0;
+  const QueryEngine::ExplainBaseline baseline =
+      explained ? engine_->CaptureBaseline() : QueryEngine::ExplainBaseline{};
   batches_->Increment();
   queries_->Increment(static_cast<int64_t>(batch.size()));
   batch_size_->Observe(static_cast<int64_t>(batch.size()));
@@ -63,6 +76,7 @@ std::vector<BatchAnswer> QueryScheduler::EvaluateBatch(
     QueryEngine::QueryDistances qd;   // kKnn: pruning distance table.
     std::vector<ObjectId> restrict;   // Canonical candidate set.
     BatchAnswer answer;
+    obs::QueryExplain explain;        // Filled only when requested.
   };
   std::vector<Distinct> distinct;
   std::vector<size_t> slot_of(batch.size());
@@ -118,7 +132,25 @@ std::vector<BatchAnswer> QueryScheduler::EvaluateBatch(
                      candidates.end());
     d.restrict = std::move(candidates);
     candidate_slots_->Increment(static_cast<int64_t>(d.restrict.size()));
+    if (explained) {
+      obs::QueryExplain& e = d.explain;
+      e.kind = q.kind == BatchQuery::Kind::kRange ? "range" : "knn";
+      e.now = now;
+      e.deadline_ms = deadline_ms;
+      e.k = q.kind == BatchQuery::Kind::kKnn ? q.k : 0;
+      e.pruning_enabled = cfg.use_pruning;
+      e.objects_known = known;
+      e.candidates = static_cast<int64_t>(d.restrict.size());
+      if (d.qd.table != nullptr) {
+        e.dindex_slack = d.qd.slack;
+      }
+      e.batched = true;
+      e.batch_size = static_cast<int64_t>(batch.size());
+      engine_->ProbeCacheOutcomes(d.restrict, now, &e);
+      engine_->FillIngestContext(&e);
+    }
   }
+  const int64_t t_pruned = explained ? obs::MonotonicNanos() : 0;
 
   // Stage 3: one admission decision for the union, so the deadline budget
   // is charged once per unique object no matter how many queries want it.
@@ -129,8 +161,9 @@ std::vector<BatchAnswer> QueryScheduler::EvaluateBatch(
   std::sort(all.begin(), all.end());
   all.erase(std::unique(all.begin(), all.end()), all.end());
   unique_candidates_->Increment(static_cast<int64_t>(all.size()));
-  const QueryEngine::InferPlan plan =
-      engine_->PlanInference(all, now, deadline_ms);
+  QueryEngine::PlanDecision decision;
+  const QueryEngine::InferPlan plan = engine_->PlanInference(
+      all, now, deadline_ms, explained ? &decision : nullptr);
   // Every batch query is served at the chosen level; count them all, as
   // the serial path would.
   for (size_t i = 0; i < batch.size(); ++i) {
@@ -139,6 +172,7 @@ std::vector<BatchAnswer> QueryScheduler::EvaluateBatch(
 
   // Stages 4+5: infer once, then answer each distinct query against the
   // shared table restricted to its own candidates.
+  int64_t t_inferred = t_pruned;
   if (plan.level == QualityLevel::kPruneOnly) {
     for (Distinct& d : distinct) {
       const BatchQuery& q = batch[d.first_index];
@@ -155,6 +189,7 @@ std::vector<BatchAnswer> QueryScheduler::EvaluateBatch(
   } else if (plan.level != QualityLevel::kFull) {
     AnchorObjectTable scratch;
     engine_->ExecuteDegradedPlan(plan, now, &scratch);
+    t_inferred = explained ? obs::MonotonicNanos() : t_pruned;
     for (Distinct& d : distinct) {
       const BatchQuery& q = batch[d.first_index];
       if (q.kind == BatchQuery::Kind::kRange) {
@@ -169,6 +204,7 @@ std::vector<BatchAnswer> QueryScheduler::EvaluateBatch(
     }
   } else {
     engine_->InferBatch(all, now);
+    t_inferred = explained ? obs::MonotonicNanos() : t_pruned;
     for (Distinct& d : distinct) {
       const BatchQuery& q = batch[d.first_index];
       if (q.kind == BatchQuery::Kind::kRange) {
@@ -181,10 +217,47 @@ std::vector<BatchAnswer> QueryScheduler::EvaluateBatch(
     }
   }
 
+  if (explained) {
+    const int64_t t_end = obs::MonotonicNanos();
+    for (Distinct& d : distinct) {
+      obs::QueryExplain& e = d.explain;
+      const BatchQuery& q = batch[d.first_index];
+      const QualityLevel served = q.kind == BatchQuery::Kind::kRange
+                                      ? d.answer.range.quality
+                                      : d.answer.knn.result.quality;
+      e.quality = std::string(ToString(served));
+      e.budget_reason = decision.reason;
+      e.budget_filter_seconds = decision.budget;
+      e.est_full_cost = decision.est_full;
+      e.est_stale_cost = decision.est_stale;
+      e.est_reduced_cost = decision.est_reduced;
+      // Batch stages run once for everyone; each record reports the
+      // batch's stage walls and the batch's work deltas (the per-query
+      // marginal cost is exactly what batching dissolves).
+      e.prune_ns = t_pruned - t_start;
+      e.infer_ns = t_inferred - t_pruned;
+      e.evaluate_ns = t_end - t_inferred;
+      e.total_ns = t_end - t_start;
+      engine_->ChargeDeltas(baseline, &e);
+      if (q.kind == BatchQuery::Kind::kRange) {
+        e.result_objects = static_cast<int64_t>(d.answer.range.objects.size());
+        e.result_total_probability = d.answer.range.TotalProbability();
+      } else {
+        e.result_objects =
+            static_cast<int64_t>(d.answer.knn.result.objects.size());
+        e.result_total_probability = d.answer.knn.total_probability;
+      }
+    }
+  }
+
   // Fan each distinct answer back to every duplicate slot.
   for (size_t i = 0; i < batch.size(); ++i) {
     answers[i] = distinct[slot_of[i]].answer;
     answers[i].kind = batch[i].kind;
+    if (explained) {
+      (*explains)[i] = distinct[slot_of[i]].explain;
+      (*explains)[i].deduped = distinct[slot_of[i]].first_index != i;
+    }
   }
   return answers;
 }

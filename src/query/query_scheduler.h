@@ -83,6 +83,16 @@ class QueryScheduler {
                                          int64_t now);
   std::vector<BatchAnswer> EvaluateBatch(const std::vector<BatchQuery>& batch,
                                          int64_t now, int64_t deadline_ms);
+  // With non-null `explains`, fills one provenance record per batch slot
+  // (explains->at(i) describes batch[i]; resized to batch.size()).
+  // Duplicate slots carry their distinct representative's record with
+  // `deduped` set. Batch records share the union's admission decision and
+  // charge the BATCH's inference work (a batched query's marginal cost is
+  // exactly what batching makes shared). Collection never perturbs
+  // answers — pinned by tests/determinism_test.cc.
+  std::vector<BatchAnswer> EvaluateBatch(
+      const std::vector<BatchQuery>& batch, int64_t now, int64_t deadline_ms,
+      std::vector<obs::QueryExplain>* explains);
 
  private:
   QueryEngine* engine_;

@@ -134,6 +134,11 @@ class DataCollector {
   // Readings currently staged in the reorder buffer.
   size_t staged_size() const { return staged_.size(); }
 
+  // The reorder buffer's current watermark: every released reading has
+  // passed it, arrivals at or behind it are late. INT64_MIN until the
+  // first reading arrives (and always, with no reorder buffer configured).
+  int64_t watermark() const { return watermark_; }
+
   const IngestStats& ingest_stats() const { return ingest_stats_; }
 
   // History for `object`; nullptr when the object has never been detected.

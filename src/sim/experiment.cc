@@ -57,7 +57,15 @@ StatusOr<ExperimentResult> Experiment::Run() {
     sm_scheduler.emplace(&sim->sm_engine());
   }
 
+  std::vector<obs::QueryExplain> explains;
+  const int64_t pf_deadline_ms = sim->pf_engine().config().deadline_ms;
+
   for (int ts = 0; ts < config_.num_timestamps; ++ts) {
+    // Provenance is collected for the final timestamp only: one
+    // steady-state portrait of the serving path, not num_timestamps of
+    // them.
+    const bool explain_ts =
+        config_.collect_explain && ts == config_.num_timestamps - 1;
     sim->Run(config_.seconds_between_timestamps);
     const int64_t now = sim->now();
     const std::vector<TrueObjectState>& states = sim->true_states();
@@ -96,7 +104,10 @@ StatusOr<ExperimentResult> Experiment::Run() {
           truths.push_back(std::move(truth));
         }
       }
-      const std::vector<BatchAnswer> pf = pf_scheduler->EvaluateBatch(batch, now);
+      const std::vector<BatchAnswer> pf =
+          explain_ts ? pf_scheduler->EvaluateBatch(batch, now, pf_deadline_ms,
+                                                   &explains)
+                     : pf_scheduler->EvaluateBatch(batch, now);
       const std::vector<BatchAnswer> sm = sm_scheduler->EvaluateBatch(batch, now);
       for (size_t i = 0; i < batch.size(); ++i) {
         if (i < num_range) {
@@ -121,7 +132,15 @@ StatusOr<ExperimentResult> Experiment::Run() {
         if (truth.empty()) {
           continue;  // KL undefined; the paper averages populated windows.
         }
-        const QueryResult pf = sim->pf_engine().EvaluateRange(window, now);
+        QueryResult pf;
+        if (explain_ts) {
+          obs::QueryExplain record;
+          pf = sim->pf_engine().EvaluateRange(window, now, pf_deadline_ms,
+                                              &record);
+          explains.push_back(std::move(record));
+        } else {
+          pf = sim->pf_engine().EvaluateRange(window, now);
+        }
         const QueryResult sm = sim->sm_engine().EvaluateRange(window, now);
         kl_pf.AddOptional(RangeKlDivergence(truth, pf));
         kl_sm.AddOptional(RangeKlDivergence(truth, sm));
@@ -137,7 +156,15 @@ StatusOr<ExperimentResult> Experiment::Run() {
         if (truth.empty()) {
           continue;
         }
-        const KnnResult pf = sim->pf_engine().EvaluateKnn(q, config_.k, now);
+        KnnResult pf;
+        if (explain_ts) {
+          obs::QueryExplain record;
+          pf = sim->pf_engine().EvaluateKnn(q, config_.k, now, pf_deadline_ms,
+                                            &record);
+          explains.push_back(std::move(record));
+        } else {
+          pf = sim->pf_engine().EvaluateKnn(q, config_.k, now);
+        }
         const KnnResult sm = sim->sm_engine().EvaluateKnn(q, config_.k, now);
         // PF: score the full Algorithm 4 result set. SM: only its maximum
         // probability result set (top-k), per the paper's methodology.
@@ -181,6 +208,7 @@ StatusOr<ExperimentResult> Experiment::Run() {
   result.pf_degrade = sim->pf_engine().degrade_stats();
   result.fault_stats = sim->fault_stats();
   result.ingest_stats = sim->collector().ingest_stats();
+  result.explains = std::move(explains);
   return result;
 }
 

@@ -40,6 +40,13 @@ struct ExperimentConfig {
   // answers are byte-identical to serial ones, so scores never move —
   // only the work counters do.
   bool batch_queries = false;
+
+  // Collect QueryExplain provenance records for the LAST timestamp's PF
+  // queries (serial path: one record per engine call; batched path: one
+  // per batch slot, via the scheduler's batch explain) into
+  // ExperimentResult::explains. Strictly observational — answers and
+  // scores are byte-identical with this on or off.
+  bool collect_explain = false;
 };
 
 // Averaged metrics of one experiment run (one sweep point of a figure).
@@ -67,6 +74,10 @@ struct ExperimentResult {
   // Fault-injection tallies (all zero when the FaultPlan is off).
   FaultInjector::Stats fault_stats;
   DataCollector::IngestStats ingest_stats;
+
+  // PF-engine provenance for the last timestamp's queries (empty unless
+  // ExperimentConfig::collect_explain).
+  std::vector<obs::QueryExplain> explains;
 };
 
 class Experiment {

@@ -202,6 +202,13 @@ void Simulation::Step() {
       persist_status_ = checkpoint_.WriteSnapshot(BuildSnapshot());
     }
   }
+
+  // Time-series sampling last, so the sample sees everything this second
+  // did (ingest counters, query work issued between Steps is attributed to
+  // the following second's sample).
+  if (config_.sampler != nullptr) {
+    config_.sampler->Sample(now_);
+  }
 }
 
 void Simulation::Run(int seconds) {

@@ -6,6 +6,7 @@
 
 #include "common/statusor.h"
 #include "faults/fault_injector.h"
+#include "obs/timeseries.h"
 #include "floorplan/io.h"
 #include "persist/checkpoint.h"
 #include "floorplan/office_generator.h"
@@ -59,12 +60,15 @@ struct SimulationConfig {
   // Ingestion hardening (reorder buffer window etc.); the default is the
   // original trusting pass-through collector.
   CollectorConfig collector;
-  // Observability (both optional; see EngineConfig). With `metrics` set,
+  // Observability (all optional; see EngineConfig). With `metrics` set,
   // the PF engine registers under "pf", the baseline under "sm", and the
-  // data collector under "collector". Neither perturbs simulation state or
-  // query answers.
+  // data collector under "collector". With `sampler` set, every Step()
+  // snapshots the registry into the time-series ring (sampler and metrics
+  // should share the registry, or the samples are empty). None of these
+  // perturb simulation state or query answers.
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceRecorder* trace_recorder = nullptr;
+  obs::TimeSeriesSampler* sampler = nullptr;
   // Per-query deadline forwarded to both engines (see
   // EngineConfig::deadline_ms); 0 = never degrade.
   int64_t deadline_ms = 0;

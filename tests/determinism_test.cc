@@ -227,6 +227,51 @@ TEST_F(DeterminismTest, MetricsAndTracingDoNotPerturbAnswers) {
   }
 }
 
+TEST_F(DeterminismTest, ExplainCollectionDoesNotPerturbAnswers) {
+  // EXPLAIN provenance is observation only: for every thread count, an
+  // engine asked to fill a QueryExplain answers byte-identically to one
+  // that was not, across the full ladder of deadline settings (explain
+  // reads counters and probes the cache non-mutatingly; it must never
+  // touch the random streams or the admission decision).
+  const int64_t now = sim_->now();
+  const Rect window = Window();
+  const Point q = sim_->deployment().reader(5).pos;
+
+  for (const int threads : {1, 4, 8}) {
+    for (const int64_t deadline_ms : {int64_t{0}, int64_t{1}, int64_t{1 << 30}}) {
+      QueryEngine plain = MakeEngine(threads, /*use_cache=*/true, true);
+      QueryEngine observed = MakeEngine(threads, /*use_cache=*/true, true);
+
+      // Same query sequence on both engines (cache state is part of the
+      // answer); only one engine collects provenance.
+      const QueryResult expected_range =
+          plain.EvaluateRange(window, now, deadline_ms);
+      obs::QueryExplain range_explain;
+      const QueryResult got_range =
+          observed.EvaluateRange(window, now, deadline_ms, &range_explain);
+      ExpectSameResult(expected_range, got_range, "explain on, range");
+      EXPECT_EQ(expected_range.quality, got_range.quality);
+
+      const KnnResult expected_knn =
+          plain.EvaluateKnn(q, 3, now + 1, deadline_ms);
+      obs::QueryExplain knn_explain;
+      const KnnResult got_knn =
+          observed.EvaluateKnn(q, 3, now + 1, deadline_ms, &knn_explain);
+      ExpectSameResult(expected_knn.result, got_knn.result, "explain on, knn");
+      EXPECT_EQ(expected_knn.total_probability, got_knn.total_probability);
+
+      // The records were actually filled, and agree with the answers.
+      EXPECT_EQ(range_explain.kind, "range");
+      EXPECT_EQ(range_explain.quality,
+                std::string(ToString(got_range.quality)));
+      EXPECT_EQ(range_explain.result_objects,
+                static_cast<int64_t>(got_range.objects.size()));
+      EXPECT_EQ(knn_explain.kind, "knn");
+      EXPECT_EQ(knn_explain.k, 3);
+    }
+  }
+}
+
 TEST_F(DeterminismTest, CachedEngineDeterministicGivenSameQuerySequence) {
   // With the cache ON the answer legitimately depends on the sequence of
   // queried timestamps (resume vs. full run) — but two engines fed the

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <sstream>
@@ -124,6 +125,77 @@ TEST(HistogramTest, PercentilesWithinDocumentedError) {
   EXPECT_NEAR(s.p99, 990.0, 990.0 * 0.125);
   EXPECT_LE(s.p50, s.p90);
   EXPECT_LE(s.p90, s.p99);
+}
+
+TEST(HistogramTest, QuantileOfTwoDistantValuesStaysNearTheLowOne) {
+  // Regression: with {100, 200}, the p50 target rank lands exactly on the
+  // last observation of 100's bucket. Interpolating to the bucket's
+  // EXCLUSIVE upper bound reported ~104 — a value that was never observed
+  // and isn't even the bucket midpoint for rank 1 of 1. The fix targets
+  // the rank's midpoint, so p50 must come back within 100's own bucket
+  // (width 12.5% at worst) and p99 within 200's.
+  Histogram h;
+  h.Observe(100);
+  h.Observe(200);
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_GE(s.p50, 100.0);
+  EXPECT_LT(s.p50, 104.0);  // 100's bucket is [96, 104); midpoint rank ~100.
+  EXPECT_GE(s.p99, 196.0);
+  EXPECT_LE(s.p99, 200.0);  // Clamped to max.
+}
+
+TEST(HistogramTest, AllEqualValuesCollapseEveryQuantile) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) {
+    h.Observe(5000);
+  }
+  const Histogram::Snapshot s = h.snapshot();
+  // Every quantile clamps into [min, max] = [5000, 5000]: exact.
+  EXPECT_EQ(s.p50, 5000.0);
+  EXPECT_EQ(s.p90, 5000.0);
+  EXPECT_EQ(s.p99, 5000.0);
+}
+
+TEST(HistogramTest, QuantilesOfExactBucketsAreExact) {
+  // Values below 16 get width-1 buckets, so quantiles there have no
+  // interpolation error at all once clamped.
+  Histogram h;
+  for (int i = 0; i < 10; ++i) {
+    h.Observe(3);
+  }
+  h.Observe(9);
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.p50, 3.0);
+  EXPECT_EQ(s.p99, 9.0);
+}
+
+TEST(HistogramTest, QuantileNeverExceedsObservedRange) {
+  // Sweep assorted shapes; quantiles must stay inside [min, max] and be
+  // monotone in q. (The pre-fix bound-returning bug violated the max side
+  // for top-bucket targets.)
+  const std::vector<std::vector<int64_t>> shapes = {
+      {1},
+      {1, 1000000},
+      {17, 18, 19, 20},
+      {1000, 1001, 1002, 4000},
+      {3, 3, 3, 3, 3, 100},
+  };
+  for (const auto& values : shapes) {
+    Histogram h;
+    int64_t min = values[0], max = values[0];
+    for (const int64_t v : values) {
+      h.Observe(v);
+      min = std::min(min, v);
+      max = std::max(max, v);
+    }
+    const Histogram::Snapshot s = h.snapshot();
+    for (const double q : {s.p50, s.p90, s.p99}) {
+      EXPECT_GE(q, static_cast<double>(min));
+      EXPECT_LE(q, static_cast<double>(max));
+    }
+    EXPECT_LE(s.p50, s.p90);
+    EXPECT_LE(s.p90, s.p99);
+  }
 }
 
 TEST(HistogramTest, ConcurrentObservesKeepExactCountAndSum) {

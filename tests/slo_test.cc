@@ -1,0 +1,338 @@
+// Time-series sampling (obs/timeseries.h) and SLO burn-rate alerting
+// (obs/slo.h). The unit tests drive a hand-built registry through the
+// sampler and check window math exactly; the end-to-end tests pin the
+// acceptance scenario: a fault-injected run fires the ingest-drop alert
+// deterministically, and a clean baseline stays quiet.
+
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
+#include "sim/simulation.h"
+
+namespace ipqs {
+namespace {
+
+using obs::MetricsRegistry;
+using obs::SloMonitor;
+using obs::SloSpec;
+using obs::SloState;
+using obs::TimeSample;
+using obs::TimeSeriesConfig;
+using obs::TimeSeriesSampler;
+
+TEST(TimeSeriesTest, SamplesOnlyOnIntervalMultiples) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Increment();
+  TimeSeriesConfig config;
+  config.interval_seconds = 5;
+  TimeSeriesSampler sampler(&registry, config);
+  for (int64_t t = 1; t <= 12; ++t) {
+    sampler.Sample(t);
+  }
+  const std::vector<TimeSample> samples = sampler.Collect();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].time, 5);
+  EXPECT_EQ(samples[1].time, 10);
+}
+
+TEST(TimeSeriesTest, CounterDeltaOverWindows) {
+  MetricsRegistry registry;
+  obs::Counter* c = registry.GetCounter("events");
+  TimeSeriesSampler sampler(&registry);
+  // +3 events per second for 10 seconds.
+  for (int64_t t = 1; t <= 10; ++t) {
+    c->Increment(3);
+    sampler.Sample(t);
+  }
+  // Window of 4s: value at t=10 minus value at t=6 (the sample at the
+  // window's open).
+  EXPECT_EQ(sampler.CounterDelta("events", 4).value_or(-1), 12);
+  // Window covering everything: falls back to the oldest sample's value
+  // (3, after the first increment), not zero.
+  EXPECT_EQ(sampler.CounterDelta("events", 1000).value_or(-1), 27);
+  // Unknown counters are nullopt, not zero.
+  EXPECT_FALSE(sampler.CounterDelta("no_such", 4).has_value());
+}
+
+TEST(TimeSeriesTest, LateRegisteredMetricsAppearAfterVersionBump) {
+  MetricsRegistry registry;
+  registry.GetCounter("early")->Increment();
+  TimeSeriesSampler sampler(&registry);
+  sampler.Sample(1);
+  // A metric registered after the first sample must show up in the next
+  // one (the sampler refreshes its handle cache on version change).
+  registry.GetCounter("late")->Increment(7);
+  sampler.Sample(2);
+  EXPECT_EQ(sampler.CounterDelta("late", 1).value_or(-1), 7);
+  const std::vector<TimeSample> samples = sampler.Collect();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].counters.size(), 1u);
+  EXPECT_EQ(samples[1].counters.size(), 2u);
+}
+
+TEST(TimeSeriesTest, RingWrapKeepsNewestAndNeverInflatesDeltas) {
+  MetricsRegistry registry;
+  obs::Counter* c = registry.GetCounter("events");
+  TimeSeriesConfig config;
+  config.capacity = 4;
+  TimeSeriesSampler sampler(&registry, config);
+  for (int64_t t = 1; t <= 10; ++t) {
+    c->Increment();
+    sampler.Sample(t);
+  }
+  EXPECT_EQ(sampler.size(), 4u);
+  EXPECT_EQ(sampler.total_samples(), 10);
+  EXPECT_EQ(sampler.dropped_samples(), 6);
+  const std::vector<TimeSample> samples = sampler.Collect();
+  ASSERT_EQ(samples.size(), 4u);
+  EXPECT_EQ(samples.front().time, 7);
+  EXPECT_EQ(samples.back().time, 10);
+  // A 60s window reaches past retention; the delta uses the oldest
+  // retained value (7), not zero — so it reports 3, never 10.
+  EXPECT_EQ(sampler.CounterDelta("events", 60).value_or(-1), 3);
+}
+
+TEST(TimeSeriesTest, ConcurrentReaderSeesConsistentSamples) {
+  MetricsRegistry registry;
+  obs::Counter* c = registry.GetCounter("events");
+  TimeSeriesConfig config;
+  config.capacity = 8;  // Small ring: readers get lapped constantly.
+  TimeSeriesSampler sampler(&registry, config);
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::vector<TimeSample> samples = sampler.Collect();
+      // Seqlock + dedup guarantee: times strictly increasing, and each
+      // sample's counter value equals its time (writer invariant below) —
+      // a torn read would break that pairing.
+      for (size_t i = 0; i < samples.size(); ++i) {
+        if (i > 0) {
+          EXPECT_LT(samples[i - 1].time, samples[i].time);
+        }
+        ASSERT_EQ(samples[i].counters.size(), 1u);
+        EXPECT_EQ(samples[i].counters[0].second, samples[i].time);
+      }
+    }
+  });
+  for (int64_t t = 1; t <= 20000; ++t) {
+    c->Increment();  // Counter value == t at sample time.
+    sampler.Sample(t);
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+}
+
+TEST(TimeSeriesTest, JsonExportParsesWithRates) {
+  MetricsRegistry registry;
+  obs::Counter* c = registry.GetCounter("events");
+  registry.GetGauge("depth")->Set(5);
+  registry.GetHistogram("lat")->Observe(100);
+  TimeSeriesSampler sampler(&registry);
+  for (int64_t t = 1; t <= 3; ++t) {
+    c->Increment(10);
+    sampler.Sample(t);
+  }
+  std::ostringstream os;
+  sampler.WriteJson(os);
+  const std::optional<obs::JsonValue> doc = obs::JsonValue::Parse(os.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->FindPath("samples")->AsInt(), 3);
+  EXPECT_EQ(doc->FindPath("dropped")->AsInt(), 0);
+  const obs::JsonValue* events = doc->FindPath("series")->Find("counter:events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->Find("points")->items().size(), 3u);
+  // Rate = delta / dt between consecutive points.
+  EXPECT_EQ(events->Find("points")->items()[1].Find("rate")->AsDouble(), 10.0);
+  EXPECT_NE(doc->FindPath("series")->Find("gauge:depth"), nullptr);
+  const obs::JsonValue* lat = doc->FindPath("series")->Find("histogram:lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->Find("points")->items()[0].Find("count")->AsInt(), 1);
+}
+
+TEST(TimeSeriesTest, PrometheusExportsNewestSample) {
+  MetricsRegistry registry;
+  registry.GetCounter("pf.engine.queries")->Increment(42);
+  registry.GetHistogram("pf.query.range_latency_ns")->Observe(1000);
+  TimeSeriesSampler sampler(&registry);
+  sampler.Sample(1);
+  std::ostringstream os;
+  sampler.WritePrometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("ipqs_pf_engine_queries 42"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ipqs_pf_engine_queries counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("ipqs_pf_query_range_latency_ns{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("ipqs_pf_query_range_latency_ns_count 1"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Burn-rate math.
+
+TEST(SloTest, BurnRateIsErrorRateOverBudget) {
+  MetricsRegistry registry;
+  obs::Counter* bad = registry.GetCounter("bad");
+  obs::Counter* total = registry.GetCounter("total");
+  TimeSeriesSampler sampler(&registry);
+  sampler.Sample(1);  // Window-open baseline: both zero.
+  bad->Increment(2);
+  total->Increment(100);
+  sampler.Sample(60);
+
+  SloSpec spec;
+  spec.name = "test";
+  spec.bad_counters = {"bad"};
+  spec.total_counters = {"total"};
+  spec.objective = 0.99;  // 1% budget; 2% errors -> burn 2.0.
+  spec.windows = {{60, 1.0}, {60, 3.0}};
+  const SloState state = SloMonitor(&sampler, {spec}).Evaluate()[0];
+  ASSERT_EQ(state.windows.size(), 2u);
+  EXPECT_EQ(state.windows[0].bad, 2);
+  EXPECT_EQ(state.windows[0].total, 100);
+  // (1 - 0.99) is not exactly 0.01, so allow a whisker of error.
+  EXPECT_NEAR(state.windows[0].burn_rate, 2.0, 1e-9);
+  EXPECT_TRUE(state.windows[0].breached);   // 2.0 > 1.0
+  EXPECT_FALSE(state.windows[1].breached);  // 2.0 < 3.0
+  // Multi-window: fires only when EVERY window is breached.
+  EXPECT_FALSE(state.firing);
+
+  SloSpec tight = spec;
+  tight.windows = {{60, 1.0}, {60, 1.5}};
+  EXPECT_TRUE(SloMonitor(&sampler, {tight}).Evaluate()[0].firing);
+}
+
+TEST(SloTest, ZeroTrafficAndMissingCountersStayQuiet) {
+  MetricsRegistry registry;
+  registry.GetCounter("anything")->Increment();
+  TimeSeriesSampler sampler(&registry);
+  sampler.Sample(1);
+  sampler.Sample(2);
+
+  SloSpec spec;
+  spec.name = "optional_subsystem";
+  spec.bad_counters = {"faults.dropped"};      // Never registered.
+  spec.total_counters = {"faults.injected"};   // Never registered.
+  spec.windows = {{60, 1.0}};
+  const SloState state = SloMonitor(&sampler, {spec}).Evaluate()[0];
+  EXPECT_EQ(state.windows[0].total, 0);
+  EXPECT_EQ(state.windows[0].burn_rate, 0.0);
+  EXPECT_FALSE(state.firing);
+}
+
+TEST(SloTest, LatencySloCountsThresholdBreachingSamples) {
+  MetricsRegistry registry;
+  obs::Histogram* lat = registry.GetHistogram("lat");
+  TimeSeriesSampler sampler(&registry);
+  lat->Observe(10);  // p99 ~ 10: under.
+  sampler.Sample(1);
+  for (int i = 0; i < 100; ++i) {
+    lat->Observe(100000);  // p99 explodes past the threshold.
+  }
+  sampler.Sample(2);
+  sampler.Sample(3);
+
+  SloSpec spec;
+  spec.name = "lat";
+  spec.kind = SloSpec::Kind::kLatency;
+  spec.histogram = "lat";
+  spec.threshold = 1000.0;
+  spec.objective = 0.5;  // 50% budget: 2/3 bad samples -> burn 4/3.
+  spec.windows = {{60, 1.0}};
+  const SloState state = SloMonitor(&sampler, {spec}).Evaluate()[0];
+  EXPECT_EQ(state.windows[0].total, 3);
+  EXPECT_EQ(state.windows[0].bad, 2);
+  EXPECT_TRUE(state.firing);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end acceptance scenarios.
+
+std::vector<SloState> RunAndEvaluate(double dropout_rate) {
+  SimulationConfig config;
+  config.trace.num_objects = 20;
+  config.num_readers = 10;
+  config.seed = 123;
+  if (dropout_rate > 0.0) {
+    config.faults.seed = 9;
+    config.faults.dropout_rate = dropout_rate;
+  }
+  MetricsRegistry registry;
+  TimeSeriesSampler sampler(&registry);
+  config.metrics = &registry;
+  config.sampler = &sampler;
+  std::unique_ptr<Simulation> sim = Simulation::Create(config).value();
+  sim->Run(120);
+  // Serve a few queries so the serving-path SLOs have traffic.
+  for (int i = 0; i < 5; ++i) {
+    Rng rng(100 + static_cast<uint64_t>(i));
+    sim->pf_engine().EvaluateRange(
+        Rect::FromCenter({rng.Uniform(5, 30), rng.Uniform(5, 30)}, 10, 10),
+        sim->now());
+  }
+  sampler.Sample(sim->now() + 1);  // One final post-query sample.
+  return SloMonitor(&sampler, obs::DefaultServingSlos("pf")).Evaluate();
+}
+
+TEST(SloEndToEndTest, DropoutSpikeFiresIngestDropDeterministically) {
+  const std::vector<SloState> states = RunAndEvaluate(/*dropout_rate=*/0.5);
+  const SloState* ingest = nullptr;
+  for (const SloState& s : states) {
+    if (s.name == "ingest.drop") {
+      ingest = &s;
+    }
+  }
+  ASSERT_NE(ingest, nullptr);
+  // Half the readings dropped against a 10% error budget: every window
+  // burns far over its limit and the alert fires.
+  EXPECT_TRUE(ingest->firing);
+  for (const auto& w : ingest->windows) {
+    EXPECT_TRUE(w.breached);
+    EXPECT_GT(w.bad, 0);
+    EXPECT_GT(w.burn_rate, w.max_burn_rate);
+  }
+
+  // Deterministic: an identical run produces the identical alert state
+  // (same bad/total event counts in every window).
+  const std::vector<SloState> again = RunAndEvaluate(0.5);
+  ASSERT_EQ(states.size(), again.size());
+  for (size_t i = 0; i < states.size(); ++i) {
+    if (states[i].name == "pf.slo.latency_p99") {
+      continue;  // The one intentionally wall-clock-dependent SLO.
+    }
+    EXPECT_EQ(states[i].firing, again[i].firing) << states[i].name;
+    ASSERT_EQ(states[i].windows.size(), again[i].windows.size());
+    for (size_t j = 0; j < states[i].windows.size(); ++j) {
+      EXPECT_EQ(states[i].windows[j].bad, again[i].windows[j].bad)
+          << states[i].name;
+      EXPECT_EQ(states[i].windows[j].total, again[i].windows[j].total)
+          << states[i].name;
+    }
+  }
+}
+
+TEST(SloEndToEndTest, CleanBaselineStaysQuiet) {
+  // No faults, no deadline: nothing degrades, nothing drops, every ratio
+  // SLO is quiet (the fault counters never even register).
+  for (const SloState& s : RunAndEvaluate(/*dropout_rate=*/0.0)) {
+    if (s.name == "pf.slo.latency_p99") {
+      continue;  // Wall-clock; not asserted either way.
+    }
+    EXPECT_FALSE(s.firing) << s.name;
+    for (const auto& w : s.windows) {
+      EXPECT_EQ(w.bad, 0) << s.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ipqs

@@ -1,0 +1,251 @@
+// Terminal dashboard over the observability artifacts the other tools
+// export. Point it at any subset of the JSON files and it renders what it
+// finds; in follow mode it re-reads them every refresh interval, so a
+// long sweep can be watched live from another terminal while
+// run_experiment writes artifacts (the writes are atomic, so a frame
+// never sees a torn file).
+//
+//   ipqs_top [--timeseries=series.json] [--metrics=metrics.json]
+//            [--slo=slo.json] [--explain=explain.json]
+//            [--once=false] [--refresh=2] [--window=60]
+//
+// --once renders a single frame and exits (nonzero when a named file is
+// missing or unparseable — the CI smoke mode). --window=N sets how many
+// trailing samples feed each sparkline.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "obs/json.h"
+#include "persist/io_util.h"
+
+namespace {
+
+using ipqs::obs::JsonValue;
+
+// Eight-level ASCII sparkline; one glyph per point, scaled to the max.
+std::string Sparkline(const std::vector<double>& points) {
+  static const char kLevels[] = " .:-=+*#";
+  double max = 0.0;
+  for (const double p : points) {
+    max = std::max(max, p);
+  }
+  std::string out;
+  for (const double p : points) {
+    const int level =
+        max <= 0.0 ? 0
+                   : std::min(7, static_cast<int>(p / max * 7.999));
+    out.push_back(kLevels[level]);
+  }
+  return out;
+}
+
+// Loads and parses one JSON artifact. Missing/invalid -> nullopt (and a
+// note, so --once failures are diagnosable from CI logs).
+std::optional<JsonValue> LoadJson(const std::string& path) {
+  if (path.empty()) {
+    return std::nullopt;
+  }
+  std::string bytes;
+  const ipqs::Status s = ipqs::persist::ReadFileToString(path, &bytes);
+  if (!s.ok()) {
+    std::fprintf(stderr, "ipqs_top: cannot read %s: %s\n", path.c_str(),
+                 s.ToString().c_str());
+    return std::nullopt;
+  }
+  std::optional<JsonValue> doc = JsonValue::Parse(bytes);
+  if (!doc.has_value()) {
+    std::fprintf(stderr, "ipqs_top: %s is not valid JSON\n", path.c_str());
+  }
+  return doc;
+}
+
+void RenderTimeSeries(const JsonValue& doc, int window) {
+  const JsonValue* series = doc.Find("series");
+  if (series == nullptr || !series->is_object()) {
+    return;
+  }
+  std::printf("— time series (last %d samples) —\n", window);
+  for (const auto& [key, value] : series->fields()) {
+    const JsonValue* points = value.Find("points");
+    if (points == nullptr || points->items().empty()) {
+      continue;
+    }
+    const bool is_counter = key.rfind("counter:", 0) == 0;
+    const bool is_hist = key.rfind("histogram:", 0) == 0;
+    const size_t n = points->items().size();
+    const size_t start = n > static_cast<size_t>(window)
+                             ? n - static_cast<size_t>(window)
+                             : 0;
+    std::vector<double> trail;
+    double last = 0.0;
+    for (size_t i = start; i < n; ++i) {
+      const JsonValue& p = points->items()[i];
+      // Counters plot their per-second rate, gauges their value,
+      // histograms their cumulative p99.
+      double v = 0.0;
+      if (is_counter) {
+        const JsonValue* rate = p.Find("rate");
+        v = rate != nullptr ? rate->AsDouble() : 0.0;
+        last = p.Find("v") != nullptr ? p.Find("v")->AsDouble() : 0.0;
+      } else if (is_hist) {
+        const JsonValue* p99 = p.Find("p99");
+        v = p99 != nullptr ? p99->AsDouble() : 0.0;
+        last = v;
+      } else {
+        v = p.Find("v") != nullptr ? p.Find("v")->AsDouble() : 0.0;
+        last = v;
+      }
+      trail.push_back(v);
+    }
+    std::printf("  %-44s %14.6g |%s|\n", key.c_str(), last,
+                Sparkline(trail).c_str());
+  }
+}
+
+void RenderSlos(const JsonValue& doc) {
+  const JsonValue* slos = doc.Find("slos");
+  if (slos == nullptr || !slos->is_array()) {
+    return;
+  }
+  std::printf("— SLOs —\n");
+  for (const JsonValue& slo : slos->items()) {
+    const JsonValue* name = slo.Find("name");
+    const JsonValue* firing = slo.Find("firing");
+    std::printf("  %-28s %s", name != nullptr ? name->AsString().c_str() : "?",
+                firing != nullptr && firing->AsBool() ? "FIRING " : "ok     ");
+    const JsonValue* windows = slo.Find("windows");
+    if (windows != nullptr) {
+      for (const JsonValue& w : windows->items()) {
+        const JsonValue* secs = w.Find("seconds");
+        const JsonValue* burn = w.Find("burn_rate");
+        const JsonValue* breached = w.Find("breached");
+        std::printf(" [%llds burn=%.2f%s]",
+                    static_cast<long long>(
+                        secs != nullptr ? secs->AsInt() : 0),
+                    burn != nullptr ? burn->AsDouble() : 0.0,
+                    breached != nullptr && breached->AsBool() ? "!" : "");
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+void RenderMetrics(const JsonValue& doc) {
+  const JsonValue* counters = doc.Find("counters");
+  if (counters == nullptr || !counters->is_object()) {
+    return;
+  }
+  std::printf("— counters —\n");
+  for (const auto& [name, value] : counters->fields()) {
+    std::printf("  %-44s %14lld\n", name.c_str(),
+                static_cast<long long>(value.AsInt()));
+  }
+  const JsonValue* hists = doc.Find("histograms");
+  if (hists != nullptr && hists->is_object() && !hists->fields().empty()) {
+    std::printf("— histograms (p50 / p99) —\n");
+    for (const auto& [name, value] : hists->fields()) {
+      const JsonValue* p50 = value.Find("p50");
+      const JsonValue* p99 = value.Find("p99");
+      const JsonValue* count = value.Find("count");
+      std::printf("  %-44s %12.6g / %-12.6g (n=%lld)\n", name.c_str(),
+                  p50 != nullptr ? p50->AsDouble() : 0.0,
+                  p99 != nullptr ? p99->AsDouble() : 0.0,
+                  static_cast<long long>(
+                      count != nullptr ? count->AsInt() : 0));
+    }
+  }
+}
+
+void RenderExplains(const JsonValue& doc) {
+  if (!doc.is_array()) {
+    return;
+  }
+  // Quality distribution over the records — the one-line answer to "what
+  // did the degradation ladder actually serve".
+  std::vector<std::pair<std::string, int>> by_quality;
+  for (const JsonValue& e : doc.items()) {
+    const JsonValue* q = e.Find("quality");
+    const std::string quality =
+        q != nullptr ? q->AsString() : std::string("unknown");
+    bool found = false;
+    for (auto& [name, count] : by_quality) {
+      if (name == quality) {
+        ++count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      by_quality.emplace_back(quality, 1);
+    }
+  }
+  std::printf("— explain (%zu records) —\n", doc.items().size());
+  for (const auto& [name, count] : by_quality) {
+    std::printf("  %-28s %6d\n", name.c_str(), count);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ipqs;
+
+  FlagParser flags(argc, argv);
+  const std::string timeseries_path = flags.GetString("timeseries", "");
+  const std::string metrics_path = flags.GetString("metrics", "");
+  const std::string slo_path = flags.GetString("slo", "");
+  const std::string explain_path = flags.GetString("explain", "");
+  const bool once = flags.GetBool("once", false);
+  const int refresh = flags.GetInt("refresh", 2);
+  const int window = flags.GetInt("window", 60);
+  if (const Status unused = flags.CheckUnused(); !unused.ok()) {
+    std::fprintf(stderr, "%s\n", unused.ToString().c_str());
+    return 1;
+  }
+  if (timeseries_path.empty() && metrics_path.empty() && slo_path.empty() &&
+      explain_path.empty()) {
+    std::fprintf(stderr,
+                 "ipqs_top: nothing to watch; pass --timeseries/--metrics/"
+                 "--slo/--explain\n");
+    return 1;
+  }
+
+  for (;;) {
+    if (!once) {
+      std::printf("\x1b[2J\x1b[H");  // Clear screen, home cursor.
+    }
+    std::printf("ipqs_top — indoor query serving\n\n");
+    bool all_loaded = true;
+    if (auto doc = LoadJson(timeseries_path); doc.has_value()) {
+      RenderTimeSeries(*doc, window);
+    } else if (!timeseries_path.empty()) {
+      all_loaded = false;
+    }
+    if (auto doc = LoadJson(slo_path); doc.has_value()) {
+      RenderSlos(*doc);
+    } else if (!slo_path.empty()) {
+      all_loaded = false;
+    }
+    if (auto doc = LoadJson(metrics_path); doc.has_value()) {
+      RenderMetrics(*doc);
+    } else if (!metrics_path.empty()) {
+      all_loaded = false;
+    }
+    if (auto doc = LoadJson(explain_path); doc.has_value()) {
+      RenderExplains(*doc);
+    } else if (!explain_path.empty()) {
+      all_loaded = false;
+    }
+    std::fflush(stdout);
+    if (once) {
+      return all_loaded ? 0 : 1;
+    }
+    sleep(static_cast<unsigned>(refresh < 1 ? 1 : refresh));
+  }
+}

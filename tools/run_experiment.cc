@@ -17,7 +17,9 @@
 //                  [--checkpoint_dir=<dir>] [--checkpoint_interval=60]
 //                  [--recover=false] [--deadline_ms=0]
 //                  [--metrics_json=<file>] [--trace_out=<file>]
-//                  [--log_level=info]
+//                  [--explain=false] [--explain_json=<file>]
+//                  [--timeseries_json=<file>] [--prometheus_out=<file>]
+//                  [--slo_json=<file>] [--log_level=info]
 //
 // --threads=N fans per-object filter runs across N worker threads.
 // Query answers are byte-identical at any thread count (each object's
@@ -54,17 +56,104 @@
 // Observability: --metrics_json=FILE dumps every counter, gauge, and
 // per-stage latency histogram (p50/p90/p99) as stable JSON after the run;
 // --trace_out=FILE records Chrome-tracing spans loadable in
-// chrome://tracing or https://ui.perfetto.dev. Neither flag changes any
-// reported accuracy number — metrics never feed the random streams.
+// chrome://tracing or https://ui.perfetto.dev. --explain=true prints a
+// per-query provenance summary (EXPLAIN) for the final timestamp's PF
+// queries, and --explain_json=FILE writes the full records.
+// --timeseries_json=FILE samples every metric once per simulated second
+// into a ring and exports the series; --prometheus_out=FILE additionally
+// writes the newest sample in Prometheus text exposition format.
+// --slo_json=FILE evaluates the default serving SLOs (deadline misses,
+// stale serving, ingest drops, p99 latency) with multi-window burn-rate
+// alerting over those samples. None of these flags change any reported
+// accuracy number — observability never feeds the random streams, and
+// answers are byte-identical with them on or off.
+//
+// All JSON artifacts are written atomically (tmp + rename) and flushed on
+// SIGINT/SIGTERM, so an interrupted sweep still leaves loadable files.
 
+#include <csignal>
 #include <cstdio>
+#include <sstream>
 
 #include "common/flags.h"
 #include "common/logging.h"
 #include "floorplan/io.h"
+#include "obs/explain.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "persist/io_util.h"
 #include "sim/experiment.h"
+
+namespace {
+
+// Everything the signal handler needs to flush, reachable from file scope.
+// Plain pointers set once in main before the run starts; the handler is a
+// best-effort dump (ostringstream is not async-signal-safe, but losing the
+// artifacts for certain beats maybe-crashing while saving them).
+struct ArtifactSink {
+  std::string metrics_json;
+  std::string trace_out;
+  std::string timeseries_json;
+  std::string prometheus_out;
+  std::string slo_json;
+  const ipqs::obs::MetricsRegistry* registry = nullptr;
+  const ipqs::obs::TraceRecorder* recorder = nullptr;
+  const ipqs::obs::TimeSeriesSampler* sampler = nullptr;
+  const ipqs::obs::SloMonitor* slo = nullptr;
+};
+ArtifactSink g_sink;
+
+// Writes one artifact atomically; false (with a stderr note) on failure.
+template <typename WriteFn>
+bool FlushOne(const std::string& path, WriteFn&& write) {
+  if (path.empty()) {
+    return true;
+  }
+  std::ostringstream out;
+  write(out);
+  const ipqs::Status s = ipqs::persist::AtomicWriteFile(path, out.str());
+  if (!s.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                 s.ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+// Flushes every configured artifact; returns false if any write failed.
+bool FlushArtifacts() {
+  bool ok = true;
+  if (g_sink.registry != nullptr) {
+    ok &= FlushOne(g_sink.metrics_json,
+                   [](std::ostream& os) { g_sink.registry->WriteJson(os); });
+  }
+  if (g_sink.recorder != nullptr) {
+    ok &= FlushOne(g_sink.trace_out,
+                   [](std::ostream& os) { g_sink.recorder->WriteJson(os); });
+  }
+  if (g_sink.sampler != nullptr) {
+    ok &= FlushOne(g_sink.timeseries_json,
+                   [](std::ostream& os) { g_sink.sampler->WriteJson(os); });
+    ok &= FlushOne(g_sink.prometheus_out, [](std::ostream& os) {
+      g_sink.sampler->WritePrometheus(os);
+    });
+  }
+  if (g_sink.slo != nullptr) {
+    ok &= FlushOne(g_sink.slo_json,
+                   [](std::ostream& os) { g_sink.slo->WriteJson(os); });
+  }
+  return ok;
+}
+
+void FlushAndExit(int sig) {
+  FlushArtifacts();
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ipqs;
@@ -136,14 +225,41 @@ int main(int argc, char** argv) {
 
   const std::string metrics_json = flags.GetString("metrics_json", "");
   const std::string trace_out = flags.GetString("trace_out", "");
+  const bool explain = flags.GetBool("explain", false);
+  const std::string explain_json = flags.GetString("explain_json", "");
+  const std::string timeseries_json = flags.GetString("timeseries_json", "");
+  const std::string prometheus_out = flags.GetString("prometheus_out", "");
+  const std::string slo_json = flags.GetString("slo_json", "");
+  const bool want_series =
+      !timeseries_json.empty() || !prometheus_out.empty() || !slo_json.empty();
   obs::MetricsRegistry registry;
   obs::TraceRecorder recorder;
-  if (!metrics_json.empty()) {
+  obs::TimeSeriesSampler sampler(&registry);
+  obs::SloMonitor slo(&sampler, obs::DefaultServingSlos("pf"));
+  if (!metrics_json.empty() || want_series) {
     config.sim.metrics = &registry;
   }
   if (!trace_out.empty()) {
     config.sim.trace_recorder = &recorder;
   }
+  if (want_series) {
+    config.sim.sampler = &sampler;
+  }
+  config.collect_explain = explain || !explain_json.empty();
+
+  g_sink.metrics_json = metrics_json;
+  g_sink.trace_out = trace_out;
+  g_sink.timeseries_json = timeseries_json;
+  g_sink.prometheus_out = prometheus_out;
+  g_sink.slo_json = slo_json;
+  g_sink.registry = &registry;
+  g_sink.recorder = &recorder;
+  if (want_series) {
+    g_sink.sampler = &sampler;
+    g_sink.slo = &slo;
+  }
+  std::signal(SIGINT, FlushAndExit);
+  std::signal(SIGTERM, FlushAndExit);
 
   const std::string building = flags.GetString("building", "");
   if (!building.empty()) {
@@ -200,12 +316,7 @@ int main(int argc, char** argv) {
     std::printf("knn:                  %zu objects, total p=%.6f (%s)\n",
                 knn.result.objects.size(), knn.total_probability,
                 std::string(ToString(knn.result.quality)).c_str());
-    if (!metrics_json.empty() && !registry.WriteJsonFile(metrics_json)) {
-      std::fprintf(stderr, "cannot write metrics to %s\n",
-                   metrics_json.c_str());
-      return 1;
-    }
-    return 0;
+    return FlushArtifacts() ? 0 : 1;
   }
 
   const auto result = Experiment(config).Run();
@@ -262,21 +373,72 @@ int main(int argc, char** argv) {
         static_cast<long long>(result->ingest_stats.late_dropped));
   }
 
-  if (!metrics_json.empty()) {
-    if (!registry.WriteJsonFile(metrics_json)) {
-      std::fprintf(stderr, "cannot write metrics to %s\n",
-                   metrics_json.c_str());
+  if (explain) {
+    // Human-readable EXPLAIN for the final timestamp's PF queries: one
+    // line per record, then the full JSON of the first record as a sample
+    // of everything --explain_json captures.
+    std::printf("explain:              %zu records (final timestamp)\n",
+                result->explains.size());
+    for (size_t i = 0; i < result->explains.size(); ++i) {
+      const obs::QueryExplain& e = result->explains[i];
+      std::printf(
+          "  [%3zu] %-5s %-17s cand=%lld/%lld cache=%lld/%lld/%lld "
+          "reason=%s total=%.3fms%s%s\n",
+          i, e.kind.c_str(), e.quality.c_str(),
+          static_cast<long long>(e.candidates),
+          static_cast<long long>(e.objects_known),
+          static_cast<long long>(e.cache_hits),
+          static_cast<long long>(e.cache_stale),
+          static_cast<long long>(e.cache_misses), e.budget_reason.c_str(),
+          e.total_ns / 1e6, e.batched ? " batched" : "",
+          e.deduped ? " deduped" : "");
+    }
+  }
+  if (!explain_json.empty()) {
+    const bool wrote =
+        FlushOne(explain_json, [&result](std::ostream& os) {
+          obs::WriteExplainsJson(os, result->explains);
+        });
+    if (!wrote) {
       return 1;
     }
+    std::printf("explain written:      %s (%zu records)\n",
+                explain_json.c_str(), result->explains.size());
+  }
+  if (!slo_json.empty()) {
+    int firing = 0;
+    for (const obs::SloState& state : slo.Evaluate()) {
+      if (state.firing) {
+        ++firing;
+        std::printf("SLO FIRING:           %s (objective %.4f)\n",
+                    state.name.c_str(), state.objective);
+      }
+    }
+    if (firing == 0) {
+      std::printf("SLOs:                 all quiet (%zu watched)\n",
+                  slo.specs().size());
+    }
+  }
+
+  if (!FlushArtifacts()) {
+    return 1;
+  }
+  if (!metrics_json.empty()) {
     std::printf("metrics written:      %s\n", metrics_json.c_str());
   }
   if (!trace_out.empty()) {
-    if (!recorder.WriteJsonFile(trace_out)) {
-      std::fprintf(stderr, "cannot write trace to %s\n", trace_out.c_str());
-      return 1;
-    }
     std::printf("trace written:        %s (%zu spans)\n", trace_out.c_str(),
                 recorder.size());
+  }
+  if (!timeseries_json.empty()) {
+    std::printf("time series written:  %s (%zu samples)\n",
+                timeseries_json.c_str(), sampler.size());
+  }
+  if (!prometheus_out.empty()) {
+    std::printf("prometheus written:   %s\n", prometheus_out.c_str());
+  }
+  if (!slo_json.empty()) {
+    std::printf("slo report written:   %s\n", slo_json.c_str());
   }
   return 0;
 }
