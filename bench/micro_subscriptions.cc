@@ -1,0 +1,267 @@
+// Standing-query serving throughput vs. dirty fraction: N subscriptions
+// ticked by an incremental SubscriptionManager (change-log dirty tracking,
+// settledness pins, cached clean answers) versus the poll-everything
+// baseline that re-evaluates every subscription on every tick.
+//
+// The world is synthetic and adversarially legible: objects are parked in
+// clusters around readers and read once during warm-up, so every cluster's
+// answers settle (the particle filter coasts out within max_coast and the
+// cache pins the endpoint). Each timed tick then re-reads one object in
+// the first ceil(dirty_fraction * N) clusters — exactly that fraction of
+// subscriptions has a reason to change, the rest are provably clean. The
+// pruning speed bound is small because the objects really are parked;
+// uncertain regions stay local and cluster candidate sets stay disjoint.
+//
+// Answers are verified byte-identical between the two managers after every
+// tick; the incremental path changes how much work is done, never what any
+// subscription answers. IPQS_FAST=1 shrinks the protocol.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/check.h"
+#include "query/subscription.h"
+#include "rfid/data_collector.h"
+#include "sim/simulation.h"
+
+namespace ipqs {
+namespace {
+
+constexpr uint64_t kSeed = 7;
+constexpr int kMaxCoast = 15;       // Seconds until a parked answer settles.
+constexpr double kMaxSpeed = 0.05;  // Pruning u: the objects are parked.
+
+bool SameAnswer(const BatchAnswer& a, const BatchAnswer& b) {
+  if (a.kind != b.kind) {
+    return false;
+  }
+  if (a.kind == BatchQuery::Kind::kRange) {
+    return a.range.objects == b.range.objects;
+  }
+  return a.knn.result.objects == b.knn.result.objects &&
+         a.knn.total_probability == b.knn.total_probability &&
+         a.knn.anchors_searched == b.knn.anchors_searched;
+}
+
+bool SameDeltas(const SubscriptionTickResult& a,
+                const SubscriptionTickResult& b) {
+  if (a.updates.size() != b.updates.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.updates.size(); ++i) {
+    const SubscriptionUpdate& ua = a.updates[i];
+    const SubscriptionUpdate& ub = b.updates[i];
+    if (ua.id != ub.id || ua.kind != ub.kind) {
+      return false;
+    }
+    if (ua.kind == BatchQuery::Kind::kRange) {
+      if (ua.range.entered != ub.range.entered ||
+          ua.range.left != ub.range.left) {
+        return false;
+      }
+    } else if (ua.knn.entered != ub.knn.entered ||
+               ua.knn.left != ub.knn.left ||
+               ua.knn.current != ub.knn.current) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunSubscriptions() {
+  const bool fast = bench::FastMode();
+  const int objects_per_cluster = fast ? 6 : 10;
+  const int timed_ticks = fast ? 12 : 30;
+  const int knn_subs = 4;
+
+  // The simulation only provides the static world (plan, graph, anchors,
+  // deployment); the reading stream below is hand-made and ingested into
+  // our own collector so the dirty fraction is exact, not emergent.
+  SimulationConfig world_cfg;
+  world_cfg.seed = kSeed;
+  auto sim_or = Simulation::Create(world_cfg);
+  IPQS_CHECK(sim_or.ok());
+  std::unique_ptr<Simulation> sim = std::move(*sim_or);
+  const Deployment& deployment = sim->deployment();
+
+  // One subscription (and one object cluster) per selected reader. A
+  // greedy pass keeps only readers pairwise >= 10 m apart (a fresh
+  // reading's uncertain region is ~2 m, so a hot cluster can never be a
+  // candidate of a neighboring window), and the survivors are ordered by
+  // position so the "hot" prefix of the sweep is spatially clustered.
+  std::vector<ReaderId> order;
+  for (ReaderId r = 0; r < static_cast<ReaderId>(deployment.num_readers());
+       ++r) {
+    const Point pr = deployment.reader(r).pos;
+    const bool spaced = std::all_of(
+        order.begin(), order.end(), [&](ReaderId kept) {
+          const Point pk = deployment.reader(kept).pos;
+          return std::hypot(pr.x - pk.x, pr.y - pk.y) >= 10.0;
+        });
+    if (spaced) {
+      order.push_back(r);
+    }
+  }
+  IPQS_CHECK_GT(order.size(), 6u);
+  std::sort(order.begin(), order.end(), [&](ReaderId a, ReaderId b) {
+    const Point pa = deployment.reader(a).pos;
+    const Point pb = deployment.reader(b).pos;
+    if (pa.x != pb.x) return pa.x < pb.x;
+    return pa.y < pb.y;
+  });
+  const int num_subs = static_cast<int>(order.size());
+
+  DataCollector collector;
+  CollectorConfig collector_cfg;
+  collector_cfg.change_log_capacity = 1 << 16;
+  collector.SetConfig(collector_cfg);
+
+  const auto object_of = [&](int cluster, int j) {
+    return static_cast<ObjectId>(cluster * objects_per_cluster + j + 1);
+  };
+
+  // Warm-up: every object is read for a few seconds at its cluster's
+  // reader, then the stream goes silent and every answer settles.
+  int64_t t = 0;
+  for (int warm = 0; warm < 3; ++warm) {
+    ++t;
+    for (int s = 0; s < num_subs; ++s) {
+      for (int j = 0; j < objects_per_cluster; ++j) {
+        collector.Observe({object_of(s, j), order[s], t});
+      }
+    }
+    collector.Flush(t);
+  }
+
+  bench::PrintHeader(
+      "micro_subscriptions",
+      "standing-query serving: incremental vs. poll-everything",
+      "dirty_fraction",
+      {"inc_ms", "full_ms", "multiplier", "skipped_frac", "eff_qps"});
+
+  double low_dirty_multiplier = 1e18;  // Worst multiplier at dirty <= 0.2.
+
+  for (const double dirty_fraction : {0.0, 0.1, 0.2, 0.5, 1.0}) {
+    // Fresh engines and managers per sweep point (cold caches, clean
+    // incremental state). The collector's timeline carries over, so
+    // re-read every object once — resetting its uncertain region to the
+    // activation range — and let everything settle again; within one row
+    // the regions then grow ~2 m at most, far short of the 10 m cluster
+    // spacing, so clean clusters stay provably clean for the whole row.
+    ++t;
+    for (int s = 0; s < num_subs; ++s) {
+      for (int j = 0; j < objects_per_cluster; ++j) {
+        collector.Observe({object_of(s, j), order[s], t});
+      }
+    }
+    collector.Flush(t);
+    t += kMaxCoast + 2;
+    collector.Flush(t);
+
+    EngineConfig engine_cfg;
+    engine_cfg.method = InferenceMethod::kParticleFilter;
+    engine_cfg.filter.max_coast_seconds = kMaxCoast;
+    engine_cfg.max_speed = kMaxSpeed;
+    engine_cfg.seed = kSeed;
+    QueryEngine engine_a(&sim->graph(), &sim->plan(), &sim->anchors(),
+                         &sim->anchor_graph(), &deployment,
+                         &sim->deployment_graph(), &collector, engine_cfg);
+    QueryEngine engine_b(&sim->graph(), &sim->plan(), &sim->anchors(),
+                         &sim->anchor_graph(), &deployment,
+                         &sim->deployment_graph(), &collector, engine_cfg);
+    SubscriptionManagerConfig full_cfg;
+    full_cfg.incremental = false;
+    SubscriptionManager inc(&engine_a, {});
+    SubscriptionManager full(&engine_b, full_cfg);
+
+    std::vector<SubscriptionId> ids_inc;
+    std::vector<SubscriptionId> ids_full;
+    for (int s = 0; s < num_subs; ++s) {
+      const Point pos = deployment.reader(order[s]).pos;
+      if (s < num_subs - knn_subs) {
+        ids_inc.push_back(inc.AddRange(Rect::FromCenter(pos, 6, 6)));
+        ids_full.push_back(full.AddRange(Rect::FromCenter(pos, 6, 6)));
+      } else {
+        ids_inc.push_back(inc.AddKnn(pos, 3));
+        ids_full.push_back(full.AddKnn(pos, 3));
+      }
+    }
+
+    // First tick outside the timing: everything is dirty once, the caches
+    // pin every cluster's settled state.
+    inc.Tick(t);
+    full.Tick(t);
+
+    const int hot =
+        static_cast<int>(std::ceil(dirty_fraction * num_subs) + 0.5);
+    double inc_ms = 0.0;
+    double full_ms = 0.0;
+    for (int tick = 0; tick < timed_ticks; ++tick) {
+      ++t;
+      for (int s = 0; s < hot; ++s) {
+        collector.Observe({object_of(s, 0), order[s], t});
+      }
+      collector.Flush(t);
+
+      const auto t0 = std::chrono::steady_clock::now();
+      const SubscriptionTickResult ra = inc.Tick(t);
+      const auto t1 = std::chrono::steady_clock::now();
+      const SubscriptionTickResult rb = full.Tick(t);
+      const auto t2 = std::chrono::steady_clock::now();
+      inc_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
+      full_ms += std::chrono::duration<double, std::milli>(t2 - t1).count();
+
+      if (!SameDeltas(ra, rb)) {
+        std::fprintf(stderr,
+                     "FATAL: dirty=%.1f tick=%d deltas diverged from the "
+                     "poll-everything baseline\n",
+                     dirty_fraction, tick);
+        return 1;
+      }
+      for (int s = 0; s < num_subs; ++s) {
+        if (!SameAnswer(inc.Answer(ids_inc[s]), full.Answer(ids_full[s]))) {
+          std::fprintf(stderr,
+                       "FATAL: dirty=%.1f tick=%d sub=%d answers diverged\n",
+                       dirty_fraction, tick, s);
+          return 1;
+        }
+      }
+    }
+
+    const SubscriptionStats stats = inc.stats();
+    const double served = static_cast<double>(num_subs) * timed_ticks;
+    // First tick excluded from the timers but not the counters: skip
+    // fraction over the timed region only.
+    const double skipped_frac =
+        static_cast<double>(stats.skipped) / (served + num_subs);
+    const double multiplier = inc_ms == 0.0 ? 1.0 : full_ms / inc_ms;
+    if (dirty_fraction <= 0.2) {
+      low_dirty_multiplier = std::min(low_dirty_multiplier, multiplier);
+    }
+    bench::PrintRow(dirty_fraction,
+                    {inc_ms, full_ms, multiplier, skipped_frac,
+                     served / (inc_ms / 1000.0)});
+  }
+
+  std::printf("low-dirty multiplier (worst at dirty <= 0.2): %.2fx\n",
+              low_dirty_multiplier);
+  bench::PrintShapeNote(
+      "Effective QPS falls out of skipped work: at dirty fraction <= 0.2 "
+      "the incremental manager re-evaluates only the touched clusters and "
+      "serves the rest from provably-current cached answers (expect >= 3x "
+      "vs. poll-everything, sub.evals_skipped confirming the skips); at "
+      "dirty 1.0 the two paths converge since nothing is clean. Answers "
+      "are byte-identical at every point.");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ipqs
+
+int main() { return ipqs::RunSubscriptions(); }

@@ -6,8 +6,63 @@
 #include <queue>
 
 #include "common/check.h"
+#include "query/subscription.h"
 
 namespace ipqs {
+
+RangeUpdate DiffRangeResult(const QueryResult& result, double threshold,
+                            int64_t now, std::map<ObjectId, double>* members) {
+  RangeUpdate update;
+  update.time = now;
+  std::map<ObjectId, double> next;
+  for (const auto& [id, p] : result.objects) {
+    if (p >= threshold) {
+      next[id] = p;
+      if (members->find(id) == members->end()) {
+        update.entered.emplace_back(id, p);
+      }
+    }
+  }
+  for (const auto& [id, _] : *members) {
+    if (next.find(id) == next.end()) {
+      update.left.push_back(id);
+    }
+  }
+  // Ordering contract: deltas ascend by ObjectId regardless of the order
+  // the evaluator listed the result in.
+  std::sort(update.entered.begin(), update.entered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::sort(update.left.begin(), update.left.end());
+  *members = std::move(next);
+  return update;
+}
+
+KnnUpdate DiffKnnResult(const KnnResult& result, int k, int64_t now,
+                        std::vector<ObjectId>* current) {
+  KnnUpdate update;
+  update.time = now;
+  update.current = result.result.TopObjects(k);
+  for (ObjectId id : update.current) {
+    if (std::find(current->begin(), current->end(), id) == current->end()) {
+      update.entered.push_back(id);
+    }
+  }
+  for (ObjectId id : *current) {
+    if (std::find(update.current.begin(), update.current.end(), id) ==
+        update.current.end()) {
+      update.left.push_back(id);
+    }
+  }
+  // Ordering contract: `current` keeps the top-k (most probable first)
+  // order, but the deltas ascend by ObjectId — previously `entered`
+  // inherited probability order and `left` the prior membership
+  // container's iteration order, which made tie-broken results reorder
+  // deltas between runs.
+  std::sort(update.entered.begin(), update.entered.end());
+  std::sort(update.left.begin(), update.left.end());
+  *current = update.current;
+  return update;
+}
 
 ContinuousRangeMonitor::ContinuousRangeMonitor(QueryEngine* engine,
                                                Rect window,
@@ -17,28 +72,23 @@ ContinuousRangeMonitor::ContinuousRangeMonitor(QueryEngine* engine,
   IPQS_CHECK(membership_threshold > 0.0 && membership_threshold <= 1.0);
 }
 
+ContinuousRangeMonitor::ContinuousRangeMonitor(SubscriptionManager* manager,
+                                               Rect window,
+                                               double membership_threshold)
+    : manager_(manager), window_(window), threshold_(membership_threshold) {
+  IPQS_CHECK(manager != nullptr);
+  IPQS_CHECK(membership_threshold > 0.0 && membership_threshold <= 1.0);
+  sub_id_ = manager_->AddRange(window, membership_threshold);
+}
+
 RangeUpdate ContinuousRangeMonitor::Poll(int64_t now) {
+  if (manager_ != nullptr) {
+    manager_->EnsureTick(now);
+    return DiffRangeResult(manager_->Answer(sub_id_).range, threshold_, now,
+                           &members_);
+  }
   const QueryResult result = engine_->EvaluateRange(window_, now);
-
-  RangeUpdate update;
-  update.time = now;
-
-  std::map<ObjectId, double> next;
-  for (const auto& [id, p] : result.objects) {
-    if (p >= threshold_) {
-      next[id] = p;
-      if (members_.find(id) == members_.end()) {
-        update.entered.emplace_back(id, p);
-      }
-    }
-  }
-  for (const auto& [id, _] : members_) {
-    if (next.find(id) == next.end()) {
-      update.left.push_back(id);
-    }
-  }
-  members_ = std::move(next);
-  return update;
+  return DiffRangeResult(result, threshold_, now, &members_);
 }
 
 ContinuousKnnMonitor::ContinuousKnnMonitor(QueryEngine* engine, Point query,
@@ -48,25 +98,21 @@ ContinuousKnnMonitor::ContinuousKnnMonitor(QueryEngine* engine, Point query,
   IPQS_CHECK_GT(k, 0);
 }
 
-KnnUpdate ContinuousKnnMonitor::Poll(int64_t now) {
-  const KnnResult result = engine_->EvaluateKnn(query_, k_, now);
+ContinuousKnnMonitor::ContinuousKnnMonitor(SubscriptionManager* manager,
+                                           Point query, int k)
+    : manager_(manager), query_(query), k_(k) {
+  IPQS_CHECK(manager != nullptr);
+  IPQS_CHECK_GT(k, 0);
+  sub_id_ = manager_->AddKnn(query, k);
+}
 
-  KnnUpdate update;
-  update.time = now;
-  update.current = result.result.TopObjects(k_);
-  for (ObjectId id : update.current) {
-    if (std::find(current_.begin(), current_.end(), id) == current_.end()) {
-      update.entered.push_back(id);
-    }
+KnnUpdate ContinuousKnnMonitor::Poll(int64_t now) {
+  if (manager_ != nullptr) {
+    manager_->EnsureTick(now);
+    return DiffKnnResult(manager_->Answer(sub_id_).knn, k_, now, &current_);
   }
-  for (ObjectId id : current_) {
-    if (std::find(update.current.begin(), update.current.end(), id) ==
-        update.current.end()) {
-      update.left.push_back(id);
-    }
-  }
-  current_ = update.current;
-  return update;
+  const KnnResult result = engine_->EvaluateKnn(query_, k_, now);
+  return DiffKnnResult(result, k_, now, &current_);
 }
 
 std::vector<std::pair<ObjectId, double>> ThresholdKnn(const KnnResult& result,

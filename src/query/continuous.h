@@ -9,11 +9,15 @@
 
 namespace ipqs {
 
+class SubscriptionManager;
+
 // Continuous indoor spatial queries — the extensions the paper lists as
 // future work (Section 6: "continuous range, continuous kNN,
 // closest-pairs"). A monitor wraps a standing query against a QueryEngine
 // and reports result *deltas* between polls, which is what a monitoring
-// application actually consumes.
+// application actually consumes. Monitors can alternatively be backed by a
+// SubscriptionManager (query/subscription.h), which evaluates many
+// standing queries incrementally and shares work across them.
 
 // Delta of a continuous range query between two polls. Membership is
 // thresholded: an object is "inside" while its probability of being in the
@@ -26,9 +30,23 @@ struct RangeUpdate {
   bool Empty() const { return entered.empty() && left.empty(); }
 };
 
+// The shared delta algebra both the monitors and the SubscriptionManager
+// speak: diffs `result` (thresholded at `threshold`) against `*members`,
+// returns the delta, and advances `*members` to the new membership.
+// Ordering contract: `entered` and `left` are ascending by ObjectId —
+// explicitly, never via container iteration order — so deltas are stable
+// under any upstream reordering of equal-probability results.
+RangeUpdate DiffRangeResult(const QueryResult& result, double threshold,
+                            int64_t now, std::map<ObjectId, double>* members);
+
 class ContinuousRangeMonitor {
  public:
   ContinuousRangeMonitor(QueryEngine* engine, Rect window,
+                         double membership_threshold = 0.5);
+  // Subscription-backed monitor: the standing query is registered with
+  // `manager` and every Poll serves from its (incrementally maintained)
+  // cached answer instead of re-running the query.
+  ContinuousRangeMonitor(SubscriptionManager* manager, Rect window,
                          double membership_threshold = 0.5);
 
   // Re-evaluates the standing query at `now` and returns what changed
@@ -40,7 +58,9 @@ class ContinuousRangeMonitor {
   const std::map<ObjectId, double>& members() const { return members_; }
 
  private:
-  QueryEngine* engine_;
+  QueryEngine* engine_ = nullptr;
+  SubscriptionManager* manager_ = nullptr;
+  int64_t sub_id_ = -1;
   Rect window_;
   double threshold_;
   std::map<ObjectId, double> members_;
@@ -57,9 +77,18 @@ struct KnnUpdate {
   bool Empty() const { return entered.empty() && left.empty(); }
 };
 
+// kNN counterpart of DiffRangeResult: diffs the top-k of `result` against
+// `*current` and advances it. `current` in the update (and `*current`)
+// keeps the most-probable-first top-k order; `entered`/`left` are
+// ascending by ObjectId, independent of probability ties.
+KnnUpdate DiffKnnResult(const KnnResult& result, int k, int64_t now,
+                        std::vector<ObjectId>* current);
+
 class ContinuousKnnMonitor {
  public:
   ContinuousKnnMonitor(QueryEngine* engine, Point query, int k);
+  // Subscription-backed monitor (see ContinuousRangeMonitor).
+  ContinuousKnnMonitor(SubscriptionManager* manager, Point query, int k);
 
   KnnUpdate Poll(int64_t now);
 
@@ -67,7 +96,9 @@ class ContinuousKnnMonitor {
   int k() const { return k_; }
 
  private:
-  QueryEngine* engine_;
+  QueryEngine* engine_ = nullptr;
+  SubscriptionManager* manager_ = nullptr;
+  int64_t sub_id_ = -1;
   Point query_;
   int k_;
   std::vector<ObjectId> current_;

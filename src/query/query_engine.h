@@ -199,6 +199,10 @@ class QueryEngine {
   // internal stages (pruning, planning, batch inference, restricted
   // evaluation) to serve many queries per (now) with shared work.
   friend class QueryScheduler;
+  // The subscription manager (query/subscription.h) probes the particle
+  // cache and reads the collector/config to decide which standing queries
+  // can provably serve their cached answer unchanged.
+  friend class SubscriptionManager;
 
   // The registry counters backing the EngineStats snapshot (always
   // non-null: they live in config.metrics or in own_registry_).

@@ -52,7 +52,17 @@ std::vector<BatchAnswer> QueryScheduler::EvaluateBatch(
 std::vector<BatchAnswer> QueryScheduler::EvaluateBatch(
     const std::vector<BatchQuery>& batch, int64_t now, int64_t deadline_ms,
     std::vector<obs::QueryExplain>* explains) {
+  return EvaluateBatch(batch, now, deadline_ms, explains, nullptr);
+}
+
+std::vector<BatchAnswer> QueryScheduler::EvaluateBatch(
+    const std::vector<BatchQuery>& batch, int64_t now, int64_t deadline_ms,
+    std::vector<obs::QueryExplain>* explains,
+    std::vector<BatchSlotDetail>* details) {
   std::vector<BatchAnswer> answers(batch.size());
+  if (details != nullptr) {
+    details->assign(batch.size(), BatchSlotDetail{});
+  }
   const bool explained = explains != nullptr;
   if (explained) {
     explains->assign(batch.size(), obs::QueryExplain{});
@@ -252,11 +262,19 @@ std::vector<BatchAnswer> QueryScheduler::EvaluateBatch(
 
   // Fan each distinct answer back to every duplicate slot.
   for (size_t i = 0; i < batch.size(); ++i) {
-    answers[i] = distinct[slot_of[i]].answer;
+    const Distinct& d = distinct[slot_of[i]];
+    answers[i] = d.answer;
     answers[i].kind = batch[i].kind;
     if (explained) {
-      (*explains)[i] = distinct[slot_of[i]].explain;
-      (*explains)[i].deduped = distinct[slot_of[i]].first_index != i;
+      (*explains)[i] = d.explain;
+      (*explains)[i].deduped = d.first_index != i;
+    }
+    if (details != nullptr) {
+      BatchSlotDetail& slot = (*details)[i];
+      slot.candidates = d.restrict;
+      slot.snapped = d.q;
+      slot.table = d.qd.table;
+      slot.slack = d.qd.slack;
     }
   }
   return answers;

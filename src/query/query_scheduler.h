@@ -41,6 +41,19 @@ struct BatchAnswer {
   KnnResult knn;
 };
 
+// Per-slot serving internals surfaced to callers that maintain incremental
+// state on top of the batch (the SubscriptionManager): the canonical
+// candidate set the slot's answer was restricted to, and — for kNN with
+// pruning on — the snapped query location plus the one-to-all distance
+// table and slack its pruning read. `table` is null for range queries and
+// whenever pruning was off.
+struct BatchSlotDetail {
+  std::vector<ObjectId> candidates;
+  GraphLocation snapped;
+  std::shared_ptr<const OneToAllDistances> table;
+  double slack = 0.0;
+};
+
 // Batched multi-query serving: takes a set of range/kNN queries that share
 // one evaluation timestamp and answers all of them with the per-object
 // inference work done ONCE per unique candidate object, instead of once
@@ -93,6 +106,13 @@ class QueryScheduler {
   std::vector<BatchAnswer> EvaluateBatch(
       const std::vector<BatchQuery>& batch, int64_t now, int64_t deadline_ms,
       std::vector<obs::QueryExplain>* explains);
+  // With non-null `details`, additionally fills one BatchSlotDetail per
+  // batch slot (duplicate slots copy their representative's). Strictly
+  // observational — answers never depend on whether details are collected.
+  std::vector<BatchAnswer> EvaluateBatch(
+      const std::vector<BatchQuery>& batch, int64_t now, int64_t deadline_ms,
+      std::vector<obs::QueryExplain>* explains,
+      std::vector<BatchSlotDetail>* details);
 
  private:
   QueryEngine* engine_;

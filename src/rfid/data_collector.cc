@@ -118,7 +118,8 @@ void DataCollector::Ingest(const RawReading& reading) {
     return;
   }
 
-  if (reading.reader != h.current_device) {
+  const bool handoff = reading.reader != h.current_device;
+  if (handoff) {
     // Device hand-off: LEAVE the old device, ENTER the new one, and drop
     // entries from the device that just aged out of the 2-device window.
     if (metrics_.handoffs != nullptr && h.current_device != kInvalidId) {
@@ -152,6 +153,26 @@ void DataCollector::Ingest(const RawReading& reading) {
   if (metrics_.entries != nullptr) {
     metrics_.entries->Increment();
   }
+  if (config_.change_log_capacity > 0) {
+    change_log_.push_back(
+        {reading.object, reading.reader, reading.time, handoff});
+    ++change_end_;
+    while (change_log_.size() > config_.change_log_capacity) {
+      change_log_.pop_front();
+      ++change_begin_;
+    }
+  }
+}
+
+uint64_t DataCollector::ReadChanges(uint64_t cursor,
+                                    std::vector<AppliedChange>* out,
+                                    bool* lost_sync) const {
+  *lost_sync = cursor < change_begin_;
+  for (uint64_t seq = std::max(cursor, change_begin_); seq < change_end_;
+       ++seq) {
+    out->push_back(change_log_[seq - change_begin_]);
+  }
+  return change_end_;
 }
 
 const DataCollector::ObjectHistory* DataCollector::History(
@@ -203,6 +224,11 @@ void DataCollector::RestoreState(PersistedState state) {
   max_seen_time_ = state.max_seen_time;
   watermark_ = state.watermark;
   ingest_stats_ = state.ingest;
+  // The restored histories can differ arbitrarily from what consumers have
+  // seen: drop the log and advance change_begin_ past every outstanding
+  // cursor so each consumer observes a lost_sync on its next read.
+  change_log_.clear();
+  change_begin_ = ++change_end_;
   if (metrics_.objects != nullptr) {
     metrics_.objects->Set(static_cast<int64_t>(histories_.size()));
   }

@@ -2,6 +2,7 @@
 #define IPQS_RFID_DATA_COLLECTOR_H_
 
 #include <cstdint>
+#include <deque>
 #include <limits>
 #include <optional>
 #include <unordered_map>
@@ -42,6 +43,25 @@ struct CollectorConfig {
   // per-object histories stay monotone. The price is that queries do not
   // see the last `reorder_window_seconds` of readings until they flush.
   int reorder_window_seconds = 0;
+
+  // With a positive capacity, every reading that actually mutates an
+  // aggregated history is also appended to a bounded change log that
+  // downstream consumers (the subscription manager) drain by cursor. 0
+  // keeps the log off — ingest behavior is identical either way; the log
+  // only records what was applied.
+  size_t change_log_capacity = 0;
+};
+
+// One applied mutation of an aggregated history: `reader` saw `object` at
+// second `time`, and the entry was appended (readings swallowed by the
+// duplicate/monotonicity guards never appear here). `handoff` marks a
+// device transition, which additionally dropped the aged-out device's
+// entries.
+struct AppliedChange {
+  ObjectId object = kInvalidId;
+  ReaderId reader = kInvalidId;
+  int64_t time = 0;
+  bool handoff = false;
 };
 
 // One aggregated detection: `reader` saw the object at least once during
@@ -158,6 +178,19 @@ class DataCollector {
   // Total aggregated entries currently retained (storage metric).
   size_t TotalEntriesRetained() const;
 
+  // --- Change log (multi-consumer, cursor-based) ---
+  bool change_log_enabled() const { return config_.change_log_capacity > 0; }
+  // Sequence number one past the newest logged change. A fresh consumer
+  // starts its cursor here to see only future changes.
+  uint64_t change_log_end() const { return change_end_; }
+  // Appends every change with sequence >= cursor to `out` and returns the
+  // new cursor (== change_log_end()). If the ring overwrote changes the
+  // cursor had not seen (consumer fell behind capacity) or state was
+  // restored wholesale, `*lost_sync` is set and the consumer must treat
+  // everything as potentially changed.
+  uint64_t ReadChanges(uint64_t cursor, std::vector<AppliedChange>* out,
+                       bool* lost_sync) const;
+
   // The complete mutable state of the collector, in a deterministic order
   // (histories ascending by object), for the persistence layer
   // (src/persist/). Config and metrics hooks are NOT part of the state:
@@ -191,6 +224,14 @@ class DataCollector {
   bool record_events_ = false;
   CollectorMetrics metrics_;
   IngestStats ingest_stats_;
+
+  // Change log ring: change_begin_/change_end_ are the sequence numbers of
+  // the oldest retained / one-past-newest change. RestoreState bumps
+  // change_begin_ past change_end_'s old value so every consumer observes
+  // a lost_sync (the restored histories may differ arbitrarily).
+  std::deque<AppliedChange> change_log_;
+  uint64_t change_begin_ = 0;
+  uint64_t change_end_ = 0;
 
   // Reorder buffer state: staged readings, the newest timestamp seen, and
   // the watermark every released reading has passed (arrivals at or behind

@@ -208,6 +208,9 @@ StatusOr<ExperimentResult> Experiment::Run() {
   result.pf_degrade = sim->pf_engine().degrade_stats();
   result.fault_stats = sim->fault_stats();
   result.ingest_stats = sim->collector().ingest_stats();
+  if (sim->subscriptions() != nullptr) {
+    result.sub_stats = sim->subscriptions()->stats();
+  }
   result.explains = std::move(explains);
   return result;
 }

@@ -75,6 +75,10 @@ struct ExperimentResult {
   FaultInjector::Stats fault_stats;
   DataCollector::IngestStats ingest_stats;
 
+  // Standing-query subscription tallies (all zero when
+  // SimulationConfig::num_subscriptions == 0).
+  SubscriptionStats sub_stats;
+
   // PF-engine provenance for the last timestamp's queries (empty unless
   // ExperimentConfig::collect_explain).
   std::vector<obs::QueryExplain> explains;

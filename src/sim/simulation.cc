@@ -1,8 +1,10 @@
 #include "sim/simulation.h"
 
+#include <cmath>
 #include <utility>
 
 #include "common/check.h"
+#include "sim/experiment.h"
 
 namespace ipqs {
 
@@ -43,6 +45,14 @@ Status Simulation::Init() {
   deployment_graph_ = std::make_unique<DeploymentGraph>(
       DeploymentGraph::Build(*anchors_, *anchor_graph_, deployment_));
 
+  if (config_.num_subscriptions > 0 &&
+      config_.collector.change_log_capacity == 0) {
+    // The subscription manager's dirty tracking drains the collector's
+    // change log; size it to comfortably hold several poll intervals of
+    // readings (overflow is safe — the manager falls back to evaluating
+    // everything — just slow).
+    config_.collector.change_log_capacity = 65536;
+  }
   collector_.SetConfig(config_.collector);
   if (config_.faults.Enabled()) {
     injector_ = std::make_unique<FaultInjector>(config_.faults,
@@ -105,6 +115,41 @@ Status Simulation::Init() {
   sm_engine_ = std::make_unique<QueryEngine>(
       &graph_, &plan_, anchors_.get(), anchor_graph_.get(), &deployment_,
       deployment_graph_.get(), &collector_, sm_config);
+
+  if (config_.num_subscriptions > 0) {
+    IPQS_CHECK_GT(config_.sub_poll_interval_seconds, 0);
+    // Dedicated engine: the subscription path must never touch the pf/sm
+    // caches or registries, so standing queries cannot perturb ad-hoc
+    // answers. Deadline 0: a standing query never degrades.
+    EngineConfig sub_config = pf_config;
+    sub_config.deadline_ms = 0;
+    sub_config.metrics = nullptr;  // Private registry (see EngineConfig).
+    sub_config.metrics_prefix = "subq";
+    sub_config.trace = nullptr;
+    sub_engine_ = std::make_unique<QueryEngine>(
+        &graph_, &plan_, anchors_.get(), anchor_graph_.get(), &deployment_,
+        deployment_graph_.get(), &collector_, sub_config);
+    SubscriptionManagerConfig sm_cfg;
+    sm_cfg.incremental = config_.sub_incremental;
+    sm_cfg.metrics = config_.metrics;
+    subscriptions_ = std::make_unique<SubscriptionManager>(sub_engine_.get(),
+                                                           sm_cfg);
+    // A dedicated stream, so adding subscriptions moves no world/query
+    // draw and the registered set is a pure function of the seed.
+    Rng sub_rng = Rng::ForStream(config_.seed, /*stream=*/0x53554253, 0);
+    const int num_range = static_cast<int>(
+        std::ceil(config_.sub_range_fraction *
+                  static_cast<double>(config_.num_subscriptions)));
+    for (int i = 0; i < config_.num_subscriptions; ++i) {
+      if (i < num_range) {
+        subscriptions_->AddRange(Experiment::RandomWindow(
+            plan_, config_.sub_window_area_fraction, sub_rng));
+      } else {
+        subscriptions_->AddKnn(
+            Experiment::RandomIndoorPoint(*anchors_, sub_rng), config_.sub_k);
+      }
+    }
+  }
 
   if (!config_.persist.dir.empty()) {
     persist_metrics_ = persist::PersistMetrics::FromRegistry(config_.metrics);
@@ -201,6 +246,11 @@ void Simulation::Step() {
         now_ % config_.persist.snapshot_interval_seconds == 0) {
       persist_status_ = checkpoint_.WriteSnapshot(BuildSnapshot());
     }
+  }
+
+  if (subscriptions_ != nullptr &&
+      now_ % config_.sub_poll_interval_seconds == 0) {
+    subscriptions_->Tick(now_);
   }
 
   // Time-series sampling last, so the sample sees everything this second

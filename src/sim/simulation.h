@@ -14,6 +14,7 @@
 #include "graph/anchor_points.h"
 #include "graph/graph_builder.h"
 #include "query/query_engine.h"
+#include "query/subscription.h"
 #include "rfid/history_store.h"
 #include "sim/ground_truth.h"
 #include "sim/reading_generator.h"
@@ -73,6 +74,26 @@ struct SimulationConfig {
   // EngineConfig::deadline_ms); 0 = never degrade.
   int64_t deadline_ms = 0;
   DegradePolicy degrade;
+  // Standing-query subscriptions (src/query/subscription.h). With
+  // num_subscriptions > 0, Init registers a random mix of range/kNN
+  // subscriptions against a DEDICATED subscription engine (PF method, own
+  // cache, private metrics registry) and Step ticks the manager every
+  // sub_poll_interval_seconds. The subscription path shares only the
+  // const collector with the serving engines, so ad-hoc pf/sm answers are
+  // byte-identical with subscriptions on or off (pinned by
+  // tests/determinism_test.cc). Subscription windows/points are drawn
+  // from a dedicated RNG stream — never from world or query streams.
+  int num_subscriptions = 0;
+  int sub_poll_interval_seconds = 1;
+  // Mix: the first ceil(fraction * n) subscriptions are range windows
+  // (covering sub_window_area_fraction of the plan), the rest kNN points
+  // with k = sub_k.
+  double sub_range_fraction = 0.5;
+  int sub_k = 3;
+  double sub_window_area_fraction = 0.02;
+  // Off = the manager re-evaluates every subscription each tick (the
+  // poll-everything baseline); answers and deltas are byte-identical.
+  bool sub_incremental = true;
   // Durability (src/persist/): with persist.dir set, every Step appends
   // the second's delivered batch to the WAL and a snapshot of the serving
   // state is cut every persist.snapshot_interval_seconds.
@@ -141,6 +162,11 @@ class Simulation {
 
   QueryEngine& pf_engine() { return *pf_engine_; }
   QueryEngine& sm_engine() { return *sm_engine_; }
+  // Nullptr when config.num_subscriptions == 0.
+  SubscriptionManager* subscriptions() { return subscriptions_.get(); }
+  // The dedicated engine the subscriptions evaluate through (valid only
+  // when subscriptions are configured).
+  QueryEngine& sub_engine() { return *sub_engine_; }
 
   // Forces a snapshot of the current serving state (normally one is cut
   // every persist.snapshot_interval_seconds during Step). No-op error if
@@ -186,6 +212,8 @@ class Simulation {
   std::unique_ptr<GroundTruth> ground_truth_;
   std::unique_ptr<QueryEngine> pf_engine_;
   std::unique_ptr<QueryEngine> sm_engine_;
+  std::unique_ptr<QueryEngine> sub_engine_;
+  std::unique_ptr<SubscriptionManager> subscriptions_;
 
   persist::CheckpointManager checkpoint_;
   persist::PersistMetrics persist_metrics_;

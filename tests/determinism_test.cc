@@ -272,6 +272,51 @@ TEST_F(DeterminismTest, ExplainCollectionDoesNotPerturbAnswers) {
   }
 }
 
+TEST_F(DeterminismTest, SubscriptionsDoNotPerturbAnswers) {
+  // Standing subscriptions run against a DEDICATED engine with a private
+  // cache and a private RNG-stream draw for their windows/points, so the
+  // ad-hoc pf/sm serving path must answer byte-identically whether the
+  // subscription subsystem is off or ticking away every second.
+  SimulationConfig config;
+  config.trace.num_objects = 40;
+  config.seed = 313;
+
+  SimulationConfig with_subs = config;
+  with_subs.num_subscriptions = 8;
+  with_subs.sub_poll_interval_seconds = 2;
+
+  auto plain = Simulation::Create(config).value();
+  auto subscribed = Simulation::Create(with_subs).value();
+  plain->Run(150);
+  subscribed->Run(150);
+  ASSERT_NE(subscribed->subscriptions(), nullptr);
+  EXPECT_GT(subscribed->subscriptions()->stats().ticks, 0);
+
+  const Rect window =
+      Rect::FromCenter(plain->deployment().reader(9).pos, 14, 14);
+  const Point q = plain->deployment().reader(5).pos;
+  for (const int64_t offset : {int64_t{0}, int64_t{10}}) {
+    if (offset > 0) {
+      plain->Run(static_cast<int>(offset));
+      subscribed->Run(static_cast<int>(offset));
+    }
+    const int64_t now = plain->now();
+    ASSERT_EQ(now, subscribed->now());
+    ExpectSameResult(plain->pf_engine().EvaluateRange(window, now),
+                     subscribed->pf_engine().EvaluateRange(window, now),
+                     "subscriptions on, pf range");
+    ExpectSameResult(plain->sm_engine().EvaluateRange(window, now),
+                     subscribed->sm_engine().EvaluateRange(window, now),
+                     "subscriptions on, sm range");
+    const KnnResult knn_plain = plain->pf_engine().EvaluateKnn(q, 3, now);
+    const KnnResult knn_subs = subscribed->pf_engine().EvaluateKnn(q, 3, now);
+    ExpectSameResult(knn_plain.result, knn_subs.result,
+                     "subscriptions on, pf knn");
+    EXPECT_EQ(knn_plain.total_probability, knn_subs.total_probability);
+    EXPECT_EQ(knn_plain.anchors_searched, knn_subs.anchors_searched);
+  }
+}
+
 TEST_F(DeterminismTest, CachedEngineDeterministicGivenSameQuerySequence) {
   // With the cache ON the answer legitimately depends on the sequence of
   // queried timestamps (resume vs. full run) — but two engines fed the

@@ -1,0 +1,261 @@
+// Differential harness for the standing-query subscriptions (PR 8): an
+// incremental SubscriptionManager must answer byte-identically to one that
+// re-evaluates every subscription on every tick, across randomized worlds,
+// fault plans, subscription mixes, and thread counts — while provably
+// skipping work (the whole point of the incremental path).
+//
+// The two managers share ONE collector (one ingested reality) but own
+// separate engines with identical configs and seeds, so any divergence is
+// the incremental bookkeeping's fault, not the world's.
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "query/query_engine.h"
+#include "query/subscription.h"
+#include "sim/experiment.h"
+#include "sim/simulation.h"
+
+namespace ipqs {
+namespace {
+
+QueryEngine MakeEngine(const Simulation& sim, int num_threads,
+                       int max_coast_seconds) {
+  EngineConfig config;
+  config.method = InferenceMethod::kParticleFilter;
+  config.filter.max_coast_seconds = max_coast_seconds;
+  config.num_threads = num_threads;
+  config.use_cache = true;
+  config.use_pruning = true;
+  config.seed = 99;
+  return QueryEngine(&sim.graph(), &sim.plan(), &sim.anchors(),
+                     &sim.anchor_graph(), &sim.deployment(),
+                     &sim.deployment_graph(), &sim.collector(), config);
+}
+
+void ExpectSameQueryResult(const QueryResult& a, const QueryResult& b,
+                           const std::string& label) {
+  ASSERT_EQ(a.objects.size(), b.objects.size()) << label;
+  for (size_t i = 0; i < a.objects.size(); ++i) {
+    EXPECT_EQ(a.objects[i].first, b.objects[i].first) << label;
+    // Byte-identical, not approximately equal.
+    EXPECT_EQ(a.objects[i].second, b.objects[i].second) << label;
+  }
+  EXPECT_EQ(a.quality, b.quality) << label;
+}
+
+void ExpectSameUpdate(const SubscriptionUpdate& a, const SubscriptionUpdate& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.id, b.id) << label;
+  ASSERT_EQ(a.kind, b.kind) << label;
+  if (a.kind == BatchQuery::Kind::kRange) {
+    ASSERT_EQ(a.range.entered.size(), b.range.entered.size()) << label;
+    for (size_t i = 0; i < a.range.entered.size(); ++i) {
+      EXPECT_EQ(a.range.entered[i].first, b.range.entered[i].first) << label;
+      EXPECT_EQ(a.range.entered[i].second, b.range.entered[i].second) << label;
+    }
+    EXPECT_EQ(a.range.left, b.range.left) << label;
+  } else {
+    EXPECT_EQ(a.knn.entered, b.knn.entered) << label;
+    EXPECT_EQ(a.knn.left, b.knn.left) << label;
+    EXPECT_EQ(a.knn.current, b.knn.current) << label;
+  }
+}
+
+// Ticks both managers at `now` and compares every emitted delta AND every
+// cached full answer byte-for-byte. Returns the incremental side's skip
+// count for this tick.
+int64_t TickAndCompare(SubscriptionManager& incremental,
+                       SubscriptionManager& full, int64_t now,
+                       const std::string& label) {
+  const SubscriptionTickResult a = incremental.Tick(now);
+  const SubscriptionTickResult b = full.Tick(now);
+  EXPECT_EQ(b.skipped, 0) << label;  // The baseline never skips.
+  EXPECT_EQ(a.updates.size(), b.updates.size()) << label;
+  const size_t n = std::min(a.updates.size(), b.updates.size());
+  for (size_t i = 0; i < n; ++i) {
+    const std::string slot = label + " sub " + std::to_string(i);
+    ExpectSameUpdate(a.updates[i], b.updates[i], slot);
+    const SubscriptionId id = a.updates[i].id;
+    const BatchAnswer& fa = incremental.Answer(id);
+    const BatchAnswer& fb = full.Answer(id);
+    if (a.updates[i].kind == BatchQuery::Kind::kRange) {
+      ExpectSameQueryResult(fa.range, fb.range, slot + " answer");
+      // std::map equality is exact per (id, probability) pair.
+      EXPECT_TRUE(incremental.RangeMembers(id) == full.RangeMembers(id))
+          << slot;
+    } else {
+      ExpectSameQueryResult(fa.knn.result, fb.knn.result, slot + " answer");
+      EXPECT_EQ(fa.knn.total_probability, fb.knn.total_probability) << slot;
+      EXPECT_EQ(fa.knn.anchors_searched, fb.knn.anchors_searched) << slot;
+      EXPECT_EQ(incremental.KnnCurrent(id), full.KnnCurrent(id)) << slot;
+    }
+  }
+  return a.skipped;
+}
+
+// The fuzz: 8 randomized worlds (seed + fault plan) x 3 (thread count +
+// subscription mix) variants = 24 combos, each ticked 8 times while the
+// world keeps moving. Objects dwell long (room_stay_probability 0.95) and
+// the filter coasts short (8-12s), so answers actually settle and the
+// incremental path has real skips to prove itself on.
+TEST(SubscriptionDifferentialTest, IncrementalMatchesFullReevaluation) {
+  const int kThreads[3] = {1, 4, 8};
+  int64_t total_skipped = 0;
+  int64_t total_evaluated = 0;
+  int combos = 0;
+
+  for (int w = 0; w < 8; ++w) {
+    SimulationConfig config;
+    config.trace.num_objects = 24;
+    config.trace.room_stay_probability = 0.95;
+    config.seed = 1000 + 31 * w;
+    config.collector.change_log_capacity = 1 << 16;
+    switch (w % 4) {  // Fault plan of the combo.
+      case 0:
+        break;  // Clean stream.
+      case 1:
+        config.faults.dropout_rate = 0.15;
+        break;
+      case 2:
+        config.faults.duplicate_rate = 0.2;
+        break;
+      default:
+        config.faults.dropout_rate = 0.1;
+        config.faults.duplicate_rate = 0.1;
+        config.collector.reorder_window_seconds = 2;
+        break;
+    }
+    auto sim = Simulation::Create(config).value();
+    sim->Run(60);
+
+    for (int v = 0; v < 3; ++v) {
+      const std::string label =
+          "world " + std::to_string(w) + " variant " + std::to_string(v);
+      const int max_coast = 8 + ((w + v) % 5);
+      QueryEngine engine_a = MakeEngine(*sim, kThreads[v], max_coast);
+      QueryEngine engine_b = MakeEngine(*sim, kThreads[(v + 1) % 3],
+                                        max_coast);
+      SubscriptionManagerConfig inc_cfg;
+      inc_cfg.incremental = true;
+      SubscriptionManagerConfig full_cfg;
+      full_cfg.incremental = false;
+      SubscriptionManager a(&engine_a, inc_cfg);
+      SubscriptionManager b(&engine_b, full_cfg);
+
+      // Identical subscription mix registered in identical order on both.
+      Rng sub_rng(config.seed * 977 + v);
+      const int num_range = 2 + (w + v) % 2;
+      const int num_knn = 1 + (w + 2 * v) % 2;
+      for (int i = 0; i < num_range; ++i) {
+        const Rect window =
+            Experiment::RandomWindow(sim->plan(), 0.02, sub_rng);
+        const double threshold = 0.3 + 0.1 * (i % 3);
+        a.AddRange(window, threshold);
+        b.AddRange(window, threshold);
+      }
+      for (int i = 0; i < num_knn; ++i) {
+        const Point q = Experiment::RandomIndoorPoint(sim->anchors(), sub_rng);
+        const int k = 2 + i % 3;
+        a.AddKnn(q, k);
+        b.AddKnn(q, k);
+      }
+
+      for (int tick = 0; tick < 8; ++tick) {
+        sim->Run(2 + v);
+        total_skipped += TickAndCompare(
+            a, b, sim->now(), label + " tick " + std::to_string(tick));
+      }
+      total_evaluated += a.stats().evaluated;
+      // Accounting closes: every (tick, subscription) pair was either
+      // evaluated or skipped.
+      EXPECT_EQ(a.stats().evaluated + a.stats().skipped,
+                a.stats().ticks * static_cast<int64_t>(a.size()))
+          << label;
+      ++combos;
+    }
+  }
+
+  EXPECT_GE(combos, 20);
+  // The incremental path must actually skip work somewhere — a harness
+  // where everything is always dirty proves nothing.
+  EXPECT_GT(total_skipped, 0) << "evaluated " << total_evaluated;
+}
+
+// Without a change log the manager cannot certify cleanness, so it must
+// degrade to evaluating everything — and still match the baseline.
+TEST(SubscriptionDifferentialTest, NoChangeLogFallsBackToFullEvaluation) {
+  SimulationConfig config;
+  config.trace.num_objects = 16;
+  config.seed = 4242;  // change_log_capacity stays 0.
+  auto sim = Simulation::Create(config).value();
+  sim->Run(60);
+
+  QueryEngine engine_a = MakeEngine(*sim, 1, /*max_coast_seconds=*/10);
+  QueryEngine engine_b = MakeEngine(*sim, 4, /*max_coast_seconds=*/10);
+  SubscriptionManagerConfig full_cfg;
+  full_cfg.incremental = false;
+  SubscriptionManager a(&engine_a, {});  // Incremental, but blind.
+  SubscriptionManager b(&engine_b, full_cfg);
+
+  const Rect window = Rect::FromCenter(sim->deployment().reader(5).pos, 14, 14);
+  a.AddRange(window);
+  b.AddRange(window);
+  const Point q = sim->deployment().reader(9).pos;
+  a.AddKnn(q, 3);
+  b.AddKnn(q, 3);
+
+  int64_t skipped = 0;
+  for (int tick = 0; tick < 4; ++tick) {
+    sim->Run(5);
+    skipped += TickAndCompare(a, b, sim->now(),
+                              "no-change-log tick " + std::to_string(tick));
+  }
+  EXPECT_EQ(skipped, 0);  // Lost sync every tick: nothing is provably clean.
+}
+
+// Remove() drops a subscription from subsequent ticks without disturbing
+// the survivors' incremental state.
+TEST(SubscriptionDifferentialTest, RemoveLeavesSurvivorsIntact) {
+  SimulationConfig config;
+  config.trace.num_objects = 16;
+  config.trace.room_stay_probability = 0.95;
+  config.seed = 99;
+  config.collector.change_log_capacity = 1 << 14;
+  auto sim = Simulation::Create(config).value();
+  sim->Run(60);
+
+  QueryEngine engine_a = MakeEngine(*sim, 1, /*max_coast_seconds=*/8);
+  QueryEngine engine_b = MakeEngine(*sim, 4, /*max_coast_seconds=*/8);
+  SubscriptionManagerConfig full_cfg;
+  full_cfg.incremental = false;
+  SubscriptionManager a(&engine_a, {});
+  SubscriptionManager b(&engine_b, full_cfg);
+
+  const Rect w1 = Rect::FromCenter(sim->deployment().reader(3).pos, 12, 12);
+  const Rect w2 = Rect::FromCenter(sim->deployment().reader(11).pos, 12, 12);
+  const SubscriptionId doomed_a = a.AddRange(w1);
+  const SubscriptionId doomed_b = b.AddRange(w1);
+  a.AddRange(w2);
+  b.AddRange(w2);
+  a.AddKnn(sim->deployment().reader(7).pos, 3);
+  b.AddKnn(sim->deployment().reader(7).pos, 3);
+
+  sim->Run(5);
+  TickAndCompare(a, b, sim->now(), "before remove");
+  ASSERT_EQ(a.size(), 3u);
+  a.Remove(doomed_a);
+  b.Remove(doomed_b);
+  ASSERT_EQ(a.size(), 2u);
+  for (int tick = 0; tick < 3; ++tick) {
+    sim->Run(5);
+    TickAndCompare(a, b, sim->now(),
+                   "after remove tick " + std::to_string(tick));
+  }
+}
+
+}  // namespace
+}  // namespace ipqs

@@ -122,6 +122,20 @@ const std::vector<std::pair<std::string, std::string>>& Descriptions() {
       {"<engine>.qps.unique_candidates",
        "Unique objects per batch after merging candidate sets."},
       {"<engine>.qps.batch_size", "Batch size distribution."},
+      // Standing-query subscriptions (registered when subscriptions are
+      // configured; the dedicated subscription engine keeps its own
+      // private registry, so only manager-level series appear here).
+      {"sub.registered", "Standing subscriptions registered (gauge)."},
+      {"sub.ticks", "Subscription evaluation ticks."},
+      {"sub.dirty",
+       "Subscription evaluations actually run (dirty at tick time)."},
+      {"sub.evals_skipped",
+       "Subscription evaluations skipped because the cached answer was "
+       "provably current."},
+      {"sub.changes_seen",
+       "Tracking-table changes drained from the collector's change log."},
+      {"sub.delta_entries",
+       "Delta size (entered + left) per dirty subscription evaluation."},
       // Ingestion.
       {"collector.readings", "Raw readings ingested."},
       {"collector.entries", "Tracking-table entries created."},
@@ -166,6 +180,7 @@ bool RegisterEverything(ipqs::obs::MetricsRegistry* registry) {
   config.deadline_ms = 50;      // Degradation path armed.
   config.faults.dropout_rate = 0.1;  // Fault metrics.
   config.collector.reorder_window_seconds = 2;
+  config.num_subscriptions = 2;  // sub.* metrics (Step ticks the manager).
   config.metrics = registry;
   auto sim = Simulation::Create(config);
   if (!sim.ok()) {

@@ -9,6 +9,8 @@
 //                  [--warmup=240] [--seed=42] [--threads=1]
 //                  [--pruning=true] [--cache=true] [--neg_info=false]
 //                  [--batch_queries=false] [--distance_index=true]
+//                  [--subscriptions=0] [--sub_poll_interval=1]
+//                  [--sub_incremental=true]
 //                  [--hallway_stops=0.0] [--building=<file>]
 //                  [--fault_seed=0] [--dropout_rate=0.0] [--dup_rate=0.0]
 //                  [--reorder_rate=0.0] [--reorder_window=0]
@@ -35,6 +37,13 @@
 // byte-identical to serial serving, only throughput changes.
 // --distance_index=false disables the shared kNN distance tables and
 // falls back to one exact Dijkstra per query.
+//
+// Standing queries (src/query/subscription.h): --subscriptions=N registers
+// N random range/kNN subscriptions against a dedicated engine and ticks
+// them every --sub_poll_interval simulated seconds; the summary reports
+// how many evaluations the incremental path skipped.
+// --sub_incremental=false re-evaluates every subscription each tick (the
+// poll-everything baseline) — deltas are byte-identical either way.
 //
 // Fault injection (src/faults/): the --dropout_rate / --dup_rate /
 // --reorder_rate / --batch_delay_rate / --noise_rate / --clock_skew knobs
@@ -181,6 +190,9 @@ int main(int argc, char** argv) {
   config.sim.use_cache = flags.GetBool("cache", true);
   config.sim.use_distance_index = flags.GetBool("distance_index", true);
   config.batch_queries = flags.GetBool("batch_queries", false);
+  config.sim.num_subscriptions = flags.GetInt("subscriptions", 0);
+  config.sim.sub_poll_interval_seconds = flags.GetInt("sub_poll_interval", 1);
+  config.sim.sub_incremental = flags.GetBool("sub_incremental", true);
   config.sim.filter.measurement.use_negative_information =
       flags.GetBool("neg_info", false);
   config.sim.trace.hallway_stop_probability =
@@ -339,6 +351,19 @@ int main(int argc, char** argv) {
               static_cast<long long>(result->pf_stats.filter_resumes),
               static_cast<long long>(result->pf_stats.filter_seconds));
   std::printf("cache hit rate:       %.3f\n", result->cache_stats.HitRate());
+  if (config.sim.num_subscriptions > 0) {
+    const SubscriptionStats& ss = result->sub_stats;
+    const int64_t total = ss.evaluated + ss.skipped;
+    std::printf(
+        "subscriptions:        %d registered, %lld ticks, %lld/%lld "
+        "evaluations skipped (%.1f%%), %lld changes drained\n",
+        config.sim.num_subscriptions, static_cast<long long>(ss.ticks),
+        static_cast<long long>(ss.skipped), static_cast<long long>(total),
+        total == 0 ? 0.0
+                   : 100.0 * static_cast<double>(ss.skipped) /
+                         static_cast<double>(total),
+        static_cast<long long>(ss.changes_seen));
+  }
   if (config.sim.deadline_ms > 0) {
     const DegradeStats& d = result->pf_degrade;
     const int64_t degraded =
