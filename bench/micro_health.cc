@@ -1,0 +1,100 @@
+// Reader-health detection quality vs. dropout intensity: for each dropout
+// rate, a monitored run reports the latency between an injected outage's
+// onset (FaultPlan::ReaderDownAt ground truth) and the monitor's suspect
+// verdict — p50/p99 in seconds — plus the false-positive rate (suspect
+// verdicts outside any injected outage) and the dead/recovered tallies.
+//
+//   micro_health                # full sweep (400 simulated seconds/point)
+//   IPQS_FAST=1 micro_health    # shorter runs for quick iteration
+//
+// Feeds the "Reader health detection" table in EXPERIMENTS.md.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "health/reader_health.h"
+#include "sim/simulation.h"
+
+namespace {
+
+using namespace ipqs;
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  const size_t index = static_cast<size_t>(p * (values.size() - 1) + 0.5);
+  return values[std::min(index, values.size() - 1)];
+}
+
+}  // namespace
+
+int main() {
+  const int seconds = bench::FastMode() ? 200 : 400;
+  bench::PrintHeader(
+      "health", "Reader-health detection latency vs dropout rate",
+      "dropout_rate",
+      {"detect_p50_s", "detect_p99_s", "fp_rate", "dead", "recovered"});
+
+  for (const double dropout : {0.05, 0.1, 0.2, 0.3}) {
+    SimulationConfig config;
+    config.trace.num_objects = 60;
+    config.seed = 11;
+    config.health.enabled = true;
+    config.faults.seed = 23;
+    config.faults.dropout_rate = dropout;
+    auto sim = Simulation::Create(config);
+    if (!sim.ok()) {
+      std::fprintf(stderr, "cannot create simulation: %s\n",
+                   sim.status().ToString().c_str());
+      return 1;
+    }
+    (*sim)->Run(seconds);
+
+    const ReaderHealthMonitor& monitor = *(*sim)->health_monitor();
+    std::vector<ReaderHealthTransition> log;
+    bool lost = false;
+    monitor.ReadTransitions(0, &log, &lost);
+
+    const FaultPlan& plan = (*sim)->config().faults;
+    std::vector<double> latencies;
+    int64_t detections = 0;
+    int64_t false_positives = 0;
+    for (const ReaderHealthTransition& tr : log) {
+      if (tr.to != ReaderHealth::kSuspect ||
+          tr.from != ReaderHealth::kHealthy) {
+        continue;
+      }
+      ++detections;
+      if (!plan.ReaderDownAt(tr.reader, tr.time)) {
+        ++false_positives;
+        continue;
+      }
+      int64_t onset = tr.time;
+      while (onset > 0 && plan.ReaderDownAt(tr.reader, onset - 1)) {
+        --onset;
+      }
+      latencies.push_back(static_cast<double>(tr.time - onset));
+    }
+    const ReaderHealthStats stats = monitor.stats();
+    bench::PrintRow(dropout,
+                    {Percentile(latencies, 0.5), Percentile(latencies, 0.99),
+                     detections == 0
+                         ? 0.0
+                         : static_cast<double>(false_positives) /
+                               static_cast<double>(detections),
+                     static_cast<double>(stats.dead),
+                     static_cast<double>(stats.recovered)});
+  }
+  bench::PrintShapeNote(
+      "detection latency tracks the per-reader suspect window (the "
+      "configured minimum for heartbeat-capable readers), flat in dropout "
+      "rate; false positives stay near zero because a missed heartbeat — "
+      "unlike tag-read silence — only happens when the reader is down "
+      "(the residue at extreme dropout is readers whose warmup itself was "
+      "hit, which fall back to the wider tag-silence windows)");
+  return 0;
+}

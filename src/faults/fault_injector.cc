@@ -9,11 +9,12 @@ namespace ipqs {
 namespace {
 
 // Channel tags mixed into the plan seed so no two channels ever share a
-// random stream even when keyed on the same (reader, second).
-constexpr uint64_t kDropoutStream = 0x1;
+// random stream even when keyed on the same (reader, second). The dropout
+// (0x1) and noise-burst (0x4) epoch draws live in fault_plan.cc as the
+// ground-truth accessors FaultPlan::ReaderDownAt / GhostBurstAt; the
+// injector delegates to them.
 constexpr uint64_t kReadingStream = 0x2;  // Per-reading dup/reorder draws.
 constexpr uint64_t kBatchStream = 0x3;
-constexpr uint64_t kNoiseStream = 0x4;
 constexpr uint64_t kGhostStream = 0x5;
 constexpr uint64_t kSkewStream = 0x6;
 
@@ -49,14 +50,7 @@ void FaultInjector::Count(obs::Counter* hook, int64_t* stat, int64_t delta) {
 }
 
 bool FaultInjector::ReaderDown(ReaderId reader, int64_t time) const {
-  if (plan_.dropout_rate <= 0.0) {
-    return false;
-  }
-  const int64_t epoch = time / plan_.dropout_epoch_seconds;
-  Rng rng = Rng::ForStream(plan_.seed + kDropoutStream,
-                           static_cast<uint64_t>(reader),
-                           static_cast<uint64_t>(epoch));
-  return rng.Bernoulli(plan_.dropout_rate);
+  return plan_.ReaderDownAt(reader, time);
 }
 
 int64_t FaultInjector::SkewFor(ReaderId reader) const {
@@ -156,15 +150,11 @@ std::vector<RawReading> FaultInjector::Deliver(std::vector<RawReading> batch,
   // Ghost reads: bursty readers report a tag they cannot actually see. A
   // reader that is down emits nothing, ghosts included.
   if (plan_.noise_burst_rate > 0.0 && !seen_objects_.empty()) {
-    const int64_t epoch = time / plan_.dropout_epoch_seconds;
     for (ReaderId r = 0; r < num_readers_; ++r) {
       if (ReaderDown(r, time)) {
         continue;
       }
-      Rng burst_rng = Rng::ForStream(plan_.seed + kNoiseStream,
-                                     static_cast<uint64_t>(r),
-                                     static_cast<uint64_t>(epoch));
-      if (!burst_rng.Bernoulli(plan_.noise_burst_rate)) {
+      if (!plan_.GhostBurstAt(r, time)) {
         continue;
       }
       Rng ghost_rng = Rng::ForStream(plan_.seed + kGhostStream,

@@ -2,12 +2,43 @@
 
 #include <cstdio>
 
+#include "common/rng.h"
+
 namespace ipqs {
+namespace {
+
+// Channel tags mixed into the plan seed; shared with the injector's
+// remaining channels (fault_injector.cc) — the full tag list lives there.
+constexpr uint64_t kDropoutStream = 0x1;
+constexpr uint64_t kNoiseStream = 0x4;
+
+}  // namespace
 
 bool FaultPlan::Enabled() const {
   return dropout_rate > 0.0 || duplicate_rate > 0.0 || reorder_rate > 0.0 ||
          batch_delay_rate > 0.0 || noise_burst_rate > 0.0 ||
          max_clock_skew_seconds > 0;
+}
+
+bool FaultPlan::ReaderDownAt(ReaderId reader, int64_t time) const {
+  if (dropout_rate <= 0.0) {
+    return false;
+  }
+  const int64_t epoch = time / dropout_epoch_seconds;
+  Rng rng = Rng::ForStream(seed + kDropoutStream,
+                           static_cast<uint64_t>(reader),
+                           static_cast<uint64_t>(epoch));
+  return rng.Bernoulli(dropout_rate);
+}
+
+bool FaultPlan::GhostBurstAt(ReaderId reader, int64_t time) const {
+  if (noise_burst_rate <= 0.0) {
+    return false;
+  }
+  const int64_t epoch = time / dropout_epoch_seconds;
+  Rng rng = Rng::ForStream(seed + kNoiseStream, static_cast<uint64_t>(reader),
+                           static_cast<uint64_t>(epoch));
+  return rng.Bernoulli(noise_burst_rate);
 }
 
 std::string FaultPlan::ToString() const {

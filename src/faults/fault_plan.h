@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <string>
 
+#include "rfid/reader.h"
+
 namespace ipqs {
 
 // Declarative description of the failure modes injected into the raw RFID
@@ -73,6 +75,20 @@ struct FaultPlan {
 
   // True when any channel can alter the stream.
   bool Enabled() const;
+
+  // Ground-truth schedule accessors: pure re-derivations of the epoch
+  // draws the injector makes, so detection tests (and operators) can ask
+  // "was this reader *injected* down at time t?" without re-implementing
+  // the epoch math. Must stay byte-for-byte in sync with
+  // FaultInjector::ReaderDown / the ghost-burst block in Deliver — the
+  // injector delegates to these so they cannot drift.
+  bool ReaderDownAt(ReaderId reader, int64_t time) const;
+
+  // True when (reader, epoch-of-time) drew a noise burst. Caveat: this is
+  // only the pure epoch decision — the injector additionally requires the
+  // reader to be up (`!ReaderDownAt`) and at least one tag to have been
+  // seen before any ghost is actually emitted.
+  bool GhostBurstAt(ReaderId reader, int64_t time) const;
 
   // One-line summary of the enabled channels (for logs and bench tables).
   std::string ToString() const;

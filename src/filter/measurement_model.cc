@@ -54,6 +54,23 @@ double MeasurementModel::WeightOnSilence(const Deployment& deployment,
              : 1.0;
 }
 
+double MeasurementModel::WeightOnSilence(const Deployment& deployment,
+                                         const Point& pos,
+                                         const uint8_t* reader_trusted) const {
+  if (reader_trusted == nullptr) {
+    return WeightOnSilence(deployment, pos);
+  }
+  if (!config_.use_negative_information) {
+    return 1.0;
+  }
+  for (const Reader& r : deployment.readers()) {
+    if (reader_trusted[r.id] != 0 && r.InRange(pos)) {
+      return config_.silent_zone_weight;
+    }
+  }
+  return 1.0;
+}
+
 size_t MeasurementModel::WeightOnSilence(const Deployment& deployment,
                                          size_t n, const double* x,
                                          const double* y,
@@ -76,6 +93,41 @@ size_t MeasurementModel::WeightOnSilence(const Deployment& deployment,
     }
     const double mult = covered ? zone : 1.0;
     weight[i] *= mult;  // Multiplying by 1.0 is an exact FP identity.
+    scaled += mult != 1.0 ? 1 : 0;
+  }
+  return scaled;
+}
+
+size_t MeasurementModel::WeightOnSilence(const Deployment& deployment,
+                                         size_t n, const double* x,
+                                         const double* y, double* weight,
+                                         const uint8_t* reader_trusted) const {
+  if (reader_trusted == nullptr) {
+    // All-trusted: the unmasked kernel is the exact same arithmetic with
+    // the better-vectorizing inner loop.
+    return WeightOnSilence(deployment, n, x, y, weight);
+  }
+  if (!config_.use_negative_information) {
+    return 0;
+  }
+  const double zone = config_.silent_zone_weight;
+  const std::vector<Reader>& readers = deployment.readers();
+  size_t scaled = 0;
+  for (size_t i = 0; i < n; ++i) {
+    bool covered = false;
+    for (const Reader& r : readers) {
+      if (reader_trusted[r.id] == 0) {
+        continue;  // Silence from this reader carries no information.
+      }
+      const double dx = r.pos.x - x[i];
+      const double dy = r.pos.y - y[i];
+      if (std::sqrt(dx * dx + dy * dy) <= r.range) {
+        covered = true;
+        break;
+      }
+    }
+    const double mult = covered ? zone : 1.0;
+    weight[i] *= mult;
     scaled += mult != 1.0 ? 1 : 0;
   }
   return scaled;

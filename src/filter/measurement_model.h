@@ -2,6 +2,7 @@
 #define IPQS_FILTER_MEASUREMENT_MODEL_H_
 
 #include <cstddef>
+#include <cstdint>
 
 #include "filter/particle.h"
 #include "geom/point.h"
@@ -66,6 +67,14 @@ class MeasurementModel {
   // information is enabled.
   double WeightOnSilence(const Deployment& deployment, const Point& pos) const;
 
+  // Trust-masked form: `reader_trusted[id]` == 0 means reader `id`'s
+  // silence is uninformative (the reader is suspect/dead or produced no
+  // readings at all this second), so its zone contributes no discount.
+  // Passing nullptr trusts every reader and is bit-identical to the
+  // unmasked form.
+  double WeightOnSilence(const Deployment& deployment, const Point& pos,
+                         const uint8_t* reader_trusted) const;
+
   // Batch form over precomputed positions: multiplies weight[i] by the
   // silence likelihood (multiplying by the 1.0 case is an exact FP
   // identity, so the loop is unconditional) and returns how many weights
@@ -76,6 +85,16 @@ class MeasurementModel {
                                               size_t n, const double* x,
                                               const double* y,
                                               double* weight) const;
+
+  // Trust-masked batch form; nullptr `reader_trusted` delegates to the
+  // unmasked kernel (same codegen, bit-identical results). With a mask,
+  // untrusted readers are skipped in the coverage test so particles inside
+  // only their zones keep weight 1.0.
+  IPQS_KERNEL_NOINLINE size_t WeightOnSilence(const Deployment& deployment,
+                                              size_t n, const double* x,
+                                              const double* y, double* weight,
+                                              const uint8_t* reader_trusted)
+      const;
 
  private:
   MeasurementConfig config_;

@@ -96,6 +96,7 @@ void ParticleFilter::Advance(std::vector<Particle>* particles,
   // non-reentrant and all randomness flows through the explicit `rng`.
   thread_local ParticleSoA soa;
   thread_local FilterArena arena;
+  thread_local std::vector<uint8_t> trust_mask;
   soa.AssignFrom(*particles);
   const EdgeSoA& edges = edges_soa_;
 
@@ -161,9 +162,23 @@ void ParticleFilter::Advance(std::vector<Particle>* particles,
       arena.x.resize(n);
       arena.y.resize(n);
       ComputePositions(edges, soa, arena.x.data(), arena.y.data());
+      // Silence trust: a reader that is suspect/dead (health monitor) or
+      // produced no readings at all during second tj contributes no
+      // discount — its silence is noise, not information. Masked by the
+      // REPLAYED second, so a cache Resume weighs each second the same way
+      // a cold Run would at the same evaluation time.
+      const uint8_t* mask = nullptr;
+      if (trust_ != nullptr) {
+        const size_t num_readers =
+            static_cast<size_t>(deployment_->num_readers());
+        trust_mask.resize(num_readers);
+        if (trust_->FillSilenceTrust(tj, num_readers, trust_mask.data())) {
+          mask = trust_mask.data();
+        }
+      }
       reweighted = measurement_.WeightOnSilence(*deployment_, n,
                                                 arena.x.data(), arena.y.data(),
-                                                soa.weight.data()) > 0;
+                                                soa.weight.data(), mask) > 0;
     }
 
     if (timed && reweighted && metrics_.weight_ns != nullptr) {

@@ -37,6 +37,23 @@ struct FilterMetrics {
   obs::Counter* reseeds = nullptr;
 };
 
+// Per-reader silence-trust source for the negative-information branch.
+// Consulted once per silent simulated second with the REPLAYED second (not
+// the query time): implementations report which readers' silence is
+// informative at that second. Implementations must be const + thread-safe
+// — Run/Resume are called concurrently from the inference pool.
+class SilenceTrustProvider {
+ public:
+  virtual ~SilenceTrustProvider() = default;
+
+  // Fills mask[0..num_readers) with 1 = trust reader i's silence (apply
+  // its silent-zone discount) / 0 = ignore it. Returns true iff any entry
+  // is 0; returning false lets the caller keep the unmasked (faster,
+  // bit-identical-to-legacy) kernel.
+  virtual bool FillSilenceTrust(int64_t second, size_t num_readers,
+                                uint8_t* mask) const = 0;
+};
+
 // Tuning knobs for Algorithm 2 of the paper.
 struct FilterConfig {
   // Ns: particle set size per object. The paper's sweet spot is ~64.
@@ -92,6 +109,13 @@ class ParticleFilter {
   // histograms themselves are thread-safe).
   void SetMetrics(const FilterMetrics& metrics) { metrics_ = metrics; }
 
+  // Installs the per-reader silence-trust source for the
+  // negative-information branch (nullptr = trust every reader, the legacy
+  // behavior, bit-identical). Same threading contract as SetMetrics: call
+  // before concurrent Run/Resume calls.
+  void SetSilenceTrust(const SilenceTrustProvider* trust) { trust_ = trust; }
+  const SilenceTrustProvider* silence_trust() const { return trust_; }
+
   // Particles uniformly distributed over the graph stretches inside
   // `reader`'s activation range, each with its own random direction and
   // Gaussian speed.
@@ -126,6 +150,7 @@ class ParticleFilter {
   MotionModel motion_;
   MeasurementModel measurement_;
   FilterMetrics metrics_;
+  const SilenceTrustProvider* trust_ = nullptr;
   // Flat per-edge mirror of the graph fields the per-second SoA kernels
   // touch; built once here since the graph is immutable while the filter
   // exists (and Run/Resume are const + thread-safe, so no lazy init).

@@ -40,6 +40,7 @@ void QueryExplain::WriteJson(std::ostream& os, bool include_timings) const {
      << ", \"stale\": " << cache_stale << ", \"misses\": " << cache_misses
      << "}";
   os << ", \"quality\": \"" << JsonEscape(quality) << "\"";
+  os << ", \"coverage_degraded\": " << (coverage_degraded ? "true" : "false");
   os << ", \"budget\": {\"reason\": \"" << JsonEscape(budget_reason) << "\""
      << ", \"filter_seconds\": " << FormatDouble(budget_filter_seconds)
      << ", \"est_full_cost\": " << FormatDouble(est_full_cost)

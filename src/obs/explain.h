@@ -40,6 +40,9 @@ struct QueryExplain {
   // ---- Degradation decision ------------------------------------------
   std::string quality;        // Rung served: full | cached_stale |
                               // reduced_particles | prune_only.
+  // Reader-health annotation: a degraded reader's zone or detections touch
+  // this answer (coverage over part of the queried space was impaired).
+  bool coverage_degraded = false;
   std::string budget_reason;  // Why that rung: no_deadline | full_fits |
                               // stale_fits | reduced_fits |
                               // budget_exhausted.

@@ -158,6 +158,17 @@ std::vector<SloSpec> DefaultServingSlos(const std::string& engine_prefix,
   latency.windows = {{60, 10.0}, {300, 5.0}};
   slos.push_back(latency);
 
+  // Reader availability: reader-seconds spent suspect or dead over all
+  // monitored reader-seconds (health.* exist only when the reader-health
+  // monitor is on; the clean baseline contributes zeros and stays quiet).
+  SloSpec reader_avail;
+  reader_avail.name = "health.reader_availability";
+  reader_avail.bad_counters = {"health.reader_down_seconds"};
+  reader_avail.total_counters = {"health.reader_seconds"};
+  reader_avail.objective = 0.95;
+  reader_avail.windows = {{60, 3.0}, {300, 2.0}};
+  slos.push_back(reader_avail);
+
   return slos;
 }
 

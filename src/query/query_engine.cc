@@ -37,6 +37,7 @@ QueryEngine::QueryEngine(const WalkingGraph* graph, const FloorPlan* plan,
       deployment_(deployment),
       collector_(collector),
       config_(config),
+      silence_trust_(collector, config.health),
       filter_(graph, deployment, config.filter),
       symbolic_(anchors, anchor_graph, deployment, deployment_graph,
                 config.symbolic),
@@ -49,6 +50,12 @@ QueryEngine::QueryEngine(const WalkingGraph* graph, const FloorPlan* plan,
     reduced.num_particles = config.degrade.reduced_particles;
     degraded_filter_ =
         std::make_unique<ParticleFilter>(graph, deployment, reduced);
+  }
+  // Both filters consult the same trust provider, so degraded runs weight
+  // silence exactly like full-quality ones.
+  filter_.SetSilenceTrust(&silence_trust_);
+  if (degraded_filter_ != nullptr) {
+    degraded_filter_->SetSilenceTrust(&silence_trust_);
   }
   if (config.use_distance_index) {
     dindex_ = std::make_unique<DistanceIndex>(graph,
@@ -376,12 +383,15 @@ QueryResult QueryEngine::EvaluateRange(const Rect& window, int64_t now,
     result = range_eval_.Evaluate(table_, window, &restrict);
   }
 
+  result.coverage_degraded = CoverageDegraded(restrict, &window);
+
   if (explained) {
     const int64_t t_end = obs::MonotonicNanos();
     explain->infer_ns = t_inferred - t_pruned;
     explain->evaluate_ns = t_end - t_inferred;
     explain->total_ns = t_end - t_start;
     explain->quality = std::string(ToString(result.quality));
+    explain->coverage_degraded = result.coverage_degraded;
     explain->budget_reason = decision.reason;
     explain->budget_filter_seconds = decision.budget;
     explain->est_full_cost = decision.est_full;
@@ -492,6 +502,8 @@ KnnResult QueryEngine::EvaluateKnn(const Point& query, int k, int64_t now,
     result = knn_eval_.Evaluate(table_, q, k, &restrict);
   }
 
+  result.result.coverage_degraded = CoverageDegraded(restrict, nullptr);
+
   if (explained) {
     const int64_t t_end = obs::MonotonicNanos();
     explain->infer_ns = t_inferred - t_pruned;
@@ -503,6 +515,7 @@ KnnResult QueryEngine::EvaluateKnn(const Point& query, int k, int64_t now,
       explain->dindex_slack = qd->slack;
     }
     explain->quality = std::string(ToString(result.result.quality));
+    explain->coverage_degraded = result.result.coverage_degraded;
     explain->budget_reason = decision.reason;
     explain->budget_filter_seconds = decision.budget;
     explain->est_full_cost = decision.est_full;
@@ -766,6 +779,42 @@ void QueryEngine::CountPlan(const InferPlan& plan) {
       degrade_counters_.prune_only->Increment();
       break;
   }
+}
+
+bool QueryEngine::CoverageDegraded(const std::vector<ObjectId>& candidates,
+                                   const Rect* window) const {
+  if (config_.health == nullptr || !config_.health->enabled()) {
+    return false;
+  }
+  const ReaderHealthView& view = config_.health->view();
+  if (!view.AnyDegraded()) {
+    return false;
+  }
+  if (window != nullptr) {
+    // A degraded reader whose activation zone touches the window means
+    // objects inside it could be moving unseen right now.
+    for (ReaderId r = 0; r < deployment_->num_readers(); ++r) {
+      if (!view.Degraded(r)) {
+        continue;
+      }
+      const Reader& reader = deployment_->reader(r);
+      const Rect zone =
+          Rect::FromCenter(reader.pos, 2 * reader.range, 2 * reader.range);
+      if (zone.Intersects(*window)) {
+        return true;
+      }
+    }
+  }
+  // A candidate whose current detecting device is degraded was last seen by
+  // a reader we no longer trust: its inferred distribution may be stale.
+  for (ObjectId object : candidates) {
+    const DataCollector::ObjectHistory* history = collector_->History(object);
+    if (history != nullptr && history->current_device != kInvalidId &&
+        view.Degraded(history->current_device)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 QueryResult QueryEngine::PruneOnlyRange(const std::vector<ObjectId>& candidates,

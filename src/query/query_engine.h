@@ -12,6 +12,7 @@
 #include "filter/particle_cache.h"
 #include "filter/particle_filter.h"
 #include "graph/distance_index.h"
+#include "health/reader_health.h"
 #include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -94,6 +95,15 @@ struct EngineConfig {
   // infer / merge / evaluate stages, and one span per inferred object)
   // into this recorder; load the JSON in chrome://tracing or Perfetto.
   obs::TraceRecorder* trace = nullptr;
+  // Optional reader-health monitor (src/health/). When set and enabled,
+  //  * silence from suspect/dead readers no longer discounts particles in
+  //    the negative-information branch (their silence is uninformative);
+  //  * answers whose window or candidates touch a degraded reader carry
+  //    coverage_degraded so consumers know coverage was impaired.
+  // Null (or a disabled monitor) reports every reader healthy; the
+  // collector-side liveness gate (a reader with zero readings system-wide
+  // for a replayed second never discounts) applies regardless.
+  const ReaderHealthMonitor* health = nullptr;
 };
 
 struct EngineStats {
@@ -308,6 +318,13 @@ class QueryEngine {
   void ChargeDeltas(const ExplainBaseline& before,
                     obs::QueryExplain* explain) const;
 
+  // Whether this answer's coverage is impaired by degraded readers: any
+  // non-healthy reader's activation zone intersects `window` (when given),
+  // or any candidate's current detecting device is degraded. Pure read of
+  // the monitor's view — never perturbs the answer probabilities.
+  bool CoverageDegraded(const std::vector<ObjectId>& candidates,
+                        const Rect* window) const;
+
   QueryResult PruneOnlyRange(const std::vector<ObjectId>& candidates,
                              const Rect& window, int64_t now) const;
   KnnResult PruneOnlyKnn(const std::vector<ObjectId>& candidates,
@@ -332,6 +349,9 @@ class QueryEngine {
   const DataCollector* collector_;
   EngineConfig config_;
 
+  // Bridges the collector's liveness gate and (when configured) the health
+  // monitor into the filters' negative-information branch.
+  HealthSilenceTrust silence_trust_;
   ParticleFilter filter_;
   // Reduced-Ns twin of filter_ for kReducedParticles runs; null when the
   // policy's reduced_particles is not usable (< 1).

@@ -227,6 +227,19 @@ std::vector<BatchAnswer> QueryScheduler::EvaluateBatch(
     }
   }
 
+  // Coverage annotation runs the serial path's read of the health view, so
+  // each distinct answer carries exactly what the unbatched query would.
+  for (Distinct& d : distinct) {
+    const BatchQuery& q = batch[d.first_index];
+    if (q.kind == BatchQuery::Kind::kRange) {
+      d.answer.range.coverage_degraded =
+          engine_->CoverageDegraded(d.restrict, &q.window);
+    } else {
+      d.answer.knn.result.coverage_degraded =
+          engine_->CoverageDegraded(d.restrict, nullptr);
+    }
+  }
+
   if (explained) {
     const int64_t t_end = obs::MonotonicNanos();
     for (Distinct& d : distinct) {
@@ -236,6 +249,9 @@ std::vector<BatchAnswer> QueryScheduler::EvaluateBatch(
                                       ? d.answer.range.quality
                                       : d.answer.knn.result.quality;
       e.quality = std::string(ToString(served));
+      e.coverage_degraded = q.kind == BatchQuery::Kind::kRange
+                                ? d.answer.range.coverage_degraded
+                                : d.answer.knn.result.coverage_degraded;
       e.budget_reason = decision.reason;
       e.budget_filter_seconds = decision.budget;
       e.est_full_cost = decision.est_full;

@@ -19,6 +19,10 @@ struct QueryResult {
   // Fidelity the answer was computed at (see quality.h); anything other
   // than kFull means the engine degraded to meet a deadline.
   QualityLevel quality = QualityLevel::kFull;
+  // True when reader health monitoring (src/health/) flagged a degraded
+  // reader whose zone or detections touch this answer: coverage over part
+  // of the queried space was impaired, so probabilities may be stale.
+  bool coverage_degraded = false;
 
   double TotalProbability() const;
   double ProbabilityOf(ObjectId object) const;

@@ -39,6 +39,12 @@ SubscriptionManager::SubscriptionManager(
     change_cursor_ = engine_->collector_->change_log_end();
     cursor_primed_ = true;
   }
+  // Same contract for health transitions: only future transitions matter
+  // (the first evaluation of every subscription sees the current view).
+  if (engine_->config_.health != nullptr) {
+    health_cursor_ = engine_->config_.health->transition_end();
+    health_primed_ = true;
+  }
 }
 
 SubscriptionId SubscriptionManager::Add(BatchQuery query, double threshold) {
@@ -87,6 +93,34 @@ bool SubscriptionManager::PinsHold(const Sub& sub, int64_t now) const {
           probe->state_time != pin.state_time) {
         return false;
       }
+    }
+  }
+  return true;
+}
+
+bool SubscriptionManager::HealthClean(
+    const Sub& sub, const std::vector<ReaderId>& transitioned) const {
+  if (transitioned.empty()) {
+    return true;
+  }
+  if (sub.query.kind == BatchQuery::Kind::kKnn) {
+    return false;  // No window to scope the transition against.
+  }
+  const Deployment& deployment = *engine_->deployment_;
+  for (ReaderId r : transitioned) {
+    const Reader& reader = deployment.reader(r);
+    const Rect zone =
+        Rect::FromCenter(reader.pos, 2 * reader.range, 2 * reader.range);
+    if (zone.Intersects(sub.query.window)) {
+      return false;  // Coverage over the window changed.
+    }
+  }
+  for (ObjectId o : sub.candidates) {
+    const DataCollector::ObjectHistory* h = engine_->collector_->History(o);
+    if (h != nullptr &&
+        std::binary_search(transitioned.begin(), transitioned.end(),
+                           h->current_device)) {
+      return false;  // A candidate's detecting device changed health.
     }
   }
   return true;
@@ -351,6 +385,27 @@ SubscriptionTickResult SubscriptionManager::Tick(
     changed.erase(std::unique(changed.begin(), changed.end()), changed.end());
   }
 
+  // Drain the health monitor's transition log the same way; a lost ring
+  // sync degrades to dirty-everything, exactly like the change log's.
+  std::vector<ReaderId> transitioned;
+  if (health_primed_) {
+    std::vector<ReaderHealthTransition> drained;
+    bool health_lost = false;
+    health_cursor_ = engine_->config_.health->ReadTransitions(
+        health_cursor_, &drained, &health_lost);
+    if (health_lost) {
+      lost_sync = true;
+    }
+    transitioned.reserve(drained.size());
+    for (const ReaderHealthTransition& t : drained) {
+      transitioned.push_back(t.reader);
+    }
+    std::sort(transitioned.begin(), transitioned.end());
+    transitioned.erase(
+        std::unique(transitioned.begin(), transitioned.end()),
+        transitioned.end());
+  }
+
   // Classify every subscription (map order: deterministic).
   std::vector<SubscriptionId> dirty_ids;
   std::vector<BatchQuery> batch;
@@ -360,8 +415,8 @@ SubscriptionTickResult SubscriptionManager::Tick(
       const bool time_ok =
           sub.last_eval == now ||
           (sub.stable && static_cast<double>(now) < sub.next_expand);
-      dirty = !time_ok || !ChangesClean(sub, changed, now) ||
-              !PinsHold(sub, now);
+      dirty = !time_ok || !HealthClean(sub, transitioned) ||
+              !ChangesClean(sub, changed, now) || !PinsHold(sub, now);
     }
     if (dirty) {
       dirty_ids.push_back(id);

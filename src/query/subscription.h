@@ -180,6 +180,14 @@ class SubscriptionManager {
   bool PinsHold(const Sub& sub, int64_t now) const;
   bool ChangesClean(Sub& sub, const std::vector<ObjectId>& changed,
                     int64_t now);
+  // Reader-health condition: a drained health transition dirties every
+  // subscription it could touch — a range subscription when the reader's
+  // zone intersects its window or a candidate was last seen by the reader,
+  // and every kNN subscription (no window to test against). Transitions
+  // dirty exactly the ticks they fire on; a reader that STAYS dead never
+  // re-dirties by itself.
+  bool HealthClean(const Sub& sub,
+                   const std::vector<ReaderId>& transitioned) const;
 
   // Rebuilds a subscription's incremental state from its fresh evaluation.
   void RefreshState(Sub& sub, const BatchAnswer& answer,
@@ -194,6 +202,9 @@ class SubscriptionManager {
   // Collector change-log cursor (valid when the log is enabled).
   uint64_t change_cursor_ = 0;
   bool cursor_primed_ = false;
+  // Health-monitor transition-log cursor (valid when the engine has one).
+  uint64_t health_cursor_ = 0;
+  bool health_primed_ = false;
   int64_t last_tick_time_ = -1;
   // A subscription was added since the last tick (EnsureTick must tick
   // even within the same second, so its first answer exists).

@@ -12,6 +12,7 @@ void DataCollector::Observe(const RawReading& reading) {
   if (metrics_.readings != nullptr) {
     metrics_.readings->Increment();
   }
+  NoteReaderObserved(reading.reader, reading.time);
 
   if (config_.reorder_window_seconds <= 0) {
     Ingest(reading);
@@ -38,6 +39,47 @@ void DataCollector::Observe(const RawReading& reading) {
   }
   max_seen_time_ = std::max(max_seen_time_, reading.time);
   staged_.push_back(reading);
+}
+
+void DataCollector::NoteReaderObserved(ReaderId reader, int64_t time) {
+  if (reader >= static_cast<ReaderId>(reader_observed_.size())) {
+    reader_observed_.resize(static_cast<size_t>(reader) + 1, 0);
+  }
+  ++reader_observed_[reader];
+  MarkReaderLive(reader, time);
+}
+
+void DataCollector::NoteReaderHeartbeat(ReaderId reader, int64_t time) {
+  IPQS_CHECK_GE(reader, 0);
+  if (reader >= static_cast<ReaderId>(reader_heartbeats_.size())) {
+    reader_heartbeats_.resize(static_cast<size_t>(reader) + 1, 0);
+  }
+  ++reader_heartbeats_[reader];
+  MarkReaderLive(reader, time);
+}
+
+void DataCollector::MarkReaderLive(ReaderId reader, int64_t time) {
+  std::vector<uint8_t>& live = live_by_second_[time];
+  if (static_cast<size_t>(reader) >= live.size()) {
+    live.resize(static_cast<size_t>(reader) + 1, 0);
+  }
+  live[reader] = 1;
+  live_max_ = std::max(live_max_, time);
+  while (!live_by_second_.empty() &&
+         live_by_second_.begin()->first < live_max_ - kLivenessWindowSeconds) {
+    live_by_second_.erase(live_by_second_.begin());
+  }
+}
+
+bool DataCollector::ReaderLiveAt(ReaderId reader, int64_t second) const {
+  if (live_max_ != std::numeric_limits<int64_t>::min() &&
+      second < live_max_ - kLivenessWindowSeconds) {
+    return true;  // Outside the retention window: unknown, assume live.
+  }
+  const auto it = live_by_second_.find(second);
+  return it != live_by_second_.end() && reader >= 0 &&
+         static_cast<size_t>(reader) < it->second.size() &&
+         it->second[reader] != 0;
 }
 
 void DataCollector::Flush(int64_t now) {
@@ -229,6 +271,11 @@ void DataCollector::RestoreState(PersistedState state) {
   // cursor so each consumer observes a lost_sync on its next read.
   change_log_.clear();
   change_begin_ = ++change_end_;
+  // Per-reader health inputs are process-local (the serde format is
+  // frozen): reset them so a recovered collector re-warms from scratch.
+  reader_observed_.clear();
+  live_by_second_.clear();
+  live_max_ = std::numeric_limits<int64_t>::min();
   if (metrics_.objects != nullptr) {
     metrics_.objects->Set(static_cast<int64_t>(histories_.size()));
   }

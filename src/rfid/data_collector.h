@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <limits>
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -161,6 +162,50 @@ class DataCollector {
 
   const IngestStats& ingest_stats() const { return ingest_stats_; }
 
+  // --- Per-reader ingest statistics (reader health) ---
+  // Cumulative raw readings observed per reader (Observe-time: before the
+  // reorder buffer, duplicate suppression, or monotonicity guards — the
+  // health monitor wants the stream as the reader emitted it, ghosts and
+  // duplicates included). Indexed by ReaderId; grows on demand, so a
+  // reader that never reported has either no slot or a zero.
+  const std::vector<int64_t>& reader_observed() const {
+    return reader_observed_;
+  }
+  int64_t ReaderObserved(ReaderId reader) const {
+    return reader >= 0 &&
+                   static_cast<size_t>(reader) < reader_observed_.size()
+               ? reader_observed_[reader]
+               : 0;
+  }
+
+  // Reader status heartbeat (LLRP-style keepalive): a reader that is up
+  // reports once per second whether or not any tag was in range. A down
+  // reader reports nothing — so a missed heartbeat, unlike tag-read
+  // silence, is unambiguous evidence of failure. Heartbeats also mark the
+  // per-second liveness ring: an alive-but-tagless reader's silence is
+  // informative for negative-information weighting. Like reader_observed,
+  // this channel is process-local (not part of PersistedState).
+  void NoteReaderHeartbeat(ReaderId reader, int64_t time);
+  int64_t ReaderHeartbeats(ReaderId reader) const {
+    return reader >= 0 &&
+                   static_cast<size_t>(reader) < reader_heartbeats_.size()
+               ? reader_heartbeats_[reader]
+               : 0;
+  }
+
+  // True when `reader` produced at least one raw reading timestamped
+  // `second`. Retention is bounded (kLivenessWindowSeconds behind the
+  // newest observed timestamp); seconds older than the window report true
+  // — unknown history is assumed live, which reproduces the legacy
+  // negative-information weighting for deep replays. This state is
+  // process-local: it is NOT part of PersistedState (the serde format is
+  // frozen), so a recovered collector reports true until re-warmed.
+  bool ReaderLiveAt(ReaderId reader, int64_t second) const;
+
+  // Liveness retention window (seconds behind the newest observed
+  // timestamp). Generously covers max_coast_seconds-deep replays.
+  static constexpr int64_t kLivenessWindowSeconds = 4096;
+
   // History for `object`; nullptr when the object has never been detected.
   const ObjectHistory* History(ObjectId object) const;
 
@@ -239,6 +284,16 @@ class DataCollector {
   std::vector<RawReading> staged_;
   int64_t max_seen_time_ = std::numeric_limits<int64_t>::min();
   int64_t watermark_ = std::numeric_limits<int64_t>::min();
+
+  // Per-reader health inputs (see reader_observed / ReaderLiveAt). The
+  // liveness ring maps second -> per-reader seen flags, pruned to
+  // kLivenessWindowSeconds behind live_max_.
+  void NoteReaderObserved(ReaderId reader, int64_t time);
+  void MarkReaderLive(ReaderId reader, int64_t time);
+  std::vector<int64_t> reader_observed_;
+  std::vector<int64_t> reader_heartbeats_;
+  std::map<int64_t, std::vector<uint8_t>> live_by_second_;
+  int64_t live_max_ = std::numeric_limits<int64_t>::min();
 };
 
 }  // namespace ipqs

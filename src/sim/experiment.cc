@@ -211,6 +211,7 @@ StatusOr<ExperimentResult> Experiment::Run() {
   if (sim->subscriptions() != nullptr) {
     result.sub_stats = sim->subscriptions()->stats();
   }
+  result.health_stats = sim->health_stats();
   result.explains = std::move(explains);
   return result;
 }

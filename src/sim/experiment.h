@@ -79,6 +79,10 @@ struct ExperimentResult {
   // SimulationConfig::num_subscriptions == 0).
   SubscriptionStats sub_stats;
 
+  // Reader-health transition tallies (all zero when
+  // SimulationConfig::health.enabled is false).
+  ReaderHealthStats health_stats;
+
   // PF-engine provenance for the last timestamp's queries (empty unless
   // ExperimentConfig::collect_explain).
   std::vector<obs::QueryExplain> explains;

@@ -58,6 +58,10 @@ Status Simulation::Init() {
     injector_ = std::make_unique<FaultInjector>(config_.faults,
                                                 deployment_.num_readers());
   }
+  if (config_.health.enabled) {
+    health_ = std::make_unique<ReaderHealthMonitor>(
+        config_.health, &collector_, deployment_.num_readers());
+  }
 
   if (config_.metrics != nullptr) {
     obs::MetricsRegistry& reg = *config_.metrics;
@@ -80,6 +84,19 @@ Status Simulation::Init() {
       fm.ghosts = reg.GetCounter("faults.ghosts");
       fm.skewed = reg.GetCounter("faults.skewed");
       injector_->SetMetrics(fm);
+    }
+    if (health_ != nullptr) {
+      ReaderHealthMetrics hm;
+      hm.transitions = reg.GetCounter("health.transitions");
+      hm.suspect_transitions = reg.GetCounter("health.suspect_transitions");
+      hm.dead_transitions = reg.GetCounter("health.dead_transitions");
+      hm.recovered_transitions =
+          reg.GetCounter("health.recovered_transitions");
+      hm.probation_reads = reg.GetCounter("health.probation_reads");
+      hm.reader_down_seconds = reg.GetCounter("health.reader_down_seconds");
+      hm.reader_seconds = reg.GetCounter("health.reader_seconds");
+      hm.degraded_readers = reg.GetGauge("health.degraded_readers");
+      health_->SetMetrics(hm);
     }
   }
 
@@ -104,6 +121,9 @@ Status Simulation::Init() {
   pf_config.metrics = config_.metrics;
   pf_config.metrics_prefix = "pf";
   pf_config.trace = config_.trace_recorder;
+  // Both engines (and the subscription engine, whose config copies this
+  // one) read the same monitor, so every serving path agrees on health.
+  pf_config.health = health_.get();
   pf_engine_ = std::make_unique<QueryEngine>(
       &graph_, &plan_, anchors_.get(), anchor_graph_.get(), &deployment_,
       deployment_graph_.get(), &collector_, pf_config);
@@ -228,11 +248,26 @@ void Simulation::Step() {
   if (injector_ != nullptr) {
     batch = injector_->Deliver(std::move(batch), now_);
   }
+  // Reader status heartbeats: every reader that is up reports once per
+  // second, tags in range or not; a reader in a down epoch reports
+  // nothing. Missed heartbeats give the health monitor an unambiguous
+  // failure signal that tag-read silence (objects simply elsewhere) is not.
+  for (int r = 0; r < deployment_.num_readers(); ++r) {
+    if (injector_ == nullptr || !injector_->ReaderDown(r, now_)) {
+      collector_.NoteReaderHeartbeat(r, now_);
+    }
+  }
   for (const RawReading& r : batch) {
     collector_.Observe(r);
     history_.Observe(r);
   }
   collector_.Flush(now_);
+  // Health verdicts update after the second's ingest settles and before
+  // anything queries: subscriptions and ad-hoc queries this second already
+  // see the transition.
+  if (health_ != nullptr) {
+    health_->Tick(now_);
+  }
 
   if (checkpoint_.is_open() && persist_status_.ok()) {
     // Log exactly what the collector consumed (post fault injection), one

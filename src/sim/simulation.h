@@ -61,6 +61,12 @@ struct SimulationConfig {
   // Ingestion hardening (reorder buffer window etc.); the default is the
   // original trusting pass-through collector.
   CollectorConfig collector;
+  // Reader health monitoring (src/health/): with health.enabled, a monitor
+  // ticks once per simulated second after the ingest flush, feeds both
+  // engines' silence-trust and coverage_degraded annotations, and registers
+  // health.* metrics. Off by default: answers are byte-identical to a
+  // build without the monitor (pinned by tests/determinism_test.cc).
+  ReaderHealthConfig health;
   // Observability (all optional; see EngineConfig). With `metrics` set,
   // the PF engine registers under "pf", the baseline under "sm", and the
   // data collector under "collector". With `sampler` set, every Step()
@@ -159,6 +165,11 @@ class Simulation {
   FaultInjector::Stats fault_stats() const {
     return injector_ == nullptr ? FaultInjector::Stats{} : injector_->stats();
   }
+  // Nullptr when config.health.enabled is false.
+  const ReaderHealthMonitor* health_monitor() const { return health_.get(); }
+  ReaderHealthStats health_stats() const {
+    return health_ == nullptr ? ReaderHealthStats{} : health_->stats();
+  }
 
   QueryEngine& pf_engine() { return *pf_engine_; }
   QueryEngine& sm_engine() { return *sm_engine_; }
@@ -209,6 +220,7 @@ class Simulation {
   std::unique_ptr<TraceGenerator> trace_;
   std::unique_ptr<ReadingGenerator> readings_;
   std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<ReaderHealthMonitor> health_;
   std::unique_ptr<GroundTruth> ground_truth_;
   std::unique_ptr<QueryEngine> pf_engine_;
   std::unique_ptr<QueryEngine> sm_engine_;

@@ -13,7 +13,9 @@
 #include <gtest/gtest.h>
 
 #include "faults/fault_injector.h"
+#include "health/reader_health.h"
 #include "query/query_engine.h"
+#include "query/subscription.h"
 #include "sim/experiment.h"
 #include "sim/simulation.h"
 
@@ -173,6 +175,40 @@ TEST(FaultInjectorChannels, GhostsNameOnlyTagsTheStreamHasSeen) {
     }
   }
   EXPECT_GT(injector.stats().ghosts, 0);
+}
+
+// The ground-truth accessors on the plan are pure re-derivations of the
+// injector's epoch draws: they must agree with a live injector everywhere,
+// and across plan copies (detection tests measure latency against them).
+TEST(FaultInjectorChannels, GroundTruthAccessorsMatchInjectorDraws) {
+  FaultPlan plan;
+  plan.seed = 29;
+  plan.dropout_rate = 0.25;
+  plan.noise_burst_rate = 0.2;
+  FaultInjector injector(plan, 6);
+  const FaultPlan copy = plan;
+  bool any_down = false;
+  bool any_up = false;
+  bool any_burst = false;
+  for (ReaderId r = 0; r < 6; ++r) {
+    for (int64_t t = 0; t <= 400; t += 3) {
+      const bool down = plan.ReaderDownAt(r, t);
+      EXPECT_EQ(down, injector.ReaderDown(r, t)) << r << "@" << t;
+      EXPECT_EQ(down, copy.ReaderDownAt(r, t)) << r << "@" << t;
+      EXPECT_EQ(plan.GhostBurstAt(r, t), copy.GhostBurstAt(r, t))
+          << r << "@" << t;
+      any_down = any_down || down;
+      any_up = any_up || !down;
+      any_burst = any_burst || plan.GhostBurstAt(r, t);
+    }
+  }
+  EXPECT_TRUE(any_down);
+  EXPECT_TRUE(any_up);
+  EXPECT_TRUE(any_burst);
+  // The epoch grid: the decision is constant within one epoch.
+  const int epoch = plan.dropout_epoch_seconds;
+  EXPECT_EQ(plan.ReaderDownAt(2, 5 * epoch),
+            plan.ReaderDownAt(2, 5 * epoch + epoch - 1));
 }
 
 TEST(FaultInjectorChannels, ClockSkewIsConstantPerReaderAndBounded) {
@@ -593,6 +629,188 @@ TEST(DegradationEnvelope, TwentyPercentDropoutStaysInsideEnvelope) {
   EXPECT_GE(faulted_result->hit_pf, clean_result->hit_pf - 0.15);
   EXPECT_GE(faulted_result->hit_pf, 0.60);
   EXPECT_LE(faulted_result->kl_pf, clean_result->kl_pf + 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Reader health under chaos: permanent death, subscription dirtying, and
+// the health-gated negative-information envelope.
+
+// A reader that dies permanently mid-run: ingestion never aborts, the
+// monitor converges to dead through suspect, and the verdict then stays
+// put — a reader that STAYS dead produces no further transitions.
+TEST(PermanentReaderDeath, MonitorConvergesToDeadAndStaysThere) {
+  ReaderHealthConfig config;
+  config.enabled = true;
+  config.warmup_seconds = 30;
+  DataCollector collector;
+  ReaderHealthMonitor monitor(config, &collector, 4);
+
+  const auto batches = SyntheticStream(400, 4, 6);
+  int64_t dead_at = -1;
+  for (const auto& batch : batches) {
+    const int64_t t = batch.front().time;
+    for (const RawReading& reading : batch) {
+      if (reading.reader == 2 && t > 120) {
+        continue;  // Reader 2's power supply gives out at t=120.
+      }
+      collector.Observe(reading);
+    }
+    monitor.Tick(t);
+    if (dead_at < 0 && monitor.StateOf(2) == ReaderHealth::kDead) {
+      dead_at = t;
+    }
+  }
+
+  EXPECT_EQ(monitor.StateOf(2), ReaderHealth::kDead);
+  ASSERT_GT(dead_at, 120);
+  EXPECT_LE(dead_at, 120 + 2 * monitor.SuspectWindow(2) +
+                         config.dead_after_seconds);
+  // Exactly one suspect -> dead descent for reader 2, nothing for the
+  // survivors, and no flapping afterwards.
+  EXPECT_EQ(monitor.stats().suspect, 1);
+  EXPECT_EQ(monitor.stats().dead, 1);
+  EXPECT_EQ(monitor.stats().probation, 0);
+  std::vector<ReaderHealthTransition> log;
+  bool lost = false;
+  monitor.ReadTransitions(0, &log, &lost);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].reader, 2);
+  EXPECT_EQ(log[1].reader, 2);
+  EXPECT_EQ(log.back().time, dead_at);
+}
+
+// Subscriptions over a dying reader's zone go dirty exactly on the ticks
+// health transitions fire — steady death never re-dirties them. The world
+// is frozen after warmup so health transitions are the ONLY dirt source,
+// then the monitor watches the (now silent) collector die.
+TEST(PermanentReaderDeath, SubscriptionsDirtyExactlyOnTransitionTicks) {
+  SimulationConfig sim_config;
+  sim_config.trace.num_objects = 60;
+  sim_config.seed = 11;
+  sim_config.collector.change_log_capacity = 1 << 14;
+  auto sim = Simulation::Create(sim_config).value();
+
+  ReaderHealthConfig health;
+  health.enabled = true;
+  health.warmup_seconds = 30;
+  ReaderHealthMonitor monitor(health, &sim->collector(),
+                              sim->deployment().num_readers());
+  for (int s = 0; s < 300; ++s) {
+    sim->Run(1);
+    monitor.Tick(sim->now());
+  }
+  ASSERT_EQ(monitor.stats().Total(), 0);  // Healthy while the world ran.
+
+  EngineConfig engine_config;
+  engine_config.num_threads = 1;
+  engine_config.use_cache = true;
+  engine_config.use_pruning = true;
+  engine_config.seed = 99;
+  engine_config.health = &monitor;
+  QueryEngine engine(&sim->graph(), &sim->plan(), &sim->anchors(),
+                     &sim->anchor_graph(), &sim->deployment(),
+                     &sim->deployment_graph(), &sim->collector(),
+                     engine_config);
+  SubscriptionManager subs(&engine);
+  const Rect over_zone =
+      Rect::FromCenter(sim->deployment().reader(9).pos, 10, 10);
+  const SubscriptionId range_id = subs.AddRange(over_zone);
+  const SubscriptionId knn_id =
+      subs.AddKnn(sim->deployment().reader(5).pos, 3);
+
+  // Freeze the world and let everything settle: histories age past
+  // max_coast, uncertain regions stop growing, ticks become all-skip.
+  int64_t now = sim->now();
+  for (int s = 0; s < 100; ++s) {
+    subs.Tick(++now);
+  }
+  ASSERT_EQ(subs.Tick(++now).evaluated, 0);
+
+  // Now the monitor notices the silence. Each tick, dirty iff transitions
+  // fired: the kNN subscription on any transition, the range subscription
+  // when a transitioned reader's zone touches its window.
+  uint64_t cursor = monitor.transition_end();
+  const double zone = 2.0 * sim->config().activation_range;
+  int range_dirty_ticks = 0;
+  int transition_ticks = 0;
+  for (int s = 0; s < 60; ++s) {
+    monitor.Tick(++now);
+    std::vector<ReaderHealthTransition> fired;
+    bool lost = false;
+    cursor = monitor.ReadTransitions(cursor, &fired, &lost);
+    ASSERT_FALSE(lost);
+    const SubscriptionTickResult tick = subs.Tick(now);
+    bool range_dirty = false;
+    bool knn_dirty = false;
+    for (const SubscriptionUpdate& update : tick.updates) {
+      if (update.id == range_id) {
+        range_dirty = update.evaluated;
+      }
+      if (update.id == knn_id) {
+        knn_dirty = update.evaluated;
+      }
+    }
+    if (fired.empty()) {
+      // Steady state (including steadily dead): nothing re-evaluates.
+      EXPECT_FALSE(range_dirty) << "tick " << now;
+      EXPECT_FALSE(knn_dirty) << "tick " << now;
+      continue;
+    }
+    ++transition_ticks;
+    EXPECT_TRUE(knn_dirty) << "tick " << now;
+    bool zone_hit = false;
+    for (const ReaderHealthTransition& tr : fired) {
+      const Rect r = Rect::FromCenter(sim->deployment().reader(tr.reader).pos,
+                                      zone, zone);
+      zone_hit = zone_hit || r.Intersects(over_zone);
+    }
+    if (zone_hit) {
+      EXPECT_TRUE(range_dirty) << "tick " << now;
+    }
+    range_dirty_ticks += range_dirty ? 1 : 0;
+  }
+  // The descent actually happened (suspect, then dead), and the range
+  // subscription was dirtied at most once per transition tick.
+  EXPECT_GT(monitor.stats().suspect, 0);
+  EXPECT_GT(monitor.stats().dead, 0);
+  EXPECT_GE(transition_ticks, 2);
+  EXPECT_LE(range_dirty_ticks, transition_ticks);
+  EXPECT_GE(range_dirty_ticks, 1);
+}
+
+// Health-gated negative information must not cost accuracy under dropout:
+// silence from readers the monitor distrusts (or that produced nothing in
+// a second) stops being treated as evidence, so the gated run's kNN hit
+// rate and range KL stay no worse than the ungated run's.
+TEST(DegradationEnvelope, HealthGatedNegativeInfoNoWorseThanUngated) {
+  ExperimentConfig ungated;
+  ungated.sim.trace.num_objects = 50;
+  ungated.sim.seed = 19;
+  ungated.sim.filter.measurement.use_negative_information = true;
+  ungated.sim.faults.seed = 23;
+  ungated.sim.faults.dropout_rate = 0.2;
+  ungated.warmup_seconds = 240;
+  ungated.num_timestamps = 6;
+  ungated.seconds_between_timestamps = 15;
+  ungated.range_queries_per_timestamp = 30;
+  ungated.knn_query_points = 12;
+
+  ExperimentConfig gated = ungated;
+  gated.sim.health.enabled = true;
+
+  const auto ungated_result = Experiment(ungated).Run();
+  const auto gated_result = Experiment(gated).Run();
+  ASSERT_TRUE(ungated_result.ok());
+  ASSERT_TRUE(gated_result.ok());
+  EXPECT_GT(gated_result->health_stats.Total(), 0);
+
+  // The monitor's verdict is a query-time snapshot, so a currently-suspect
+  // reader also loses its silence discount on replayed seconds where it
+  // was actually up — a small information loss that buys the hard
+  // guarantee that a dead reader's silence never penalizes particles. The
+  // envelope allows that noise-level cost but nothing structural.
+  EXPECT_GE(gated_result->hit_pf, ungated_result->hit_pf - 0.02);
+  EXPECT_LE(gated_result->kl_pf, ungated_result->kl_pf * 1.05);
 }
 
 }  // namespace

@@ -317,6 +317,58 @@ TEST_F(DeterminismTest, SubscriptionsDoNotPerturbAnswers) {
   }
 }
 
+TEST_F(DeterminismTest, HealthMonitorOnCleanRunDoesNotPerturbAnswers) {
+  // On a clean run the monitor holds every reader healthy, so arming it
+  // must not move a single byte of any answer — even with negative
+  // information on (where the silence-trust mask actually reaches the
+  // weighting kernels) and at any thread count.
+  SimulationConfig config;
+  config.trace.num_objects = 40;
+  config.seed = 313;
+  config.filter.measurement.use_negative_information = true;
+
+  SimulationConfig with_health = config;
+  with_health.health.enabled = true;
+
+  auto plain = Simulation::Create(config).value();
+  auto monitored = Simulation::Create(with_health).value();
+  plain->Run(200);
+  monitored->Run(200);
+  ASSERT_NE(monitored->health_monitor(), nullptr);
+  ASSERT_EQ(monitored->health_stats().Total(), 0);  // Clean: no verdicts.
+
+  const Rect window =
+      Rect::FromCenter(plain->deployment().reader(9).pos, 14, 14);
+  const Point q = plain->deployment().reader(5).pos;
+  const int64_t now = plain->now();
+  ASSERT_EQ(now, monitored->now());
+  for (const int threads : {1, 4, 8}) {
+    EngineConfig engine_config;
+    engine_config.num_threads = threads;
+    engine_config.use_cache = true;
+    engine_config.use_pruning = true;
+    engine_config.seed = 99;
+    QueryEngine off(&plain->graph(), &plain->plan(), &plain->anchors(),
+                    &plain->anchor_graph(), &plain->deployment(),
+                    &plain->deployment_graph(), &plain->collector(),
+                    engine_config);
+    engine_config.health = monitored->health_monitor();
+    QueryEngine on(&monitored->graph(), &monitored->plan(),
+                   &monitored->anchors(), &monitored->anchor_graph(),
+                   &monitored->deployment(), &monitored->deployment_graph(),
+                   &monitored->collector(), engine_config);
+    const QueryResult range_off = off.EvaluateRange(window, now);
+    const QueryResult range_on = on.EvaluateRange(window, now);
+    ExpectSameResult(range_off, range_on, "health on, range");
+    EXPECT_FALSE(range_on.coverage_degraded);
+    const KnnResult knn_off = off.EvaluateKnn(q, 3, now);
+    const KnnResult knn_on = on.EvaluateKnn(q, 3, now);
+    ExpectSameResult(knn_off.result, knn_on.result, "health on, knn");
+    EXPECT_EQ(knn_off.total_probability, knn_on.total_probability);
+    EXPECT_FALSE(knn_on.result.coverage_degraded);
+  }
+}
+
 TEST_F(DeterminismTest, CachedEngineDeterministicGivenSameQuerySequence) {
   // With the cache ON the answer legitimately depends on the sequence of
   // queried timestamps (resume vs. full run) — but two engines fed the

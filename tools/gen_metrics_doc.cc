@@ -148,6 +148,20 @@ const std::vector<std::pair<std::string, std::string>>& Descriptions() {
       {"collector.duplicates_dropped", "Duplicate readings suppressed."},
       {"collector.late_dropped",
        "Readings dropped for arriving beyond the reorder window."},
+      // Reader health (registered when the health monitor is on).
+      {"health.transitions", "Reader health-state transitions, all kinds."},
+      {"health.suspect_transitions", "Transitions into the suspect state."},
+      {"health.dead_transitions", "Transitions into the dead state."},
+      {"health.recovered_transitions",
+       "Probation readers promoted back to healthy."},
+      {"health.probation_reads",
+       "Readings accepted from probation readers (flagged, not dropped)."},
+      {"health.reader_down_seconds",
+       "Reader-seconds spent suspect or dead (availability SLO numerator)."},
+      {"health.reader_seconds",
+       "Monitored reader-seconds (availability SLO denominator)."},
+      {"health.degraded_readers",
+       "Readers currently suspect or dead (gauge)."},
       // Fault injection (registered when any fault channel is on).
       {"faults.injected", "Faults injected into the reading stream."},
       {"faults.dropped", "Readings deleted by the dropout channel."},
@@ -181,6 +195,10 @@ bool RegisterEverything(ipqs::obs::MetricsRegistry* registry) {
   config.faults.dropout_rate = 0.1;  // Fault metrics.
   config.collector.reorder_window_seconds = 2;
   config.num_subscriptions = 2;  // sub.* metrics (Step ticks the manager).
+  config.health.enabled = true;  // health.* metrics.
+  config.health.warmup_seconds = 5;
+  config.health.suspect_after_seconds = 3;
+  config.health.dead_after_seconds = 8;
   config.metrics = registry;
   auto sim = Simulation::Create(config);
   if (!sim.ok()) {

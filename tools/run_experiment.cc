@@ -16,6 +16,8 @@
 //                  [--reorder_rate=0.0] [--reorder_window=0]
 //                  [--batch_delay_rate=0.0] [--noise_rate=0.0]
 //                  [--clock_skew=0]
+//                  [--reader_health=false] [--health_suspect_after=5]
+//                  [--health_dead_after=20] [--health_probation=5]
 //                  [--checkpoint_dir=<dir>] [--checkpoint_interval=60]
 //                  [--recover=false] [--deadline_ms=0]
 //                  [--metrics_json=<file>] [--trace_out=<file>]
@@ -51,6 +53,13 @@
 // --reorder_window=N arms the collector's reorder buffer to repair
 // deliveries late by at most N seconds. See EXPERIMENTS.md, "Fault
 // ablation".
+//
+// Reader health (src/health/): --reader_health=true arms the per-reader
+// health monitor — silence from suspect/dead readers stops discounting
+// particles in the negative-information branch, answers touching degraded
+// readers carry coverage_degraded, and the summary reports transition
+// counts. --health_suspect_after / --health_dead_after /
+// --health_probation tune the hysteresis windows (seconds).
 //
 // Durability (src/persist/): --checkpoint_dir=DIR appends every second's
 // readings to a write-ahead log there and snapshots the serving state
@@ -209,6 +218,12 @@ int main(int argc, char** argv) {
   config.sim.faults.max_clock_skew_seconds = flags.GetInt("clock_skew", 0);
   config.sim.collector.reorder_window_seconds =
       flags.GetInt("reorder_window", 0);
+
+  config.sim.health.enabled = flags.GetBool("reader_health", false);
+  config.sim.health.suspect_after_seconds =
+      flags.GetInt("health_suspect_after", 5);
+  config.sim.health.dead_after_seconds = flags.GetInt("health_dead_after", 20);
+  config.sim.health.probation_seconds = flags.GetInt("health_probation", 5);
 
   config.sim.persist.dir = flags.GetString("checkpoint_dir", "");
   config.sim.persist.snapshot_interval_seconds =
@@ -396,6 +411,17 @@ int main(int argc, char** argv) {
         static_cast<long long>(result->ingest_stats.reordered),
         static_cast<long long>(result->ingest_stats.duplicates_dropped),
         static_cast<long long>(result->ingest_stats.late_dropped));
+  }
+
+  if (config.sim.health.enabled) {
+    const ReaderHealthStats& hs = result->health_stats;
+    std::printf(
+        "reader health:        %lld transitions (%lld suspect, %lld dead, "
+        "%lld probation, %lld recovered)\n",
+        static_cast<long long>(hs.Total()),
+        static_cast<long long>(hs.suspect), static_cast<long long>(hs.dead),
+        static_cast<long long>(hs.probation),
+        static_cast<long long>(hs.recovered));
   }
 
   if (explain) {
