@@ -1,0 +1,150 @@
+// Microbenchmarks for the preprocessed distance oracle vs. on-demand
+// Dijkstra, swept over generated graph size (1k -> 100k edges). The
+// point-to-point rows back the EXPERIMENTS.md crossover table: ALT's
+// landmark-directed search wins on random pairs at every swept size, so
+// the crossover is in amortization — BM_OracleBuild gives the one-time
+// preprocessing cost that the per-query savings repay after a few dozen
+// queries. `items_per_second` is distance queries per second; the
+// BM_Oracle* rows feed the perf-regression guard (scripts/check_perf.py)
+// via the IPQS_BENCH_JSON output.
+//
+// Custom main (same convention as micro_perf): with IPQS_BENCH_JSON=<dir>
+// set, results are also written to <dir>/BENCH_micro_oracle.json in
+// google-benchmark's JSON format. The registered benchmark set is
+// identical in fast and full modes, so a fast-mode CI run is comparable
+// against the committed full-mode baseline.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/distance_oracle.h"
+#include "graph/graph_gen.h"
+#include "graph/shortest_path.h"
+
+namespace ipqs {
+namespace {
+
+// One cached world per size: the generated graph, its oracle, and a fixed
+// pair set shared by every benchmark so the Dijkstra and ALT rows time
+// exactly the same queries.
+struct OracleWorld {
+  WalkingGraph graph;
+  std::unique_ptr<DistanceOracle> oracle;
+  std::vector<std::pair<GraphLocation, GraphLocation>> pairs;
+};
+
+OracleWorld& WorldFor(int target_edges) {
+  static std::map<int, std::unique_ptr<OracleWorld>>* worlds =
+      new std::map<int, std::unique_ptr<OracleWorld>>();
+  std::unique_ptr<OracleWorld>& slot = (*worlds)[target_edges];
+  if (slot == nullptr) {
+    // edges ~= 1.5 * nodes at the default 0.5 chord fraction.
+    GeneratedGraphConfig config;
+    config.nodes_per_component = (target_edges * 2) / 3;
+    config.seed = 1234 + static_cast<uint64_t>(target_edges);
+    slot = std::make_unique<OracleWorld>();
+    slot->graph = GenerateGraph(config);
+    slot->oracle =
+        std::make_unique<DistanceOracle>(&slot->graph, DistanceOracleConfig{});
+    Rng rng(99);
+    slot->pairs.reserve(64);
+    for (int i = 0; i < 64; ++i) {
+      slot->pairs.emplace_back(RandomLocation(slot->graph, rng),
+                               RandomLocation(slot->graph, rng));
+    }
+  }
+  return *slot;
+}
+
+void BM_OnDemandDijkstra(benchmark::State& state) {
+  OracleWorld& world = WorldFor(static_cast<int>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [from, to] = world.pairs[i++ % world.pairs.size()];
+    benchmark::DoNotOptimize(NetworkDistance(world.graph, from, to));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_OracleP2P(benchmark::State& state) {
+  OracleWorld& world = WorldFor(static_cast<int>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [from, to] = world.pairs[i++ % world.pairs.size()];
+    benchmark::DoNotOptimize(world.oracle->Distance(from, to));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_OracleBounds(benchmark::State& state) {
+  OracleWorld& world = WorldFor(static_cast<int>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [from, to] = world.pairs[i++ % world.pairs.size()];
+    benchmark::DoNotOptimize(world.oracle->Bounds(from, to));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void EdgeSweep(benchmark::internal::Benchmark* b) {
+  for (const int edges : {1000, 5000, 20000, 50000, 100000}) {
+    b->Arg(edges);
+  }
+  b->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_OnDemandDijkstra)->Apply(EdgeSweep);
+BENCHMARK(BM_OracleP2P)->Apply(EdgeSweep);
+BENCHMARK(BM_OracleBounds)->Apply(EdgeSweep);
+
+// Preprocessing cost (one-time per deployment): the landmark one-to-all
+// tables. Amortization context for the crossover table.
+void BM_OracleBuild(benchmark::State& state) {
+  OracleWorld& world = WorldFor(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    DistanceOracle oracle(&world.graph, DistanceOracleConfig{});
+    benchmark::DoNotOptimize(oracle.num_landmarks());
+  }
+}
+BENCHMARK(BM_OracleBuild)->Arg(1000)->Arg(20000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ipqs
+
+int main(int argc, char** argv) {
+  std::vector<char*> passthrough(argv, argv + argc);
+  bool has_explicit_out = false;
+  for (const char* arg : passthrough) {
+    if (std::string_view(arg).substr(0, 16) == "--benchmark_out=") {
+      has_explicit_out = true;
+    }
+  }
+  std::string bench_out;
+  std::string bench_out_format;
+  if (const char* dir = std::getenv("IPQS_BENCH_JSON");
+      dir != nullptr && *dir != '\0' && !has_explicit_out) {
+    bench_out =
+        "--benchmark_out=" + std::string(dir) + "/BENCH_micro_oracle.json";
+    bench_out_format = "--benchmark_out_format=json";
+    passthrough.push_back(bench_out.data());
+    passthrough.push_back(bench_out_format.data());
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -7,33 +7,12 @@
 namespace ipqs {
 
 DistanceIndex::DistanceIndex(const WalkingGraph* graph, size_t capacity)
-    : graph_(graph),
-      per_shard_capacity_(std::max<size_t>(capacity / kNumShards, 1)) {
+    : graph_(graph), capacity_(std::max<size_t>(capacity, 1)) {
   IPQS_CHECK(graph != nullptr);
 }
 
 GraphLocation DistanceIndex::Canonicalize(const GraphLocation& source) const {
-  GraphLocation loc = source;
-  const Edge& e = graph_->edge(loc.edge);
-  loc.offset = std::clamp(loc.offset, 0.0, e.length);
-  // A location exactly on a node is reachable through every incident edge;
-  // rewrite it to the lowest incident edge id so all spellings share one
-  // table.
-  NodeId node = kInvalidId;
-  if (loc.offset == 0.0) {
-    node = e.a;
-  } else if (loc.offset == e.length) {
-    node = e.b;
-  }
-  if (node != kInvalidId) {
-    EdgeId lowest = loc.edge;
-    for (EdgeId eid : graph_->node(node).edges) {
-      lowest = std::min(lowest, eid);
-    }
-    loc.edge = lowest;
-    loc.offset = graph_->OffsetOfNode(lowest, node);
-  }
-  return loc;
+  return CanonicalSourceLocation(*graph_, source);
 }
 
 std::shared_ptr<const OneToAllDistances> DistanceIndex::Lookup(
@@ -80,32 +59,65 @@ std::shared_ptr<const OneToAllDistances> DistanceIndex::Insert(
     const Key& key, std::shared_ptr<const OneToAllDistances> table,
     bool pinned) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  const auto it = shard.entries.find(key);
-  if (it != shard.entries.end()) {
-    if (pinned && !it->second.pinned) {
-      // Promote in place: drop from the LRU list, keep the resident table.
-      shard.lru.erase(it->second.lru_pos);
-      it->second.pinned = true;
+  std::shared_ptr<const OneToAllDistances> resident;
+  bool over_budget = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      if (pinned && !it->second.pinned) {
+        // Promote in place: drop from the LRU list, keep the resident table.
+        shard.lru.erase(it->second.lru_pos);
+        it->second.pinned = true;
+        unpinned_count_.fetch_sub(1, std::memory_order_relaxed);
+      } else if (!pinned) {
+        // Lost the miss race: a concurrent miss for this key computed and
+        // inserted the identical table first, so this Dijkstra was wasted.
+        ++shard.stats.race_drops;
+        if (metrics_.race_drops != nullptr) metrics_.race_drops->Increment();
+      }
+      return it->second.table;
     }
-    return it->second.table;
-  }
 
-  Entry entry;
-  entry.table = std::move(table);
-  entry.pinned = pinned;
-  if (!pinned) {
-    shard.lru.push_front(key);
-    entry.lru_pos = shard.lru.begin();
-    while (shard.lru.size() > per_shard_capacity_) {
-      const Key victim = shard.lru.back();
-      shard.lru.pop_back();
-      shard.entries.erase(victim);
-      ++shard.stats.evictions;
-      if (metrics_.evictions != nullptr) metrics_.evictions->Increment();
+    Entry entry;
+    entry.table = std::move(table);
+    entry.pinned = pinned;
+    if (!pinned) {
+      shard.lru.push_front(key);
+      entry.lru_pos = shard.lru.begin();
+      unpinned_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    resident = shard.entries.emplace(key, std::move(entry)).first->second.table;
+    if (!pinned) {
+      EvictLocked(shard);
+      over_budget =
+          unpinned_count_.load(std::memory_order_relaxed) > capacity_;
     }
   }
-  return shard.entries.emplace(key, std::move(entry)).first->second.table;
+  if (over_budget) {
+    // Hot-key skew can concentrate entries in shards other than the one we
+    // just drained; sweep them one lock at a time (two shard locks are
+    // never held together, so there is no ordering to deadlock on).
+    for (Shard& other : shards_) {
+      if (&other == &shard) continue;
+      if (unpinned_count_.load(std::memory_order_relaxed) <= capacity_) break;
+      std::lock_guard<std::mutex> lock(other.mu);
+      EvictLocked(other);
+    }
+  }
+  return resident;
+}
+
+void DistanceIndex::EvictLocked(Shard& shard) {
+  while (unpinned_count_.load(std::memory_order_relaxed) > capacity_ &&
+         shard.lru.size() > 1) {
+    const Key victim = shard.lru.back();
+    shard.lru.pop_back();
+    shard.entries.erase(victim);
+    unpinned_count_.fetch_sub(1, std::memory_order_relaxed);
+    ++shard.stats.evictions;
+    if (metrics_.evictions != nullptr) metrics_.evictions->Increment();
+  }
 }
 
 size_t DistanceIndex::size() const {
@@ -124,6 +136,7 @@ DistanceIndex::Stats DistanceIndex::stats() const {
     out.hits += shard.stats.hits;
     out.misses += shard.stats.misses;
     out.evictions += shard.stats.evictions;
+    out.race_drops += shard.stats.race_drops;
     out.entries += shard.entries.size();
     out.pinned += shard.entries.size() - shard.lru.size();
   }

@@ -1,6 +1,7 @@
 #ifndef IPQS_GRAPH_DISTANCE_INDEX_H_
 #define IPQS_GRAPH_DISTANCE_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <list>
@@ -19,6 +20,10 @@ struct DistanceIndexMetrics {
   obs::Counter* hits = nullptr;
   obs::Counter* misses = nullptr;     // Lookups that had to run Dijkstra.
   obs::Counter* evictions = nullptr;  // LRU evictions (pinned never evict).
+  // Misses that lost the insert race: another thread computed the same
+  // table first, so the loser's Dijkstra was wasted but the lookup was
+  // effectively served from cache.
+  obs::Counter* race_drops = nullptr;
 };
 
 // Shared, shard-locked LRU store of one-to-all network distance tables,
@@ -40,21 +45,34 @@ struct DistanceIndexMetrics {
 // lock; two racing misses may both compute, and the loser's table is
 // dropped (correctness is unaffected — both computed identical tables).
 //
-// Capacity bounds the number of UNPINNED entries per shard; Pin() entries
-// (e.g. every reader position, pinned at engine construction) never age
-// out.
+// Capacity bounds the number of UNPINNED entries across ALL shards (a
+// global atomic count; eviction drains the inserting shard first and then
+// sweeps the others one lock at a time, so hot-key skew cannot hold a
+// multiple of the budget). Each shard always keeps its most recent
+// unpinned entry, so the hard bound is max(capacity, shard count); for
+// capacity >= 16 shards that is exactly `capacity`. Pin() entries (e.g.
+// every reader position, pinned at engine construction) never age out and
+// don't count against the budget.
 class DistanceIndex {
  public:
   struct Stats {
     int64_t hits = 0;
     int64_t misses = 0;
     int64_t evictions = 0;
+    // Subset of `misses` that lost the insert race to a concurrent miss for
+    // the same key; the table was already resident by the time the loser's
+    // Dijkstra finished.
+    int64_t race_drops = 0;
     size_t entries = 0;
     size_t pinned = 0;
 
+    // Fraction of lookups served by a resident table. A race-dropped miss
+    // was served by the winner's table, so it counts toward the numerator;
+    // without that term concurrent cold starts under-report the rate.
     double HitRate() const {
       const int64_t total = hits + misses;
-      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits + race_drops) / total;
     }
   };
 
@@ -127,8 +145,16 @@ class DistanceIndex {
       const Key& key, std::shared_ptr<const OneToAllDistances> table,
       bool pinned);
 
+  // Evicts `shard`'s LRU tail while the global unpinned count exceeds
+  // capacity, always leaving the shard its most recent unpinned entry.
+  // Caller holds shard.mu.
+  void EvictLocked(Shard& shard);
+
   const WalkingGraph* graph_;
-  const size_t per_shard_capacity_;
+  const size_t capacity_;
+  // Unpinned entries across all shards; the eviction budget is global so
+  // hot-key skew in one shard can't inflate the footprint 16x.
+  std::atomic<size_t> unpinned_count_{0};
   Shard shards_[kNumShards];
   DistanceIndexMetrics metrics_;
 };

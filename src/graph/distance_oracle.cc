@@ -1,0 +1,301 @@
+#include "graph/distance_oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+#include "graph/shortest_path.h"
+
+namespace ipqs {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Relative slack applied to the landmark bounds: summing edge lengths in
+// different orders (landmark table vs. exact search) can differ in the last
+// bits, so bounds are relaxed by this factor to keep lower <= exact <= upper
+// strict without affecting pruning power.
+constexpr double kBoundGuard = 1e-9;
+
+// Plain node-sourced Dijkstra over the whole graph.
+std::vector<double> NodeDijkstra(const WalkingGraph& graph, NodeId src) {
+  struct QueueEntry {
+    double dist;
+    NodeId node;
+    bool operator>(const QueueEntry& o) const { return dist > o.dist; }
+  };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
+      queue;
+  std::vector<double> dist(graph.num_nodes(), kInf);
+  dist[src] = 0.0;
+  queue.push({0.0, src});
+  while (!queue.empty()) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    if (top.dist > dist[top.node]) {
+      continue;  // Stale entry.
+    }
+    for (EdgeId eid : graph.node(top.node).edges) {
+      const Edge& out = graph.edge(eid);
+      const NodeId next = out.a == top.node ? out.b : out.a;
+      const double cand = top.dist + out.length;
+      if (cand < dist[next]) {
+        dist[next] = cand;
+        queue.push({cand, next});
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+DistanceOracle::DistanceOracle(const WalkingGraph* graph,
+                               const DistanceOracleConfig& config)
+    : graph_(graph), config_(config) {
+  IPQS_CHECK(graph != nullptr);
+  IPQS_CHECK_GT(graph->num_nodes(), 0);
+  IPQS_CHECK_GE(config.num_landmarks, 1);
+  const int n = graph->num_nodes();
+  const int want = std::min(config_.num_landmarks, n);
+  tables_.reserve(static_cast<size_t>(n) * want);
+
+  // Farthest-point sampling. `mindist[v]` is v's distance to the nearest
+  // landmark chosen so far; unreached nodes stay at +inf and therefore win
+  // the argmax, so every component gets a landmark before any component
+  // gets its second.
+  std::vector<double> mindist(n, kInf);
+  std::vector<std::vector<double>> per_landmark;
+  NodeId next = 0;
+  for (int l = 0; l < want; ++l) {
+    landmarks_.push_back(next);
+    per_landmark.push_back(NodeDijkstra(*graph, next));
+    const std::vector<double>& d = per_landmark.back();
+    double best = -1.0;
+    NodeId pick = kInvalidId;
+    for (NodeId v = 0; v < n; ++v) {
+      mindist[v] = std::min(mindist[v], d[v]);
+      if (mindist[v] > best) {
+        best = mindist[v];
+        pick = v;
+      }
+    }
+    if (pick == kInvalidId || best == 0.0) {
+      break;  // Every node already is a landmark.
+    }
+    next = pick;
+  }
+
+  // Scatter into the node-major layout.
+  const size_t num_l = landmarks_.size();
+  tables_.assign(static_cast<size_t>(n) * num_l, kInf);
+  for (size_t l = 0; l < num_l; ++l) {
+    for (NodeId v = 0; v < n; ++v) {
+      tables_[static_cast<size_t>(v) * num_l + l] = per_landmark[l][v];
+    }
+  }
+}
+
+double DistanceOracle::NodeLowerRaw(NodeId x, NodeId y) const {
+  const size_t num_l = landmarks_.size();
+  const double* dx = &tables_[static_cast<size_t>(x) * num_l];
+  const double* dy = &tables_[static_cast<size_t>(y) * num_l];
+  double best = 0.0;
+  for (size_t l = 0; l < num_l; ++l) {
+    // Both +inf: the landmark is in a third component and says nothing
+    // about d(x, y) (and inf - inf would be NaN). Exactly one +inf: the
+    // landmark proves x and y disconnected, |inf - finite| = +inf.
+    if (std::isinf(dx[l]) && std::isinf(dy[l])) {
+      continue;
+    }
+    const double lb = std::fabs(dx[l] - dy[l]);
+    if (lb > best) {
+      best = lb;
+    }
+  }
+  return best;
+}
+
+double DistanceOracle::NodeUpperRaw(NodeId x, NodeId y) const {
+  const size_t num_l = landmarks_.size();
+  const double* dx = &tables_[static_cast<size_t>(x) * num_l];
+  const double* dy = &tables_[static_cast<size_t>(y) * num_l];
+  double best = kInf;
+  for (size_t l = 0; l < num_l; ++l) {
+    const double ub = dx[l] + dy[l];  // inf stays inf.
+    if (ub < best) {
+      best = ub;
+    }
+  }
+  return best;
+}
+
+DistanceOracle::Bound DistanceOracle::NodeBounds(NodeId x, NodeId y) const {
+  Bound b;
+  b.lower = std::max(0.0, NodeLowerRaw(x, y) * (1.0 - kBoundGuard));
+  b.upper = NodeUpperRaw(x, y) * (1.0 + kBoundGuard);
+  return b;
+}
+
+DistanceOracle::Bound DistanceOracle::Bounds(const GraphLocation& from,
+                                             const GraphLocation& to) const {
+  bound_queries_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_.bound_queries != nullptr) metrics_.bound_queries->Increment();
+
+  const Edge& fe = graph_->edge(from.edge);
+  const Edge& te = graph_->edge(to.edge);
+  const NodeId fn[2] = {fe.a, fe.b};
+  const double fo[2] = {from.offset, fe.length - from.offset};
+  const NodeId tn[2] = {te.a, te.b};
+  const double to_off[2] = {to.offset, te.length - to.offset};
+
+  // Every walk leaves the source edge through one endpoint and enters the
+  // target edge through one endpoint (or stays on the shared edge); each
+  // of the four combinations bounds its own route class, so the min over
+  // them (plus the direct stretch) bounds the true distance on both sides.
+  double lo = kInf;
+  double hi = kInf;
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      lo = std::min(lo, fo[i] + NodeLowerRaw(fn[i], tn[j]) + to_off[j]);
+      hi = std::min(hi, fo[i] + NodeUpperRaw(fn[i], tn[j]) + to_off[j]);
+    }
+  }
+  if (from.edge == to.edge) {
+    const double direct = std::fabs(from.offset - to.offset);
+    lo = std::min(lo, direct);
+    hi = std::min(hi, direct);
+  }
+  Bound b;
+  b.lower = std::max(0.0, lo * (1.0 - kBoundGuard));
+  b.upper = hi * (1.0 + kBoundGuard);
+  return b;
+}
+
+double DistanceOracle::Distance(const GraphLocation& from,
+                                const GraphLocation& to) const {
+  p2p_queries_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_.p2p_queries != nullptr) metrics_.p2p_queries->Increment();
+
+  const Edge& te = graph_->edge(to.edge);
+  // Mirror of NetworkDistance with the frontier ordered by dist + h. The
+  // heuristic is admissible and consistent, so settled distances are the
+  // exact Dijkstra values and every candidate expression below evaluates
+  // on identical doubles — the landmark bounds change only how much of the
+  // graph gets explored, never the returned bits.
+  double best = kInf;
+  if (from.edge == to.edge) {
+    best = std::fabs(from.offset - to.offset);
+  }
+
+  const int n = graph_->num_nodes();
+  std::vector<double> dist(n, kInf);
+  std::vector<double> h_cache(n, -1.0);
+  std::vector<char> settled(n, 0);
+  const auto heuristic = [&](NodeId v) {
+    double& h = h_cache[v];
+    if (h < 0.0) {
+      const double raw =
+          std::min(NodeLowerRaw(v, te.a) + to.offset,
+                   NodeLowerRaw(v, te.b) + (te.length - to.offset));
+      // The same shave as the exported bounds: a heuristic a hair too low
+      // is still admissible; a hair too high would break exactness.
+      h = std::max(0.0, raw * (1.0 - kBoundGuard));
+    }
+    return h;
+  };
+
+  struct AStarEntry {
+    double f;  // dist + heuristic-to-target: the pop order.
+    double dist;
+    NodeId node;
+    bool operator>(const AStarEntry& o) const { return f > o.f; }
+  };
+  std::priority_queue<AStarEntry, std::vector<AStarEntry>, std::greater<>>
+      queue;
+
+  const Edge& fe = graph_->edge(from.edge);
+  dist[fe.a] = from.offset;
+  dist[fe.b] = fe.length - from.offset;
+  queue.push({dist[fe.a] + heuristic(fe.a), dist[fe.a], fe.a});
+  queue.push({dist[fe.b] + heuristic(fe.b), dist[fe.b], fe.b});
+
+  while (!queue.empty()) {
+    const AStarEntry top = queue.top();
+    queue.pop();
+    if (top.dist > dist[top.node]) {
+      continue;  // Stale entry.
+    }
+    if (top.f >= best) {
+      // h lower-bounds the remaining distance, so every remaining route
+      // into the target edge is at least `best` long already.
+      break;
+    }
+    settled[top.node] = 1;
+    if (top.node == te.a) {
+      best = std::min(best, dist[te.a] + to.offset);
+    }
+    if (top.node == te.b) {
+      best = std::min(best, dist[te.b] + (te.length - to.offset));
+    }
+    if (settled[te.a] && settled[te.b]) {
+      break;  // Both routes into the target edge are final.
+    }
+    for (EdgeId eid : graph_->node(top.node).edges) {
+      const Edge& out = graph_->edge(eid);
+      const NodeId next = out.a == top.node ? out.b : out.a;
+      const double cand = top.dist + out.length;
+      if (cand < dist[next]) {
+        dist[next] = cand;
+        queue.push({cand + heuristic(next), cand, next});
+      }
+    }
+  }
+  return best;
+}
+
+void DistanceOracle::BuildPinnedMatrix(
+    const AnchorPointIndex& anchors, const std::vector<GraphLocation>& pinned) {
+  num_pinned_ = pinned.size();
+  num_matrix_anchors_ = anchors.num_anchors();
+  matrix_.assign(static_cast<size_t>(num_matrix_anchors_) * num_pinned_, kInf);
+  for (AnchorId a = 0; a < num_matrix_anchors_; ++a) {
+    const AnchorPoint& ap = anchors.anchor(a);
+    // Canonicalize exactly like the DistanceIndex keys its tables, and
+    // evaluate through the same OneToAllDistances path: matrix values are
+    // bit-identical to what a cached table lookup would return.
+    const GraphLocation source = CanonicalSourceLocation(
+        *graph_, GraphLocation{ap.edge, ap.offset});
+    const OneToAllDistances table(*graph_, source);
+    double* row = &matrix_[static_cast<size_t>(a) * num_pinned_];
+    for (size_t j = 0; j < num_pinned_; ++j) {
+      row[j] = table.ToLocation(pinned[j]);
+    }
+  }
+}
+
+const double* DistanceOracle::PinnedRow(AnchorId a) const {
+  if (matrix_.empty() || a < 0 || a >= num_matrix_anchors_) {
+    matrix_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_.matrix_fallbacks != nullptr) {
+      metrics_.matrix_fallbacks->Increment();
+    }
+    return nullptr;
+  }
+  matrix_lookups_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_.matrix_lookups != nullptr) metrics_.matrix_lookups->Increment();
+  return &matrix_[static_cast<size_t>(a) * num_pinned_];
+}
+
+DistanceOracle::Stats DistanceOracle::stats() const {
+  Stats out;
+  out.matrix_lookups = matrix_lookups_.load(std::memory_order_relaxed);
+  out.matrix_fallbacks = matrix_fallbacks_.load(std::memory_order_relaxed);
+  out.p2p_queries = p2p_queries_.load(std::memory_order_relaxed);
+  out.bound_queries = bound_queries_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace ipqs

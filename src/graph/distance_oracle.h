@@ -1,0 +1,142 @@
+#ifndef IPQS_GRAPH_DISTANCE_ORACLE_H_
+#define IPQS_GRAPH_DISTANCE_ORACLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "graph/anchor_points.h"
+#include "graph/walking_graph.h"
+#include "obs/metrics.h"
+
+namespace ipqs {
+
+// Optional observability hooks for a DistanceOracle; any member may be null.
+struct DistanceOracleMetrics {
+  obs::Counter* matrix_lookups = nullptr;    // Pinned-row hits.
+  obs::Counter* matrix_fallbacks = nullptr;  // Row absent -> landmark bounds.
+  obs::Counter* p2p_queries = nullptr;       // ALT point-to-point calls.
+  obs::Counter* bound_queries = nullptr;     // Landmark bound evaluations.
+};
+
+struct DistanceOracleConfig {
+  // Landmark count for the ALT tables. Preprocessing cost and memory are
+  // linear in this; bound tightness improves with diminishing returns.
+  int num_landmarks = 16;
+};
+
+// Preprocessing-based network distance oracle (ALT: A*, landmarks,
+// triangle inequality).
+//
+// Construction runs one one-to-all Dijkstra per landmark; landmarks are
+// chosen by farthest-point sampling (start at node 0, then repeatedly take
+// the node farthest from every landmark chosen so far, ties to the lowest
+// id). Unreached nodes count as infinitely far, so on a disconnected graph
+// every component receives a landmark before any component gets a second
+// one — which is what lets the bounds *prove* disconnection.
+//
+// For nodes x, y and any landmark L, the triangle inequality on shortest
+// paths gives |d(L,x) - d(L,y)| <= d(x,y) <= d(L,x) + d(L,y); the oracle
+// maximizes the left side and minimizes the right side over its landmarks.
+// Location-level bounds take the min over the four (source endpoint,
+// target endpoint) route combinations plus the same-edge direct stretch —
+// each combination bounds its route, so the min bounds the true distance.
+// Final bounds are relaxed by a 1e-9 relative guard against floating-point
+// summation error, keeping lower <= exact <= upper strict.
+//
+// Distance() is a goal-directed point-to-point query: the exact Dijkstra of
+// NetworkDistance with the priority re-keyed by dist + h(n), where h(n) is
+// the landmark lower bound to the target edge (consistent, shaved by the
+// same 1e-9 guard so it never overestimates). Settled distances are
+// therefore exact, and the returned value is bit-identical to
+// NetworkDistance — the heuristic changes only how much of the graph is
+// explored.
+//
+// BuildPinnedMatrix precomputes exact distances from every anchor point to
+// a fixed set of pinned locations (the readers: pinned and static for the
+// life of a deployment). Rows are computed through the same canonicalized
+// OneToAllDistances evaluation the DistanceIndex uses, so serving from the
+// matrix is bit-identical to serving from the index's cached tables.
+//
+// Thread safety: all queries are const and safe to call concurrently once
+// construction (and BuildPinnedMatrix, if used) has finished; stats
+// counters are relaxed atomics.
+class DistanceOracle {
+ public:
+  struct Bound {
+    double lower = 0.0;
+    double upper = 0.0;
+  };
+  struct Stats {
+    int64_t matrix_lookups = 0;
+    int64_t matrix_fallbacks = 0;
+    int64_t p2p_queries = 0;
+    int64_t bound_queries = 0;
+  };
+
+  explicit DistanceOracle(const WalkingGraph* graph,
+                          const DistanceOracleConfig& config = {});
+
+  // Installs observability hooks. Not thread-safe: call before the oracle
+  // is shared across threads.
+  void SetMetrics(const DistanceOracleMetrics& metrics) { metrics_ = metrics; }
+
+  int num_landmarks() const { return static_cast<int>(landmarks_.size()); }
+  const std::vector<NodeId>& landmarks() const { return landmarks_; }
+
+  // Landmark bounds on the node-to-node network distance. lower is +inf
+  // exactly when some landmark proves x and y disconnected.
+  Bound NodeBounds(NodeId x, NodeId y) const;
+
+  // Landmark bounds on the location-to-location network distance:
+  // Bounds(a, b).lower <= NetworkDistance(g, a, b) <= Bounds(a, b).upper.
+  Bound Bounds(const GraphLocation& from, const GraphLocation& to) const;
+
+  // Exact point-to-point distance via goal-directed (ALT) search;
+  // bit-identical to NetworkDistance(graph, from, to).
+  double Distance(const GraphLocation& from, const GraphLocation& to) const;
+
+  // Precomputes the dense anchor-to-pinned-location distance matrix
+  // (anchors.num_anchors() x pinned.size()). Not thread-safe; call once
+  // after construction, before sharing.
+  void BuildPinnedMatrix(const AnchorPointIndex& anchors,
+                         const std::vector<GraphLocation>& pinned);
+
+  bool has_matrix() const { return num_pinned_ > 0; }
+  size_t num_pinned() const { return num_pinned_; }
+
+  // Exact distances from anchor `a` to every pinned location, or nullptr
+  // when no matrix was built or `a` is out of range.
+  const double* PinnedRow(AnchorId a) const;
+
+  Stats stats() const;
+
+ private:
+  // max over landmarks of |d(L,x) - d(L,y)| (no floating-point guard).
+  double NodeLowerRaw(NodeId x, NodeId y) const;
+  // min over landmarks of d(L,x) + d(L,y) (no floating-point guard).
+  double NodeUpperRaw(NodeId x, NodeId y) const;
+
+  const WalkingGraph* graph_;
+  DistanceOracleConfig config_;
+  std::vector<NodeId> landmarks_;
+  // Node-major landmark distance tables: tables_[node * L + l] = shortest
+  // distance between `node` and landmarks_[l]. Node-major keeps the two
+  // rows a bound evaluation reads contiguous.
+  std::vector<double> tables_;
+  // Dense matrix_[a * num_pinned_ + j] = exact distance from anchor a to
+  // pinned location j.
+  std::vector<double> matrix_;
+  size_t num_pinned_ = 0;
+  int num_matrix_anchors_ = 0;
+
+  mutable std::atomic<int64_t> matrix_lookups_{0};
+  mutable std::atomic<int64_t> matrix_fallbacks_{0};
+  mutable std::atomic<int64_t> p2p_queries_{0};
+  mutable std::atomic<int64_t> bound_queries_{0};
+  DistanceOracleMetrics metrics_;
+};
+
+}  // namespace ipqs
+
+#endif  // IPQS_GRAPH_DISTANCE_ORACLE_H_

@@ -1,0 +1,62 @@
+#include "graph/graph_gen.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "geom/point.h"
+
+namespace ipqs {
+
+WalkingGraph GenerateGraph(const GeneratedGraphConfig& config) {
+  IPQS_CHECK_GE(config.nodes_per_component, 2);
+  IPQS_CHECK_GE(config.num_components, 1);
+  IPQS_CHECK_GT(config.span, 0.0);
+
+  WalkingGraph graph;
+  Rng rng(config.seed);
+  const int n = config.nodes_per_component;
+  const int cols = static_cast<int>(std::ceil(std::sqrt(n)));
+  const double cell = config.span / cols;
+
+  for (int c = 0; c < config.num_components; ++c) {
+    // Disjoint squares per component: nodes of different components can
+    // never coincide, and no edge ever connects them.
+    const double origin_x = c * (config.span + cell);
+    const NodeId base = graph.num_nodes();
+    for (int i = 0; i < n; ++i) {
+      const int col = i % cols;
+      const int row = i / cols;
+      // Jitter keeps every node strictly inside its own grid cell, so any
+      // two nodes are at distinct positions and AddEdge's positive-length
+      // invariant holds for every pair we might connect.
+      const Point pos(origin_x + (col + rng.Uniform(0.1, 0.9)) * cell,
+                      (row + rng.Uniform(0.1, 0.9)) * cell);
+      graph.AddNode(pos, NodeKind::kIntersection);
+    }
+    // Random spanning tree: each node attaches to a uniformly random
+    // earlier node, which connects the component.
+    for (int i = 1; i < n; ++i) {
+      const NodeId a = base + i;
+      const NodeId b = base + static_cast<NodeId>(rng.UniformIndex(i));
+      graph.AddEdge(a, b, EdgeKind::kHallway);
+    }
+    const int extra = static_cast<int>(n * config.extra_edge_fraction);
+    for (int e = 0; e < extra; ++e) {
+      const NodeId a = base + static_cast<NodeId>(rng.UniformIndex(n));
+      NodeId b = base + static_cast<NodeId>(rng.UniformIndex(n));
+      if (a == b) {
+        b = base + (b - base + 1) % n;  // No self-loops.
+      }
+      graph.AddEdge(a, b, EdgeKind::kHallway);
+    }
+  }
+  return graph;
+}
+
+GraphLocation RandomLocation(const WalkingGraph& graph, Rng& rng) {
+  IPQS_CHECK_GT(graph.num_edges(), 0);
+  const EdgeId edge = static_cast<EdgeId>(rng.UniformIndex(graph.num_edges()));
+  return GraphLocation{edge, rng.Uniform(0.0, graph.edge(edge).length)};
+}
+
+}  // namespace ipqs

@@ -81,6 +81,16 @@ class OneToAllDistances {
 double NetworkDistance(const WalkingGraph& graph, const GraphLocation& from,
                        const GraphLocation& to);
 
+// Canonical spelling of a source location: the offset is clamped to
+// [0, edge length], and a location sitting exactly on a node is rewritten
+// to (lowest-id incident edge, endpoint offset) so the same physical point
+// reached through different edges compares equal. Both the DistanceIndex
+// (cache keys) and the DistanceOracle (pinned-matrix sources) canonicalize
+// through this one function, which is what keeps their distance values
+// bit-identical for the same physical source.
+GraphLocation CanonicalSourceLocation(const WalkingGraph& graph,
+                                      const GraphLocation& source);
+
 // Shortest path between two locations. Returns a leg-less path anchored at
 // `from` when from == to. Fails only if the graph is disconnected between
 // them.

@@ -61,6 +61,11 @@ QueryEngine::QueryEngine(const WalkingGraph* graph, const FloorPlan* plan,
     dindex_ = std::make_unique<DistanceIndex>(graph,
                                               config.distance_index_capacity);
   }
+  if (config.use_distance_oracle) {
+    DistanceOracleConfig oracle_config;
+    oracle_config.num_landmarks = std::max(config.oracle_landmarks, 1);
+    oracle_ = std::make_unique<DistanceOracle>(graph, oracle_config);
+  }
   InitObservability();
   if (dindex_ != nullptr) {
     // Every uncertain-region interval measures to a reader position, so
@@ -68,6 +73,16 @@ QueryEngine::QueryEngine(const WalkingGraph* graph, const FloorPlan* plan,
     for (ReaderId r = 0; r < deployment->num_readers(); ++r) {
       dindex_->Pin(deployment->reader(r).loc);
     }
+  }
+  if (oracle_ != nullptr) {
+    // Readers are pinned and static for the life of a deployment, so the
+    // anchor-to-reader matrix is computed once here and never invalidated.
+    std::vector<GraphLocation> reader_locs;
+    reader_locs.reserve(deployment->num_readers());
+    for (ReaderId r = 0; r < deployment->num_readers(); ++r) {
+      reader_locs.push_back(deployment->reader(r).loc);
+    }
+    oracle_->BuildPinnedMatrix(*anchors_, reader_locs);
   }
 }
 
@@ -124,7 +139,21 @@ void QueryEngine::InitObservability() {
     dindex_metrics.hits = metrics_->GetCounter(p + ".dindex.hits");
     dindex_metrics.misses = metrics_->GetCounter(p + ".dindex.misses");
     dindex_metrics.evictions = metrics_->GetCounter(p + ".dindex.evictions");
+    dindex_metrics.race_drops = metrics_->GetCounter(p + ".dindex.race_drops");
     dindex_->SetMetrics(dindex_metrics);
+  }
+
+  if (oracle_ != nullptr) {
+    DistanceOracleMetrics oracle_metrics;
+    oracle_metrics.matrix_lookups =
+        metrics_->GetCounter(p + ".oracle.matrix_lookups");
+    oracle_metrics.matrix_fallbacks =
+        metrics_->GetCounter(p + ".oracle.matrix_fallbacks");
+    oracle_metrics.p2p_queries =
+        metrics_->GetCounter(p + ".oracle.p2p_queries");
+    oracle_metrics.bound_queries =
+        metrics_->GetCounter(p + ".oracle.bound_queries");
+    oracle_->SetMetrics(oracle_metrics);
   }
 
   CacheMetrics cache_metrics;
@@ -430,8 +459,8 @@ KnnResult QueryEngine::EvaluateKnn(const Point& query, int k, int64_t now,
   // Distance tables are only needed by pruning and the prune-only
   // fallback; acquire lazily so the pruning-off fast path never pays a
   // Dijkstra.
-  std::optional<QueryDistances> qd;
-  const auto distances = [&]() -> const QueryDistances& {
+  std::optional<SourceDistances> qd;
+  const auto distances = [&]() -> const SourceDistances& {
     if (!qd.has_value()) {
       qd = DistancesFor(q);
     }
@@ -442,9 +471,9 @@ KnnResult QueryEngine::EvaluateKnn(const Point& query, int k, int64_t now,
     const obs::TraceSpan prune_span(trace_, "prune");
     const obs::ScopedTimer prune_timer(timers_.prune_ns);
     if (config_.use_pruning) {
-      const QueryDistances& d = distances();
-      candidates = FilterKnnCandidates(*collector_, *deployment_, *d.table,
-                                       d.slack, k, now, config_.max_speed);
+      const SourceDistances& d = distances();
+      candidates = FilterKnnCandidates(*collector_, *deployment_, d, k, now,
+                                       config_.max_speed);
     } else {
       candidates = collector_->KnownObjects();
     }
@@ -484,8 +513,7 @@ KnnResult QueryEngine::EvaluateKnn(const Point& query, int k, int64_t now,
   KnnResult result;
   int64_t t_inferred = t_pruned;
   if (plan.level == QualityLevel::kPruneOnly) {
-    const QueryDistances& d = distances();
-    result = PruneOnlyKnn(restrict, *d.table, d.slack, k, now);
+    result = PruneOnlyKnn(restrict, distances(), k, now);
   } else if (plan.level != QualityLevel::kFull) {
     AnchorObjectTable scratch;
     ExecuteDegradedPlan(plan, now, &scratch);
@@ -529,23 +557,46 @@ KnnResult QueryEngine::EvaluateKnn(const Point& query, int k, int64_t now,
   return result;
 }
 
-QueryEngine::QueryDistances QueryEngine::DistancesFor(
-    const GraphLocation& query) {
-  QueryDistances out;
+SourceDistances QueryEngine::DistancesFor(const GraphLocation& query) {
+  if (oracle_ != nullptr) {
+    const AnchorId aid = anchors_->NearestOnEdge(query);
+    const AnchorPoint& a = anchors_->anchor(aid);
+    SourceDistances out;
+    // The along-edge offset gap is a network path between query and source,
+    // so it upper-bounds their network distance — the slack pruning needs.
+    out.slack = std::fabs(query.offset - a.offset);
+    const int num_readers = deployment_->num_readers();
+    out.to_reader.reserve(num_readers);
+    if (const double* row = oracle_->PinnedRow(aid)) {
+      // Matrix rows hold the same doubles a DistanceIndex table lookup
+      // would produce, so lower == upper keeps pruning byte-identical to
+      // the index path.
+      for (int r = 0; r < num_readers; ++r) {
+        out.to_reader.push_back(SourceDistances::Bound{row[r], row[r]});
+      }
+      return out;
+    }
+    // No matrix (e.g. a deployment with zero readers built no rows):
+    // landmark bounds still make pruning sound, just looser.
+    const GraphLocation source{a.edge, a.offset};
+    for (ReaderId r = 0; r < num_readers; ++r) {
+      const DistanceOracle::Bound b =
+          oracle_->Bounds(source, deployment_->reader(r).loc);
+      out.to_reader.push_back(SourceDistances::Bound{b.lower, b.upper});
+    }
+    return out;
+  }
   if (dindex_ != nullptr) {
     const AnchorPoint& a = anchors_->anchor(anchors_->NearestOnEdge(query));
     GraphLocation source;
     source.edge = a.edge;
     source.offset = a.offset;
-    out.table = dindex_->Lookup(source);
-    // The along-edge offset gap is a network path between query and source,
-    // so it upper-bounds their network distance — the slack pruning needs.
-    out.slack = std::fabs(query.offset - a.offset);
-    return out;
+    return SourceDistances::FromTable(*dindex_->Lookup(source),
+                                      std::fabs(query.offset - a.offset),
+                                      *deployment_);
   }
-  out.table = std::make_shared<OneToAllDistances>(*graph_, query);
-  out.slack = 0.0;
-  return out;
+  return SourceDistances::FromTable(OneToAllDistances(*graph_, query),
+                                    /*source_slack=*/0.0, *deployment_);
 }
 
 QueryEngine::InferPlan QueryEngine::PlanInference(
@@ -845,8 +896,7 @@ QueryResult QueryEngine::PruneOnlyRange(const std::vector<ObjectId>& candidates,
 }
 
 KnnResult QueryEngine::PruneOnlyKnn(const std::vector<ObjectId>& candidates,
-                                    const OneToAllDistances& from_source,
-                                    double source_slack, int k,
+                                    const SourceDistances& dists, int k,
                                     int64_t now) const {
   KnnResult out;
   out.result.quality = QualityLevel::kPruneOnly;
@@ -868,8 +918,14 @@ KnnResult QueryEngine::PruneOnlyKnn(const std::vector<ObjectId>& candidates,
     }
     const UncertainRegion region = ComputeUncertainRegion(
         *deployment_, object, history->entries.back(), now, config_.max_speed);
-    const DistanceInterval interval = NetworkDistanceInterval(
-        from_source, source_slack, *deployment_, region);
+    const DistanceInterval interval = NetworkDistanceInterval(dists, region);
+    if (!std::isfinite(interval.min_dist)) {
+      // The object's reader is unreachable from the query point: it can
+      // never be one of the k network-nearest neighbors, and letting +inf
+      // into the ranking would claim it with 0.5 once finite candidates
+      // run out.
+      continue;
+    }
     order.push_back({interval.min_dist, interval.max_dist, object});
   }
   std::sort(order.begin(), order.end(), [](const Ranked& x, const Ranked& y) {

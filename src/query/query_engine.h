@@ -12,6 +12,7 @@
 #include "filter/particle_cache.h"
 #include "filter/particle_filter.h"
 #include "graph/distance_index.h"
+#include "graph/distance_oracle.h"
 #include "health/reader_health.h"
 #include "obs/explain.h"
 #include "obs/metrics.h"
@@ -75,6 +76,17 @@ struct EngineConfig {
   // on anchors, making the slack 0). Off = the exact per-query Dijkstra.
   bool use_distance_index = true;
   size_t distance_index_capacity = 256;  // Unpinned LRU entries.
+  // Distance oracle (preprocessing mode, src/graph/distance_oracle.h):
+  // ALT landmark tables plus a dense anchor-to-reader matrix built at
+  // construction, so kNN pruning bounds become pure array lookups with no
+  // per-query Dijkstra and no LRU to thrash. Takes precedence over the
+  // distance index when both are enabled. Matrix rows are computed through
+  // the same canonicalized one-to-all evaluation the index caches, so
+  // answers are byte-identical across all three modes (exact / index /
+  // oracle). Worth the preprocessing cost on large graphs; see
+  // bench/micro_oracle for the crossover.
+  bool use_distance_oracle = false;
+  int oracle_landmarks = 16;
   uint64_t seed = 7;
   // Fan-out width for batch inference (EvaluateRange / EvaluateKnn /
   // InferBatch): per-object filter runs are spread over this many worker
@@ -188,6 +200,10 @@ class QueryEngine {
   // Zero stats when the distance index is disabled.
   DistanceIndex::Stats distance_index_stats() const {
     return dindex_ == nullptr ? DistanceIndex::Stats{} : dindex_->stats();
+  }
+  // Zero stats when the distance oracle is disabled.
+  DistanceOracle::Stats distance_oracle_stats() const {
+    return oracle_ == nullptr ? DistanceOracle::Stats{} : oracle_->stats();
   }
   void ResetStats();
 
@@ -328,20 +344,19 @@ class QueryEngine {
   QueryResult PruneOnlyRange(const std::vector<ObjectId>& candidates,
                              const Rect& window, int64_t now) const;
   KnnResult PruneOnlyKnn(const std::vector<ObjectId>& candidates,
-                         const OneToAllDistances& from_source,
-                         double source_slack, int k, int64_t now) const;
+                         const SourceDistances& dists, int k,
+                         int64_t now) const;
 
-  // The one-to-all table a kNN query's pruning reads, plus the slack
-  // bounding the network distance between the table's source and the query
-  // point. Index on: the shared entry sourced at the anchor the query's
-  // edge canonicalizes to (slack = along-edge offset gap). Index off (or
-  // no same-edge anchor): an exact private table sourced at the query,
-  // slack 0.
-  struct QueryDistances {
-    std::shared_ptr<const OneToAllDistances> table;
-    double slack = 0.0;
-  };
-  QueryDistances DistancesFor(const GraphLocation& query);
+  // The per-reader distance bounds a kNN query's pruning reads (see
+  // SourceDistances in query/uncertain_region.h), with the slack bounding
+  // the network distance between the bounds' source and the query point.
+  // Oracle on: one pinned-matrix row (exact, no Dijkstra at all). Index
+  // on: the shared table sourced at the anchor the query's edge
+  // canonicalizes to (slack = along-edge offset gap). Neither (or no
+  // same-edge anchor): an exact private Dijkstra at the query, slack 0.
+  // All three fill identical doubles for covered queries, which is what
+  // keeps answers byte-identical across modes.
+  SourceDistances DistancesFor(const GraphLocation& query);
 
   const WalkingGraph* graph_;
   const AnchorPointIndex* anchors_;
@@ -364,6 +379,11 @@ class QueryEngine {
   // config.use_distance_index is false). Reader locations are pinned at
   // construction; anchor entries populate on demand.
   std::unique_ptr<DistanceIndex> dindex_;
+  // Preprocessed distance oracle (null when config.use_distance_oracle is
+  // false): landmark tables plus the anchor-to-reader matrix, both built
+  // once at construction. When present it takes precedence over dindex_
+  // in DistancesFor.
+  std::unique_ptr<DistanceOracle> oracle_;
 
   AnchorObjectTable table_;
   int64_t table_time_ = -1;

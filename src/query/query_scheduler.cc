@@ -83,7 +83,7 @@ std::vector<BatchAnswer> QueryScheduler::EvaluateBatch(
   struct Distinct {
     size_t first_index = 0;
     GraphLocation q;                  // kKnn: snapped query location.
-    QueryEngine::QueryDistances qd;   // kKnn: pruning distance table.
+    SourceDistances qd;               // kKnn: pruning distance bounds.
     std::vector<ObjectId> restrict;   // Canonical candidate set.
     BatchAnswer answer;
     obs::QueryExplain explain;        // Filled only when requested.
@@ -131,8 +131,7 @@ std::vector<BatchAnswer> QueryScheduler::EvaluateBatch(
         d.qd = engine_->DistancesFor(d.q);
         candidates =
             FilterKnnCandidates(*engine_->collector_, *engine_->deployment_,
-                                *d.qd.table, d.qd.slack, q.k, now,
-                                cfg.max_speed);
+                                d.qd, q.k, now, cfg.max_speed);
       } else {
         candidates = engine_->collector_->KnownObjects();
       }
@@ -151,7 +150,7 @@ std::vector<BatchAnswer> QueryScheduler::EvaluateBatch(
       e.pruning_enabled = cfg.use_pruning;
       e.objects_known = known;
       e.candidates = static_cast<int64_t>(d.restrict.size());
-      if (d.qd.table != nullptr) {
+      if (!d.qd.empty()) {
         e.dindex_slack = d.qd.slack;
       }
       e.batched = true;
@@ -189,11 +188,10 @@ std::vector<BatchAnswer> QueryScheduler::EvaluateBatch(
       if (q.kind == BatchQuery::Kind::kRange) {
         d.answer.range = engine_->PruneOnlyRange(d.restrict, q.window, now);
       } else {
-        if (d.qd.table == nullptr) {
+        if (d.qd.empty()) {
           d.qd = engine_->DistancesFor(d.q);  // Pruning was off.
         }
-        d.answer.knn = engine_->PruneOnlyKnn(d.restrict, *d.qd.table,
-                                             d.qd.slack, q.k, now);
+        d.answer.knn = engine_->PruneOnlyKnn(d.restrict, d.qd, q.k, now);
       }
     }
   } else if (plan.level != QualityLevel::kFull) {
@@ -289,8 +287,7 @@ std::vector<BatchAnswer> QueryScheduler::EvaluateBatch(
       BatchSlotDetail& slot = (*details)[i];
       slot.candidates = d.restrict;
       slot.snapped = d.q;
-      slot.table = d.qd.table;
-      slot.slack = d.qd.slack;
+      slot.dists = d.qd;
     }
   }
   return answers;

@@ -44,14 +44,13 @@ struct BatchAnswer {
 // Per-slot serving internals surfaced to callers that maintain incremental
 // state on top of the batch (the SubscriptionManager): the canonical
 // candidate set the slot's answer was restricted to, and — for kNN with
-// pruning on — the snapped query location plus the one-to-all distance
-// table and slack its pruning read. `table` is null for range queries and
-// whenever pruning was off.
+// pruning on — the snapped query location plus the per-reader distance
+// bounds and slack its pruning read. `dists` is empty for range queries
+// and whenever pruning was off.
 struct BatchSlotDetail {
   std::vector<ObjectId> candidates;
   GraphLocation snapped;
-  std::shared_ptr<const OneToAllDistances> table;
-  double slack = 0.0;
+  SourceDistances dists;
 };
 
 // Batched multi-query serving: takes a set of range/kNN queries that share

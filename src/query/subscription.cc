@@ -163,16 +163,21 @@ bool SubscriptionManager::ChangesClean(Sub& sub,
             std::min(sub.next_expand, t_touch - config_.margin_seconds);
       }
     } else {
-      if (!std::isfinite(sub.f) || sub.table == nullptr) {
+      if (!std::isfinite(sub.f) || sub.dists.empty()) {
         // Pruning was degenerate at the last evaluation (entries <= k, or
-        // no distance table): there is no f-bound to test against.
+        // no distance bounds): there is no f-bound to test against.
         return false;
       }
       const Reader& r = deployment.reader(last.reader);
-      const double to_reader = sub.table->ToLocation(r.loc);
+      // Lower bound keeps s_now conservative (an interval backend may
+      // under-estimate the true distance, never over-estimate s). An
+      // unreachable reader reads {inf, inf}: s_now stays inf, which never
+      // dips under a finite f_now — correct, the object can never arrive.
+      const SourceDistances::Bound& b = sub.dists.to_reader[last.reader];
       const double radius =
           u * static_cast<double>(now - last.time) + r.range;
-      const double s_now = std::max(0.0, to_reader - (radius + sub.slack));
+      const double s_now =
+          std::max(0.0, b.lower - (radius + sub.dists.slack));
       // While the subscription is clean, the exact pruning bound at `now`
       // is f + u * (now - last_eval): the k supporting objects are
       // unchanged candidates whose l-bounds all grew by exactly u per
@@ -187,7 +192,7 @@ bool SubscriptionManager::ChangesClean(Sub& sub,
         // s_j(t) falls at rate u while f(t) grows at rate u; they cross at
         // t_cross — re-evaluate before then.
         const double t_cross =
-            (to_reader - r.range - sub.slack - sub.f +
+            (b.lower - r.range - sub.dists.slack - sub.f +
              u * static_cast<double>(last.time + sub.last_eval)) /
             (2.0 * u);
         sub.next_expand =
@@ -208,8 +213,7 @@ void SubscriptionManager::RefreshState(Sub& sub, const BatchAnswer& answer,
   sub.last_eval = now;
   sub.candidates = detail.candidates;
   sub.snapped = detail.snapped;
-  sub.table = detail.table;
-  sub.slack = detail.slack;
+  sub.dists = detail.dists;
   sub.f = kInf;
   sub.pins.clear();
 
@@ -262,7 +266,7 @@ void SubscriptionManager::RefreshState(Sub& sub, const BatchAnswer& answer,
   if (!sub.stable) {
     sub.pins.clear();
     sub.next_expand = -kInf;
-    sub.table = nullptr;
+    sub.dists = SourceDistances{};
     return;
   }
 
@@ -295,18 +299,19 @@ void SubscriptionManager::RefreshState(Sub& sub, const BatchAnswer& answer,
             (it->second - deployment.reader(last.reader).range) / u;
         next = std::min(next, t_touch);
       }
-    } else if (sub.table != nullptr) {
+    } else if (!sub.dists.empty()) {
       // Recompute the pruning bound f exactly as FilterKnnCandidates did
       // for this evaluation (k-th smallest l over every known object).
+      // Interval soundness: l is built from the upper bound (f can only
+      // over-shoot the exact bound, dirtying early), s and t_cross from
+      // the lower bound (crossings predicted early, never late).
       struct Bounds {
         ObjectId object;
-        double to_reader;
-        double s;
+        double lower;  // Query→reader network-distance lower bound.
         double l;
         int64_t t_last;
       };
       std::vector<Bounds> bounds;
-      std::unordered_map<ReaderId, double> reader_dist;
       for (ObjectId o : collector.KnownObjects()) {
         const DataCollector::ObjectHistory* h = collector.History(o);
         if (h == nullptr || h->entries.empty()) {
@@ -314,16 +319,11 @@ void SubscriptionManager::RefreshState(Sub& sub, const BatchAnswer& answer,
         }
         const AggregatedEntry last = h->entries.back();
         const Reader& r = deployment.reader(last.reader);
-        auto [it, inserted] = reader_dist.try_emplace(last.reader, 0.0);
-        if (inserted) {
-          it->second = sub.table->ToLocation(r.loc);
-        }
+        const SourceDistances::Bound& b = sub.dists.to_reader[last.reader];
         const double radius =
             u * static_cast<double>(now - last.time) + r.range;
-        const double pad = radius + sub.slack;
-        bounds.push_back({o, it->second,
-                          std::max(0.0, it->second - pad), it->second + pad,
-                          last.time});
+        const double pad = radius + sub.dists.slack;
+        bounds.push_back({o, b.lower, b.upper + pad, last.time});
       }
       if (static_cast<int>(bounds.size()) > sub.query.k) {
         std::vector<double> max_dists;
@@ -335,15 +335,20 @@ void SubscriptionManager::RefreshState(Sub& sub, const BatchAnswer& answer,
                          max_dists.begin() + (sub.query.k - 1),
                          max_dists.end());
         sub.f = max_dists[sub.query.k - 1];
+      }
+      if (std::isfinite(sub.f)) {
         for (const Bounds& b : bounds) {
           if (std::binary_search(sub.candidates.begin(), sub.candidates.end(),
                                  b.object)) {
             continue;
           }
+          if (!std::isfinite(b.lower)) {
+            continue;  // Unreachable reader: s_j stays inf forever.
+          }
           const Reader& r = deployment.reader(
               collector.History(b.object)->entries.back().reader);
           const double t_cross =
-              (b.to_reader - r.range - sub.slack - sub.f +
+              (b.lower - r.range - sub.dists.slack - sub.f +
                u * static_cast<double>(b.t_last + now)) /
               (2.0 * u);
           next = std::min(next, t_cross);
@@ -351,6 +356,8 @@ void SubscriptionManager::RefreshState(Sub& sub, const BatchAnswer& answer,
       }
       // bounds.size() <= k keeps f at +inf: every known object was a
       // candidate, and any new object arrives as a change (which dirties).
+      // f == +inf (fewer than k finite l's) likewise admits everything as
+      // a candidate, and the inf guard keeps inf - inf out of t_cross.
     }
   }
   sub.next_expand =

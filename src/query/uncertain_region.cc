@@ -43,6 +43,29 @@ DistanceInterval NetworkDistanceInterval(const OneToAllDistances& from_source,
   return DistanceInterval{std::max(0.0, to_reader - pad), to_reader + pad};
 }
 
+SourceDistances SourceDistances::FromTable(const OneToAllDistances& table,
+                                           double source_slack,
+                                           const Deployment& deployment) {
+  SourceDistances out;
+  out.slack = source_slack;
+  out.to_reader.reserve(deployment.num_readers());
+  for (ReaderId r = 0; r < deployment.num_readers(); ++r) {
+    const double d = table.ToLocation(deployment.reader(r).loc);
+    out.to_reader.push_back(Bound{d, d});
+  }
+  return out;
+}
+
+DistanceInterval NetworkDistanceInterval(const SourceDistances& dists,
+                                         const UncertainRegion& region) {
+  const SourceDistances::Bound& b = dists.to_reader[region.reader];
+  const double pad = region.radius + dists.slack;
+  // An unreachable reader (b = {inf, inf}) yields {inf, inf}: the object
+  // can never be proven near, and inf - pad stays inf (never NaN, since
+  // pad is finite).
+  return DistanceInterval{std::max(0.0, b.lower - pad), b.upper + pad};
+}
+
 std::vector<ObjectId> FilterRangeCandidates(
     const DataCollector& collector, const Deployment& deployment,
     const std::vector<Rect>& windows, int64_t now, double max_speed) {
@@ -79,6 +102,16 @@ std::vector<ObjectId> FilterKnnCandidates(const DataCollector& collector,
                                           const OneToAllDistances& from_source,
                                           double source_slack, int k,
                                           int64_t now, double max_speed) {
+  return FilterKnnCandidates(
+      collector, deployment,
+      SourceDistances::FromTable(from_source, source_slack, deployment), k,
+      now, max_speed);
+}
+
+std::vector<ObjectId> FilterKnnCandidates(const DataCollector& collector,
+                                          const Deployment& deployment,
+                                          const SourceDistances& dists, int k,
+                                          int64_t now, double max_speed) {
   IPQS_CHECK_GT(k, 0);
 
   struct Entry {
@@ -93,9 +126,7 @@ std::vector<ObjectId> FilterKnnCandidates(const DataCollector& collector,
     }
     const UncertainRegion ur =
         ComputeUncertainRegion(deployment, object, *last, now, max_speed);
-    entries.push_back({object, NetworkDistanceInterval(from_source,
-                                                       source_slack,
-                                                       deployment, ur)});
+    entries.push_back({object, NetworkDistanceInterval(dists, ur)});
   }
   if (static_cast<int>(entries.size()) <= k) {
     std::vector<ObjectId> all;

@@ -48,6 +48,42 @@ DistanceInterval NetworkDistanceInterval(const OneToAllDistances& from_query,
                                          const Deployment& deployment,
                                          const UncertainRegion& region);
 
+// Per-reader network-distance bounds from one query source point. This is
+// the only shape of distance information kNN pruning actually consumes —
+// every uncertain region is centered on a reader — so the engine hands this
+// around instead of a whole one-to-all table. Exact backends (a private
+// Dijkstra, a DistanceIndex table, the oracle's pinned reader matrix) fill
+// lower == upper; the landmark-bound fallback fills a genuine interval.
+// Entries may be +inf when a reader is unreachable from the source; all
+// consumers must treat +inf as "cannot bound from below / prove reachable",
+// never as an orderable distance.
+struct SourceDistances {
+  struct Bound {
+    double lower = 0.0;
+    double upper = 0.0;
+  };
+  // Indexed by ReaderId; empty means "no distances computed".
+  std::vector<Bound> to_reader;
+  // Bound on the network distance between the true query point and the
+  // source the bounds were computed from (0 when sourced exactly).
+  double slack = 0.0;
+
+  bool empty() const { return to_reader.empty(); }
+
+  // Evaluates `table.ToLocation` once per reader. Byte-identical to what
+  // consumers previously computed from the shared table, at one lookup per
+  // reader instead of one per (object, evaluation).
+  static SourceDistances FromTable(const OneToAllDistances& table,
+                                   double source_slack,
+                                   const Deployment& deployment);
+};
+
+// Interval through per-reader bounds: widened by the region radius plus the
+// source slack on both sides, using the lower bound on the min side and the
+// upper bound on the max side, so it always contains the true [s_i, l_i].
+DistanceInterval NetworkDistanceInterval(const SourceDistances& dists,
+                                         const UncertainRegion& region);
+
 // Interval computed through a distance table sourced NEAR the query point
 // rather than at it (e.g. a shared per-anchor table from a DistanceIndex).
 // `source_slack` must bound the network distance between the query point
@@ -83,6 +119,15 @@ std::vector<ObjectId> FilterKnnCandidates(const DataCollector& collector,
                                           const Deployment& deployment,
                                           const OneToAllDistances& from_source,
                                           double source_slack, int k,
+                                          int64_t now, double max_speed);
+
+// Same filter over per-reader bounds. With unreachable readers in play the
+// cutoff f (k-th smallest l_i) can be +inf, in which case nothing is pruned
+// — a sound superset; the evaluation stage, which expands over the actual
+// graph, is what rules unreachable objects out.
+std::vector<ObjectId> FilterKnnCandidates(const DataCollector& collector,
+                                          const Deployment& deployment,
+                                          const SourceDistances& dists, int k,
                                           int64_t now, double max_speed);
 
 }  // namespace ipqs

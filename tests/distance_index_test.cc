@@ -109,6 +109,64 @@ TEST_F(DistanceIndexTest, LruEvictsButStaysCorrect) {
             direct.ToLocation(LocOn(7, 0.5)));
 }
 
+TEST_F(DistanceIndexTest, CapacityBoundsUnpinnedEntriesGlobally) {
+  // Regression: capacity is a GLOBAL budget over all shards, not a
+  // per-shard one. With capacity == key count, nothing may evict no
+  // matter how the hash skews keys across shards (the old per-shard
+  // accounting gave each shard capacity/16 and evicted under skew).
+  const int sweep = std::min<int>(graph_->num_edges(), 64);
+  ASSERT_GT(sweep, 16);  // Enough keys that per-shard skew would show.
+  DistanceIndex index(graph_.get(), /*capacity=*/static_cast<size_t>(sweep));
+  for (EdgeId e = 0; e < sweep; ++e) {
+    index.Lookup(LocOn(e, 0.25));
+  }
+  const DistanceIndex::Stats stats = index.stats();
+  EXPECT_EQ(stats.evictions, 0);
+  EXPECT_EQ(stats.entries, static_cast<size_t>(sweep));
+}
+
+TEST_F(DistanceIndexTest, TinyCapacityStaysNearBudgetUnderSkew) {
+  // capacity below the shard count: the cross-shard sweep drains down to
+  // at most one resident unpinned entry per shard.
+  DistanceIndex index(graph_.get(), /*capacity=*/4);
+  for (EdgeId e = 0; e < std::min<int>(graph_->num_edges(), 64); ++e) {
+    index.Lookup(LocOn(e, 0.6));
+  }
+  const DistanceIndex::Stats stats = index.stats();
+  EXPECT_GT(stats.evictions, 0);
+  EXPECT_LE(stats.entries, 16u);  // One per shard at worst.
+  // Evicted keys still recompute to correct tables.
+  const GraphLocation src = LocOn(3, 0.6);
+  const OneToAllDistances direct(*graph_, src);
+  EXPECT_EQ(index.Lookup(src)->ToLocation(LocOn(11, 0.5)),
+            direct.ToLocation(LocOn(11, 0.5)));
+}
+
+TEST_F(DistanceIndexTest, RacingMissesCountAsRaceDrops) {
+  // Many threads race one cold key: every racer misses and computes, one
+  // insert lands, the rest are race drops — redundant work, not lost
+  // cache space — and the corrected hit rate credits them.
+  DistanceIndex index(graph_.get());
+  const GraphLocation src = LocOn(8, 0.5);
+  const int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] { index.Lookup(src); });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  const DistanceIndex::Stats stats = index.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GE(stats.misses, 1);
+  // Invariant regardless of interleaving: every miss after the first
+  // resident insert is a race drop.
+  EXPECT_EQ(stats.race_drops, stats.misses - 1);
+  EXPECT_EQ(stats.hits + stats.misses, kThreads);
+  EXPECT_DOUBLE_EQ(stats.HitRate(),
+                   static_cast<double>(kThreads - 1) / kThreads);
+}
+
 TEST_F(DistanceIndexTest, PinnedEntriesSurviveEvictionPressure) {
   DistanceIndex index(graph_.get(), /*capacity=*/16);
   const GraphLocation pinned_src = LocOn(2, 0.75);

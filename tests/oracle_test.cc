@@ -1,0 +1,263 @@
+// DistanceOracle: the preprocessed ALT distance layer behind kNN pruning.
+// Correctness here is twofold and both halves are exact, not approximate:
+// landmark bounds must CONTAIN the true network distance (differential
+// fuzz against NetworkDistance over random graphs, including disconnected
+// ones), and the goal-directed point-to-point query must equal the plain
+// Dijkstra answer bit for bit — that identity is what lets the engine use
+// the oracle without perturbing a single golden answer.
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "floorplan/office_generator.h"
+#include "graph/distance_oracle.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_gen.h"
+#include "graph/shortest_path.h"
+#include "query/query_engine.h"
+#include "query/uncertain_region.h"
+#include "sim/simulation.h"
+
+namespace ipqs {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// The generated-graph shapes the fuzz sweeps: a small connected world, a
+// chord-heavy one (many alternative routes — the regime where A* pruning
+// and bound tightness actually matter), and disconnected multi-component
+// worlds where unreachable pairs must read +inf, never NaN.
+std::vector<GeneratedGraphConfig> FuzzConfigs() {
+  std::vector<GeneratedGraphConfig> configs;
+  {
+    GeneratedGraphConfig c;
+    c.nodes_per_component = 48;
+    configs.push_back(c);
+  }
+  {
+    GeneratedGraphConfig c;
+    c.nodes_per_component = 96;
+    c.extra_edge_fraction = 1.0;
+    configs.push_back(c);
+  }
+  {
+    GeneratedGraphConfig c;
+    c.nodes_per_component = 32;
+    c.num_components = 3;
+    configs.push_back(c);
+  }
+  return configs;
+}
+
+TEST(DistanceOracleTest, FuzzBoundsContainExactDistance) {
+  for (const GeneratedGraphConfig& base : FuzzConfigs()) {
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      GeneratedGraphConfig config = base;
+      config.seed = seed;
+      const WalkingGraph graph = GenerateGraph(config);
+      DistanceOracleConfig oc;
+      oc.num_landmarks = 8;
+      const DistanceOracle oracle(&graph, oc);
+      Rng rng(seed * 977 + config.num_components);
+      for (int i = 0; i < 40; ++i) {
+        const GraphLocation a = RandomLocation(graph, rng);
+        const GraphLocation b = RandomLocation(graph, rng);
+        const double exact = NetworkDistance(graph, a, b);
+        const DistanceOracle::Bound bound = oracle.Bounds(a, b);
+        if (std::isfinite(exact)) {
+          EXPECT_LE(bound.lower, exact) << "pair " << i << " seed " << seed;
+          EXPECT_GE(bound.upper, exact) << "pair " << i << " seed " << seed;
+          EXPECT_GE(bound.lower, 0.0);
+        } else {
+          // Disconnected pair: farthest-point sampling seeds every
+          // component with a landmark, so the lower bound proves it.
+          EXPECT_TRUE(std::isinf(bound.lower)) << "pair " << i;
+          EXPECT_TRUE(std::isinf(bound.upper)) << "pair " << i;
+        }
+        EXPECT_FALSE(std::isnan(bound.lower));
+        EXPECT_FALSE(std::isnan(bound.upper));
+      }
+    }
+  }
+}
+
+TEST(DistanceOracleTest, FuzzAltPointToPointBitIdenticalToDijkstra) {
+  for (const GeneratedGraphConfig& base : FuzzConfigs()) {
+    for (uint64_t seed = 4; seed <= 6; ++seed) {
+      GeneratedGraphConfig config = base;
+      config.seed = seed;
+      const WalkingGraph graph = GenerateGraph(config);
+      const DistanceOracle oracle(&graph, DistanceOracleConfig{});
+      Rng rng(seed * 1013);
+      for (int i = 0; i < 40; ++i) {
+        const GraphLocation a = RandomLocation(graph, rng);
+        const GraphLocation b = RandomLocation(graph, rng);
+        const double exact = NetworkDistance(graph, a, b);
+        const double alt = oracle.Distance(a, b);
+        // EXPECT_EQ, not NEAR: the ALT heuristic changes settle order,
+        // never any settled distance.
+        EXPECT_EQ(alt, exact) << "pair " << i << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(DistanceOracleTest, DisconnectedComponentsReadInfinity) {
+  GeneratedGraphConfig config;
+  config.nodes_per_component = 24;
+  config.num_components = 2;
+  config.seed = 7;
+  const WalkingGraph graph = GenerateGraph(config);
+  // Edges are appended component by component: first and last edge live in
+  // different components.
+  const GraphLocation a{0, graph.edge(0).length / 2};
+  const EdgeId last = graph.num_edges() - 1;
+  const GraphLocation b{last, graph.edge(last).length / 2};
+  ASSERT_TRUE(std::isinf(NetworkDistance(graph, a, b)));
+  const DistanceOracle oracle(&graph, DistanceOracleConfig{});
+  EXPECT_TRUE(std::isinf(oracle.Distance(a, b)));
+  const DistanceOracle::Bound bound = oracle.Bounds(a, b);
+  EXPECT_TRUE(std::isinf(bound.lower));
+  EXPECT_TRUE(std::isinf(bound.upper));
+}
+
+TEST(DistanceOracleTest, LandmarkCountClampsToNodeCount) {
+  GeneratedGraphConfig config;
+  config.nodes_per_component = 6;
+  config.seed = 9;
+  const WalkingGraph graph = GenerateGraph(config);
+  DistanceOracleConfig oc;
+  oc.num_landmarks = 16;  // More than the graph has nodes.
+  const DistanceOracle oracle(&graph, oc);
+  EXPECT_LE(oracle.num_landmarks(), graph.num_nodes());
+  EXPECT_GE(oracle.num_landmarks(), 1);
+  Rng rng(12);
+  for (int i = 0; i < 10; ++i) {
+    const GraphLocation a = RandomLocation(graph, rng);
+    const GraphLocation b = RandomLocation(graph, rng);
+    EXPECT_EQ(oracle.Distance(a, b), NetworkDistance(graph, a, b));
+  }
+}
+
+TEST(DistanceOracleTest, PinnedMatrixMatchesOneToAllBitwise) {
+  // The matrix rows must be byte-identical to the DistanceIndex code path
+  // (OneToAllDistances from the canonical anchor source) — that is the
+  // whole argument for oracle-mode answers matching dindex-mode goldens.
+  auto plan = GenerateOffice(OfficeConfig{});
+  ASSERT_TRUE(plan.ok());
+  auto graph = BuildWalkingGraph(*plan);
+  ASSERT_TRUE(graph.ok());
+  const AnchorPointIndex anchors =
+      AnchorPointIndex::Build(*graph, *plan, /*spacing=*/1.0);
+  std::vector<GraphLocation> pinned;
+  for (EdgeId e = 0; e < graph->num_edges() && pinned.size() < 7; e += 5) {
+    pinned.push_back({e, graph->edge(e).length * 0.25});
+  }
+  DistanceOracle oracle(&*graph, DistanceOracleConfig{});
+  EXPECT_FALSE(oracle.has_matrix());
+  oracle.BuildPinnedMatrix(anchors, pinned);
+  ASSERT_TRUE(oracle.has_matrix());
+  EXPECT_EQ(oracle.num_pinned(), pinned.size());
+  for (AnchorId aid = 0; aid < anchors.num_anchors(); aid += 17) {
+    const AnchorPoint& a = anchors.anchor(aid);
+    const double* row = oracle.PinnedRow(aid);
+    ASSERT_NE(row, nullptr);
+    const OneToAllDistances table(
+        *graph, CanonicalSourceLocation(*graph, {a.edge, a.offset}));
+    for (size_t j = 0; j < pinned.size(); ++j) {
+      EXPECT_EQ(row[j], table.ToLocation(pinned[j]))
+          << "anchor " << aid << " pinned " << j;
+    }
+  }
+}
+
+TEST(UnreachableTargetTest, IntervalFromUnreachableReaderIsInfNotNan) {
+  // An unreachable reader's bound is {inf, inf}; the padded interval must
+  // stay {inf, inf} (inf - finite pad must never become NaN), so kNN
+  // pruning can recognize and skip it instead of ordering by garbage.
+  SourceDistances dists;
+  dists.slack = 0.5;
+  dists.to_reader.push_back({3.0, 3.0});
+  dists.to_reader.push_back({kInf, kInf});
+  UncertainRegion region;
+  region.reader = 1;
+  region.radius = 2.0;
+  const DistanceInterval iv = NetworkDistanceInterval(dists, region);
+  EXPECT_TRUE(std::isinf(iv.min_dist));
+  EXPECT_TRUE(std::isinf(iv.max_dist));
+  EXPECT_FALSE(std::isnan(iv.min_dist));
+  region.reader = 0;
+  const DistanceInterval finite = NetworkDistanceInterval(dists, region);
+  EXPECT_DOUBLE_EQ(finite.min_dist, 0.5);
+  EXPECT_DOUBLE_EQ(finite.max_dist, 5.5);
+}
+
+// One warmed-up world shared by the engine-level byte-identity tests
+// (building it is the expensive part; engines are fresh per scenario).
+class OracleEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SimulationConfig config;
+    config.trace.num_objects = 50;
+    config.seed = 17;
+    sim_ = Simulation::Create(config).value().release();
+    sim_->Run(240);
+  }
+  static void TearDownTestSuite() {
+    delete sim_;
+    sim_ = nullptr;
+  }
+
+  static QueryEngine MakeEngine(int num_threads, bool use_oracle) {
+    EngineConfig config;
+    config.num_threads = num_threads;
+    config.use_distance_oracle = use_oracle;
+    config.seed = 99;
+    return QueryEngine(&sim_->graph(), &sim_->plan(), &sim_->anchors(),
+                       &sim_->anchor_graph(), &sim_->deployment(),
+                       &sim_->deployment_graph(), &sim_->collector(), config);
+  }
+
+  static void ExpectSameResult(const QueryResult& a, const QueryResult& b,
+                               const char* label) {
+    ASSERT_EQ(a.objects.size(), b.objects.size()) << label;
+    for (size_t i = 0; i < a.objects.size(); ++i) {
+      EXPECT_EQ(a.objects[i].first, b.objects[i].first) << label;
+      EXPECT_EQ(a.objects[i].second, b.objects[i].second) << label;
+    }
+  }
+
+  static Simulation* sim_;
+};
+
+Simulation* OracleEngineTest::sim_ = nullptr;
+
+TEST_F(OracleEngineTest, AnswersByteIdenticalWithOracleEnabled) {
+  const int64_t now = sim_->now();
+  const Point q = sim_->deployment().reader(7).pos;
+  const Rect window = Rect::FromCenter(sim_->deployment().reader(4).pos,
+                                       14, 14);
+  QueryEngine baseline = MakeEngine(1, /*use_oracle=*/false);
+  const KnnResult knn_expected = baseline.EvaluateKnn(q, 3, now);
+  const QueryResult range_expected = baseline.EvaluateRange(window, now);
+  EXPECT_FALSE(knn_expected.result.objects.empty());
+  for (const int threads : {1, 4, 8}) {
+    QueryEngine engine = MakeEngine(threads, /*use_oracle=*/true);
+    const KnnResult knn = engine.EvaluateKnn(q, 3, now);
+    ExpectSameResult(knn_expected.result, knn.result, "oracle knn");
+    EXPECT_EQ(knn_expected.total_probability, knn.total_probability);
+    EXPECT_EQ(knn_expected.anchors_searched, knn.anchors_searched);
+    const QueryResult range = engine.EvaluateRange(window, now);
+    ExpectSameResult(range_expected, range, "oracle range");
+    // The kNN pruning actually went through the pinned matrix.
+    EXPECT_GT(engine.distance_oracle_stats().matrix_lookups, 0);
+  }
+}
+
+}  // namespace
+}  // namespace ipqs
